@@ -1,0 +1,54 @@
+"""Benchmark infrastructure: result tables are written to
+``benchmarks/results/`` so every figure's reproduction is inspectable after a
+``pytest benchmarks/ --benchmark-only`` run (stdout is captured by pytest, the
+files are not).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_table(name: str, title: str, headers: list[str], rows: list[list]) -> str:
+    """Render an aligned text table, save it, and return it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    widths = [
+        max(len(str(h)), *(len(_fmt(row[i])) for row in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(_fmt(cell).ljust(w) for cell, w in zip(row, widths))
+        )
+    text = "\n".join(lines) + "\n"
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    print(f"\n{text}")
+    return text
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing.
+
+    The experiments are seconds-to-minutes long; default calibration would
+    re-run them dozens of times.
+    """
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return _run

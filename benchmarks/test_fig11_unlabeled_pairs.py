@@ -1,0 +1,67 @@
+"""Figure 11: performance vs number of unlabeled users.
+
+Paper protocol: fix the number of labeled pairs and grow the unlabeled
+population.  Baselines degrade (more distractors, no extra supervision);
+HYDRA "survives the unlabeled data setup" thanks to structure propagation.
+
+We fix the *count* of labeled positives (via a shrinking label fraction) and
+scale the population.  Expected shape: HYDRA-M stays ahead of every baseline
+at every scale.
+"""
+
+from conftest import write_table
+
+from repro.eval.experiments import (
+    HARD_WORLD_OVERRIDES,
+    default_method_factories,
+    english_world,
+    run_method_comparison,
+)
+
+METHODS = ("HYDRA-M", "SVM-B", "MOBIUS", "Alias-Disamb", "SMaSh")
+SIZES = (24, 40, 56)
+LABELED_COUNT = 6  # fixed supervision across scales
+
+
+def _run():
+    rows = []
+    for size in SIZES:
+        world = english_world(size, seed=110 + size, **HARD_WORLD_OVERRIDES)
+        results = run_method_comparison(
+            world,
+            label_fraction=LABELED_COUNT / size,
+            seed=110 + size,
+            methods=default_method_factories(seed=110 + size, include=METHODS),
+        )
+        for result in results:
+            rows.append(
+                [size, result.method,
+                 result.metrics.precision, result.metrics.recall]
+            )
+    return rows
+
+
+def test_fig11_unlabeled_scaling(once):
+    rows = once(_run)
+    write_table(
+        "fig11_unlabeled",
+        f"Fig 11 — precision/recall vs #users with only {LABELED_COUNT} labeled"
+        " positives (English)",
+        ["users", "method", "precision", "recall"],
+        rows,
+    )
+    def f1(p, r):
+        return 2 * p * r / (p + r) if p + r else 0.0
+
+    for size in SIZES:
+        at_size = {r[1]: f1(r[2], r[3]) for r in rows if r[0] == size}
+        for method, score in at_size.items():
+            if method in ("HYDRA-M", "SVM-B"):
+                continue
+            # HYDRA must dominate the external baselines at every scale
+            assert at_size["HYDRA-M"] >= score - 1e-9, (
+                f"HYDRA-M fell behind {method} at {size} users"
+            )
+        # SVM-B shares HYDRA's features; small-sample noise can put it ahead,
+        # but never by a wide margin
+        assert at_size["HYDRA-M"] >= at_size["SVM-B"] - 0.10

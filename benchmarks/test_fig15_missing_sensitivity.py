@@ -1,0 +1,72 @@
+"""Figure 15: HYDRA-M vs HYDRA-Z under missing data (Chinese & English).
+
+Paper: "for both Chinese and English platforms, HYDRA-M outperforms HYDRA-Z
+although both achieve high precision and recall", demonstrating the value of
+the Eqn 18 core-structure fill over zero fill.
+
+Worlds are generated with aggressive hiding (emails almost always hidden,
+many profile images missing) so the fillers face plenty of NaNs.
+"""
+
+from conftest import write_table
+
+from repro.datagen import MissingnessInjector
+from repro.eval.experiments import (
+    HARD_WORLD_OVERRIDES,
+    chinese_chain_pairs,
+    chinese_world,
+    default_method_factories,
+    english_world,
+    run_method_comparison,
+)
+
+METHODS = ("HYDRA-M", "HYDRA-Z")
+
+
+def _world_overrides():
+    overrides = dict(HARD_WORLD_OVERRIDES)
+    overrides["missingness"] = MissingnessInjector(
+        email_hidden_probability=0.97, image_missing_probability=0.7
+    )
+    return overrides
+
+
+def _run():
+    rows = []
+    for dataset, sizes in (("english", (24, 40)), ("chinese", (14, 22))):
+        for size in sizes:
+            if dataset == "english":
+                world = english_world(size, seed=150 + size, **_world_overrides())
+                pairs = None
+            else:
+                world = chinese_world(size, seed=150 + size, **_world_overrides())
+                pairs = chinese_chain_pairs()
+            results = run_method_comparison(
+                world,
+                platform_pairs=pairs,
+                seed=150 + size,
+                methods=default_method_factories(seed=150 + size, include=METHODS),
+            )
+            for result in results:
+                rows.append(
+                    [dataset, size, result.method,
+                     result.metrics.precision, result.metrics.recall,
+                     result.metrics.f1]
+                )
+    return rows
+
+
+def test_fig15_missing_data(once):
+    rows = once(_run)
+    write_table(
+        "fig15_missing_sensitivity",
+        "Fig 15 — HYDRA-M vs HYDRA-Z under heavy missing data",
+        ["dataset", "users", "method", "precision", "recall", "f1"],
+        rows,
+    )
+    m_scores = [r[5] for r in rows if r[2] == "HYDRA-M"]
+    z_scores = [r[5] for r in rows if r[2] == "HYDRA-Z"]
+    mean = lambda xs: sum(xs) / len(xs)
+    # paper shape: both variants stay strong, HYDRA-M >= HYDRA-Z on average
+    assert mean(m_scores) >= mean(z_scores) - 0.02
+    assert min(m_scores) > 0.3

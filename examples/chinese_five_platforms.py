@@ -1,0 +1,60 @@
+"""Multi-platform linkage across the five Chinese networks.
+
+Reproduces the paper's harder setting: one population projected onto Sina
+Weibo, Tecent Weibo, Renren, Douban and Kaixin, with platform-dependent
+content divergence (Douban at 70 %!), activity phases and edge retention.
+HYDRA is fitted jointly over a chain of platform pairs — each pair gets its
+own structure-consistency block (Eqn 14) inside one multi-objective problem —
+and compared against a username-only baseline on every pair.
+
+Run:  python examples/chinese_five_platforms.py
+"""
+
+from repro import HydraLinker
+from repro.baselines import MobiusBaseline
+from repro.eval import precision_recall_f1
+from repro.eval.experiments import chinese_chain_pairs, chinese_world
+from repro.eval.harness import make_label_split
+
+
+def main() -> None:
+    world = chinese_world(24, seed=21)
+    pairs = chinese_chain_pairs()
+    print("platform pairs under study:")
+    for pa, pb in pairs:
+        print(f"  {pa} <-> {pb}")
+
+    split = make_label_split(world, pairs, label_fraction=0.25, seed=21)
+    print(
+        f"\n{len(split.labeled_positive)} labeled links, "
+        f"{len(split.labeled_negative)} labeled non-links across "
+        f"{len(pairs)} platform pairs"
+    )
+
+    hydra = HydraLinker(seed=21, num_topics=10, max_lda_docs=2500)
+    hydra.fit(world, split.labeled_positive, split.labeled_negative, pairs)
+    mobius = MobiusBaseline()
+    mobius.fit(world, split.labeled_positive, split.labeled_negative, pairs)
+
+    print(f"\n{'platform pair':<28s} {'HYDRA P/R':>14s} {'MOBIUS P/R':>14s}")
+    exclude = split.all_true_labeled
+    for pa, pb in pairs:
+        gold = split.heldout_true[(pa, pb)]
+        h = precision_recall_f1(hydra.linkage(pa, pb).linked, gold, exclude=exclude)
+        m = precision_recall_f1(mobius.linkage(pa, pb).linked, gold, exclude=exclude)
+        print(
+            f"{pa + ' / ' + pb:<28s} "
+            f"{h.precision:>6.2f}/{h.recall:<6.2f} "
+            f"{m.precision:>6.2f}/{m.recall:<6.2f}"
+        )
+
+    report = hydra.sparsity_report()
+    print(
+        f"\njoint model: {int(report['num_candidates'])} candidate pairs, "
+        f"{len(hydra.blocks_)} consistency blocks, "
+        f"M non-zeros {report['consistency_nonzero_fraction']:.1%}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Re-implementations of the paper's comparison methods (Section 7.1).
+
+* :class:`MobiusBaseline` — MOBIUS [32], "a behavior-modeling approach to
+  link users across social media platforms" built on username behavioral
+  features (Zafarani & Liu, KDD'13);
+* :class:`AliasDisambBaseline` — Alias-Disamb [16], "an unsupervised
+  data-driven approach based on username analysis" exploiting username
+  rarity (Liu et al., WSDM'13);
+* :class:`SmashBaseline` — SMaSh [11], "a record linkage approach finding
+  linkage points over Web data" (Hassanzadeh et al., PVLDB'13);
+* :class:`SvmBBaseline` — SVM-B, "binary prediction on user pairs using
+  support vector machines on the proposed similarity calculation schemes".
+
+All baselines implement the interface of
+:class:`repro.baselines.common.BaselineLinker` and share HYDRA's candidate
+generation so comparisons isolate the *linkage model*, not the blocking.
+"""
+
+from repro.baselines.common import BaselineLinker
+from repro.baselines.mobius import MobiusBaseline, username_feature_vector
+from repro.baselines.alias_disamb import AliasDisambBaseline
+from repro.baselines.smash import SmashBaseline
+from repro.baselines.svm_b import SvmBBaseline
+
+__all__ = [
+    "BaselineLinker",
+    "MobiusBaseline",
+    "username_feature_vector",
+    "AliasDisambBaseline",
+    "SmashBaseline",
+    "SvmBBaseline",
+]

@@ -1,0 +1,172 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Three commands cover the common workflows without writing any code:
+
+* ``generate`` — build a synthetic world and print its statistics;
+* ``link``     — fit HYDRA on a world and print the resolved linkage with
+  held-out precision/recall;
+* ``compare``  — run the method suite on one world and print the comparison
+  table (the Fig 9-style protocol).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.hydra import HydraLinker
+from repro.datagen.generator import (
+    WorldConfig,
+    chinese_platform_specs,
+    english_platform_specs,
+    generate_world,
+)
+from repro.eval.experiments import (
+    chinese_chain_pairs,
+    default_method_factories,
+)
+from repro.eval.harness import ExperimentHarness, make_label_split
+from repro.eval.metrics import precision_recall_f1
+from repro.eval.report import format_table, method_results_table
+
+__all__ = ["build_parser", "main"]
+
+_DATASETS = {
+    "english": english_platform_specs,
+    "chinese": chinese_platform_specs,
+}
+
+
+def _make_world(args) -> "WorldConfig":
+    config = WorldConfig(
+        num_persons=args.persons,
+        platforms=_DATASETS[args.dataset](),
+        seed=args.seed,
+    )
+    return generate_world(config)
+
+
+def _platform_pairs(args):
+    if args.dataset == "chinese":
+        return chinese_chain_pairs()
+    return None
+
+
+def cmd_generate(args) -> int:
+    """Print world statistics (accounts, events, edges, linkable pairs)."""
+    world = _make_world(args)
+    rows = []
+    for name in world.platform_names():
+        platform = world.platforms[name]
+        rows.append(
+            [name, len(platform), len(platform.events),
+             platform.graph.num_edges()]
+        )
+    print(format_table(["platform", "accounts", "events", "edges"], rows))
+    names = world.platform_names()
+    print(f"\nground-truth links per platform pair: {args.persons}")
+    print(f"platform pairs: {len(names) * (len(names) - 1) // 2}")
+    return 0
+
+
+def cmd_link(args) -> int:
+    """Fit HYDRA and print the linkage for the first platform pair."""
+    world = _make_world(args)
+    pairs = _platform_pairs(args) or [
+        tuple(world.platform_names()[:2])  # type: ignore[list-item]
+    ]
+    split = make_label_split(
+        world, pairs, label_fraction=args.label_fraction, seed=args.seed
+    )
+    linker = HydraLinker(
+        missing_strategy=args.missing, seed=args.seed,
+        num_topics=10, max_lda_docs=2500,
+    )
+    linker.fit(world, split.labeled_positive, split.labeled_negative, pairs)
+    pa, pb = pairs[0]
+    result = linker.linkage(pa, pb)
+    metrics = precision_recall_f1(
+        result.linked, split.heldout_true[(pa, pb)],
+        exclude=split.all_true_labeled,
+    )
+    print(f"{pa} <-> {pb}: {len(result.linked)} links")
+    print(
+        f"held-out precision={metrics.precision:.3f} "
+        f"recall={metrics.recall:.3f} f1={metrics.f1:.3f}"
+    )
+    if args.show:
+        for (ref_a, ref_b), score in list(
+            zip(result.linked, result.linked_scores)
+        )[: args.show]:
+            print(f"  {ref_a[1]} <-> {ref_b[1]}  score={score:.2f}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    """Run several methods on one world and print the comparison table."""
+    world = _make_world(args)
+    harness = ExperimentHarness(
+        world,
+        platform_pairs=_platform_pairs(args),
+        label_fraction=args.label_fraction,
+        seed=args.seed,
+    )
+    include = tuple(args.methods.split(","))
+    factories = default_method_factories(seed=args.seed, include=include)
+    results = harness.run_suite(factories)
+    print(method_results_table(results))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HYDRA social identity linkage (SIGMOD 2014 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--persons", type=int, default=40,
+                       help="population size (default 40)")
+        p.add_argument("--seed", type=int, default=0, help="world seed")
+        p.add_argument("--dataset", choices=sorted(_DATASETS), default="english",
+                       help="platform preset (default english)")
+
+    p_gen = sub.add_parser("generate", help="generate a world, print stats")
+    common(p_gen)
+    p_gen.set_defaults(func=cmd_generate)
+
+    p_link = sub.add_parser("link", help="fit HYDRA and print the linkage")
+    common(p_link)
+    p_link.add_argument("--label-fraction", type=float, default=1.0 / 6.0,
+                        dest="label_fraction")
+    p_link.add_argument("--missing", choices=("core", "zero"), default="core",
+                        help="missing-data strategy (HYDRA-M / HYDRA-Z)")
+    p_link.add_argument("--show", type=int, default=5,
+                        help="print the strongest N links")
+    p_link.set_defaults(func=cmd_link)
+
+    p_cmp = sub.add_parser("compare", help="run the method comparison suite")
+    common(p_cmp)
+    p_cmp.add_argument("--label-fraction", type=float, default=1.0 / 6.0,
+                       dest="label_fraction")
+    p_cmp.add_argument(
+        "--methods",
+        default="HYDRA-M,SVM-B,MOBIUS,Alias-Disamb,SMaSh",
+        help="comma-separated method list",
+    )
+    p_cmp.set_defaults(func=cmd_compare)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,338 @@
+"""HYDRA: the end-to-end social identity linkage estimator (Algorithm 1).
+
+:class:`HydraLinker` wires the whole paper together:
+
+1. candidate pair selection by rule-based filtering
+   (:mod:`repro.core.candidates` — Algorithm 1 step 1);
+2. heterogeneous behavior featurization
+   (:mod:`repro.features.pipeline`) with missing-information handling —
+   HYDRA-M fills from the core social structure (Eqn 18), HYDRA-Z fills
+   zeros;
+3. structure consistency graph construction per platform pair
+   (:mod:`repro.core.consistency` — Algorithm 1 step 2);
+4. multi-objective dual optimization
+   (:mod:`repro.core.moo` — Algorithm 1 steps 3-6).
+
+Typical use::
+
+    from repro.core import HydraLinker
+
+    linker = HydraLinker(missing_strategy="core")
+    linker.fit(world, labeled_positive=pos_pairs, labeled_negative=neg_pairs)
+    result = linker.linkage("twitter", "facebook")
+    for (ref_a, ref_b), score in zip(result.linked, result.linked_scores):
+        ...
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.candidates import CandidateGenerator, CandidateSet
+from repro.core.consistency import ConsistencyBlock, StructureConsistencyBuilder
+from repro.core.moo import MooConfig, MultiObjectiveModel
+from repro.features.missing import CoreStructureFiller, ZeroFiller
+from repro.features.pipeline import AccountRef, FeaturePipeline
+from repro.socialnet.platform import SocialWorld
+
+__all__ = ["HydraLinker", "LinkageResult"]
+
+Pair = tuple[AccountRef, AccountRef]
+
+
+@dataclass
+class LinkageResult:
+    """Scored candidates and the final linkage decision for one platform pair.
+
+    ``pairs``/``scores`` cover every candidate; ``linked``/``linked_scores``
+    are the pairs the model asserts refer to the same natural person
+    (thresholded and, optionally, one-to-one resolved).
+    """
+
+    platform_a: str
+    platform_b: str
+    pairs: list[Pair]
+    scores: np.ndarray
+    linked: list[Pair] = field(default_factory=list)
+    linked_scores: np.ndarray = field(default_factory=lambda: np.zeros(0))
+
+
+class HydraLinker:
+    """The HYDRA estimator.  See module docstring for the pipeline stages.
+
+    Parameters
+    ----------
+    gamma_l, gamma_m, p:
+        Multi-objective weights and utility exponent (Eqn 11).
+    kernel, kernel_gamma:
+        Dual-model kernel (``"rbf"``, ``"linear"``, ``"chi_square"``).
+    missing_strategy:
+        ``"core"`` = HYDRA-M (Eqn 18 fill), ``"zero"`` = HYDRA-Z.
+    sigma1, sigma2, max_hops:
+        Structure-consistency bandwidths and graph horizon (Eqn 9).
+    threshold:
+        Decision threshold on ``f(x)``; 0 is the SVM margin midpoint.
+    one_to_one:
+        Resolve linkage greedily so each account joins at most one pair
+        (the SIL mapping is injective by definition).
+    use_prematched:
+        Treat rule pre-matched candidates as (noisy) positive labels,
+        as the paper's labeled-data collection does.
+    """
+
+    def __init__(
+        self,
+        *,
+        gamma_l: float = 0.01,
+        gamma_m: float = 100.0,
+        p: float = 1.0,
+        kernel: str = "rbf",
+        kernel_gamma: float = 0.5,
+        missing_strategy: str = "core",
+        sigma1: float | None = None,
+        sigma1_scale: float = 0.4,
+        sigma2: float = 3.0,
+        max_hops: int = 2,
+        num_topics: int = 12,
+        max_lda_docs: int = 6000,
+        threshold: float = 0.0,
+        one_to_one: bool = True,
+        use_prematched: bool = True,
+        candidate_generator: CandidateGenerator | None = None,
+        pipeline: FeaturePipeline | None = None,
+        seed: int = 0,
+    ):
+        if missing_strategy not in ("core", "zero"):
+            raise ValueError(
+                f"missing_strategy must be 'core' or 'zero', got {missing_strategy!r}"
+            )
+        self.moo_config = MooConfig(
+            gamma_l=gamma_l,
+            gamma_m=gamma_m,
+            p=p,
+            kernel=kernel,
+            kernel_params={"gamma": kernel_gamma} if kernel == "rbf" else {},
+        )
+        self.missing_strategy = missing_strategy
+        self.threshold = threshold
+        self.one_to_one = one_to_one
+        self.use_prematched = use_prematched
+        self.seed = seed
+        self.candidate_generator = (
+            candidate_generator if candidate_generator is not None else CandidateGenerator()
+        )
+        self.pipeline = (
+            pipeline
+            if pipeline is not None
+            else FeaturePipeline(
+                num_topics=num_topics, max_lda_docs=max_lda_docs, seed=seed
+            )
+        )
+        self.consistency_builder = StructureConsistencyBuilder(
+            sigma1=sigma1, sigma1_scale=sigma1_scale, sigma2=sigma2, max_hops=max_hops
+        )
+
+        self.model_: MultiObjectiveModel | None = None
+        self.candidates_: dict[tuple[str, str], CandidateSet] = {}
+        self.blocks_: list[ConsistencyBlock] = []
+        self.global_pairs_: list[Pair] = []
+        self.num_labeled_: int = 0
+        self._filler = None
+        self._world: SocialWorld | None = None
+
+    # ------------------------------------------------------------------
+    # fitting
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        world: SocialWorld,
+        labeled_positive: list[Pair],
+        labeled_negative: list[Pair],
+        platform_pairs: list[tuple[str, str]] | None = None,
+        *,
+        candidates: dict[tuple[str, str], CandidateSet] | None = None,
+    ) -> "HydraLinker":
+        """Train the linkage function on one world.
+
+        ``labeled_positive`` / ``labeled_negative`` are ground-truth labeled
+        account pairs (the paper's user-provided cross-login links plus
+        sampled non-links); ``platform_pairs`` restricts which platform
+        combinations are modeled (default: all C(C-1)/2 ordered pairs);
+        ``candidates`` optionally injects pre-generated candidate sets so
+        several methods can be compared on identical blocking.
+        """
+        self._world = world
+        if platform_pairs is None:
+            names = world.platform_names()
+            platform_pairs = [
+                (names[i], names[j])
+                for i in range(len(names))
+                for j in range(i + 1, len(names))
+            ]
+        self.platform_pairs_ = platform_pairs
+
+        # ---- Algorithm 1 step 1: candidate selection ----------------------
+        if candidates is not None:
+            self.candidates_ = dict(candidates)
+        else:
+            self.candidates_ = {
+                (pa, pb): self.candidate_generator.generate(world, pa, pb)
+                for pa, pb in platform_pairs
+            }
+
+        # ---- labels --------------------------------------------------------
+        labels: dict[Pair, float] = {}
+        for pair in labeled_positive:
+            labels[pair] = 1.0
+        for pair in labeled_negative:
+            if pair in labels:
+                raise ValueError(f"pair labeled both positive and negative: {pair}")
+            labels[pair] = -1.0
+        if self.use_prematched:
+            for cand in self.candidates_.values():
+                for idx in cand.prematched:
+                    labels.setdefault(cand.pairs[idx], 1.0)
+
+        # ---- global row layout: labeled first, then unlabeled --------------
+        labeled_pairs = sorted(labels, key=lambda p: (p[0], p[1]))
+        labeled_set = set(labeled_pairs)
+        unlabeled_pairs: list[Pair] = []
+        seen = set(labeled_set)
+        for key in sorted(self.candidates_):
+            for pair in self.candidates_[key].pairs:
+                if pair not in seen:
+                    seen.add(pair)
+                    unlabeled_pairs.append(pair)
+        self.global_pairs_ = labeled_pairs + unlabeled_pairs
+        self.num_labeled_ = len(labeled_pairs)
+        y = np.array([labels[p] for p in labeled_pairs])
+        if self.num_labeled_ == 0:
+            raise ValueError("no labeled pairs available (labels and pre-matches empty)")
+        if np.unique(y).size < 2:
+            raise ValueError("labeled pairs must include both classes")
+
+        # ---- featurization with missing handling ---------------------------
+        self.pipeline.fit(
+            world,
+            [p for p in labeled_pairs if labels[p] > 0],
+            [p for p in labeled_pairs if labels[p] < 0],
+        )
+        x_raw = self.pipeline.matrix(self.global_pairs_)
+        if self.missing_strategy == "core":
+            self._filler = CoreStructureFiller(world, self.pipeline)
+        else:
+            self._filler = ZeroFiller()
+        x_all = self._filler.fill_matrix(self.global_pairs_, x_raw)
+
+        # ---- Algorithm 1 step 2: structure consistency graphs --------------
+        row_of = {pair: i for i, pair in enumerate(self.global_pairs_)}
+        behavior = {
+            ref: self.pipeline.behavior_summary(ref)
+            for pair in self.global_pairs_
+            for ref in pair
+        }
+        self.blocks_ = []
+        for pa, pb in platform_pairs:
+            block_pairs = [
+                pair for pair in self.global_pairs_
+                if pair[0][0] == pa and pair[1][0] == pb
+            ]
+            if len(block_pairs) < 2:
+                continue
+            indices = np.array([row_of[p] for p in block_pairs], dtype=np.int64)
+            self.blocks_.append(
+                self.consistency_builder.build(
+                    world, block_pairs, behavior, indices=indices
+                )
+            )
+
+        # ---- Algorithm 1 steps 3-6: multi-objective optimization -----------
+        self.model_ = MultiObjectiveModel(self.moo_config)
+        self.model_.fit(
+            x_all[: self.num_labeled_],
+            y,
+            x_all[self.num_labeled_ :],
+            self.blocks_,
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    # prediction
+    # ------------------------------------------------------------------
+    def score_pairs(self, pairs: list[Pair]) -> np.ndarray:
+        """Decision values ``f(x)`` for arbitrary cross-platform pairs."""
+        if self.model_ is None or self._filler is None:
+            raise RuntimeError("linker is not fitted; call fit() first")
+        if not pairs:
+            return np.zeros(0)
+        x_raw = self.pipeline.matrix(pairs)
+        x = self._filler.fill_matrix(pairs, x_raw)
+        return self.model_.decision_function(x)
+
+    def linkage(self, platform_a: str, platform_b: str) -> LinkageResult:
+        """Score this platform pair's candidates and resolve the linkage.
+
+        Either orientation of the platform pair is accepted; the returned
+        pairs follow the requested (platform_a, platform_b) orientation.
+        """
+        key = (platform_a, platform_b)
+        flipped = False
+        if key not in self.candidates_:
+            key = (platform_b, platform_a)
+            flipped = True
+            if key not in self.candidates_:
+                raise KeyError(
+                    f"platform pair ({platform_a}, {platform_b}) was not fitted"
+                )
+        cand = self.candidates_[key]
+        scores = self.score_pairs(cand.pairs)
+        oriented = (
+            [(b, a) for a, b in cand.pairs] if flipped else list(cand.pairs)
+        )
+        result = LinkageResult(
+            platform_a=platform_a,
+            platform_b=platform_b,
+            pairs=oriented,
+            scores=scores,
+        )
+        passing = [
+            (float(scores[i]), i) for i in range(len(oriented))
+            if scores[i] > self.threshold
+        ]
+        passing.sort(key=lambda t: (-t[0], t[1]))
+        used_a: set[str] = set()
+        used_b: set[str] = set()
+        linked: list[Pair] = []
+        linked_scores: list[float] = []
+        for score, idx in passing:
+            ref_a, ref_b = oriented[idx]
+            if self.one_to_one and (ref_a[1] in used_a or ref_b[1] in used_b):
+                continue
+            used_a.add(ref_a[1])
+            used_b.add(ref_b[1])
+            linked.append((ref_a, ref_b))
+            linked_scores.append(score)
+        result.linked = linked
+        result.linked_scores = np.asarray(linked_scores)
+        return result
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def sparsity_report(self) -> dict[str, float]:
+        """The Section 7.5 sparsity statistics of the fitted model."""
+        if self.model_ is None or self.model_.qp_result_ is None:
+            raise RuntimeError("linker is not fitted; call fit() first")
+        m_nonzero = (
+            float(np.mean([b.nonzero_fraction() for b in self.blocks_]))
+            if self.blocks_
+            else 0.0
+        )
+        return {
+            "consistency_nonzero_fraction": m_nonzero,
+            "beta_support_fraction": self.model_.qp_result_.support_fraction,
+            "num_candidates": float(len(self.global_pairs_)),
+            "num_labeled": float(self.num_labeled_),
+        }

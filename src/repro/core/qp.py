@@ -1,0 +1,135 @@
+"""SMO-style solver for the HYDRA dual quadratic program (Eqn 16).
+
+The dual of the multi-objective model is the smooth box-constrained QP
+
+    maximize_beta   1^T beta - (1/2) beta^T Q beta
+    subject to      sum_i y_i beta_i = 0,    0 <= beta_i <= C
+
+with Q symmetric positive semidefinite (Eqn 17).  This is exactly the shape
+of the classic SVM dual, so we solve it with sequential minimal optimization:
+repeatedly pick a maximally-KKT-violating pair (i, j), optimize the objective
+analytically along the feasible segment that keeps ``y_i beta_i + y_j beta_j``
+constant, and clip to the box.  Convergence follows from coordinate ascent on
+a concave objective over a compact feasible set.
+
+The solver also exposes the *support shrinking* statistic the paper reports
+(Section 7.5: "at least 90 % of the dimensions in beta are zeros").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["QPResult", "solve_box_qp"]
+
+
+@dataclass(frozen=True)
+class QPResult:
+    """Solution of the dual QP.
+
+    ``beta`` is the optimizer, ``objective`` its objective value,
+    ``iterations`` the number of SMO pair updates performed, and
+    ``support_fraction`` the fraction of strictly-positive coordinates.
+    """
+
+    beta: np.ndarray
+    objective: float
+    iterations: int
+    support_fraction: float
+
+
+def _objective(beta: np.ndarray, q: np.ndarray) -> float:
+    return float(beta.sum() - 0.5 * beta @ q @ beta)
+
+
+def solve_box_qp(
+    q: np.ndarray,
+    y: np.ndarray,
+    c: float,
+    *,
+    max_iterations: int = 20000,
+    tol: float = 1e-6,
+) -> QPResult:
+    """Solve the Eqn 16 QP by SMO pair updates.
+
+    Parameters
+    ----------
+    q:
+        Symmetric PSD matrix (Nl, Nl).  Mild asymmetry from numerical error
+        is symmetrized internally.
+    y:
+        Labels in {-1, +1} defining the equality constraint.
+    c:
+        Box upper bound (the paper uses ``1 / |P_l|``).
+    max_iterations:
+        Cap on SMO pair updates.
+    tol:
+        KKT violation threshold for convergence.
+    """
+    q = np.asarray(q, dtype=float)
+    y = np.asarray(y, dtype=float)
+    n = q.shape[0]
+    if q.shape != (n, n):
+        raise ValueError(f"q must be square, got {q.shape}")
+    if y.shape != (n,):
+        raise ValueError(f"y must have shape ({n},), got {y.shape}")
+    if not np.all(np.isin(y, (-1.0, 1.0))):
+        raise ValueError("labels must be in {-1, +1}")
+    if c <= 0:
+        raise ValueError(f"c must be > 0, got {c}")
+    q = 0.5 * (q + q.T)
+
+    beta = np.zeros(n)
+    grad = np.ones(n)  # gradient of the objective: 1 - Q beta
+
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        # Working-set selection (first-order, LibSVM style): along the
+        # feasible directions +e_i - (y_i/y_j) e_j the projected derivative is
+        # y_i * grad_i for "up" moves and -y_j * grad_j for "down" moves.
+        up_mask = ((y > 0) & (beta < c - 1e-12)) | ((y < 0) & (beta > 1e-12))
+        down_mask = ((y > 0) & (beta > 1e-12)) | ((y < 0) & (beta < c - 1e-12))
+        if not up_mask.any() or not down_mask.any():
+            break
+        # NOTE on direction bookkeeping: define nu_i = y_i * grad_i.  A
+        # feasible ascent exists iff max_{up} nu > min_{down} nu.
+        nu = y * grad
+        i = int(np.flatnonzero(up_mask)[np.argmax(nu[up_mask])])
+        j = int(np.flatnonzero(down_mask)[np.argmin(nu[down_mask])])
+        violation = nu[i] - nu[j]
+        if violation < tol:
+            break
+
+        # Analytic step: beta_i += y_i * t, beta_j -= y_j * t preserves the
+        # equality constraint; maximize over t and clip to the box.
+        eta = q[i, i] + q[j, j] - 2.0 * y[i] * y[j] * q[i, j]
+        if eta <= 1e-14:
+            eta = 1e-14
+        t = violation / eta
+        # box limits on t from both coordinates
+        if y[i] > 0:
+            t = min(t, c - beta[i])
+        else:
+            t = min(t, beta[i])
+        if y[j] > 0:
+            t = min(t, beta[j])
+        else:
+            t = min(t, c - beta[j])
+        if t <= 0:
+            break
+        delta_i = y[i] * t
+        delta_j = -y[j] * t
+        beta[i] += delta_i
+        beta[j] += delta_j
+        grad -= q[:, i] * delta_i + q[:, j] * delta_j
+
+    beta = np.clip(beta, 0.0, c)
+    support = float(np.mean(beta > 1e-10)) if n else 0.0
+    return QPResult(
+        beta=beta,
+        objective=_objective(beta, q),
+        iterations=iterations,
+        support_fraction=support,
+    )

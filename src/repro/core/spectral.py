@@ -1,0 +1,194 @@
+"""Unsupervised spectral linkage from the Section 6.2 relaxation.
+
+Before introducing supervision, the paper reduces structure-consistent
+linkage to "find[ing] a cluster C* of candidate user pairs (i, i') that
+maximizes the structure consistency F_S(y) = y^T M y", whose relaxed solution
+"is the principal eigenvector of M" (Raleigh's ratio theorem).  That
+observation is a complete *unsupervised* linkage method in its own right —
+the spectral matching of Leordeanu & Hebert applied to identity linkage — and
+serves two roles here:
+
+* a label-free fallback linker (no ground truth at all, only behavior and
+  structure), useful as a lower bound and for cold-start platforms;
+* a diagnostic: the eigenvector's mass concentration reveals whether the
+  consistency graph actually contains the main agreement cluster of Fig 7.
+
+The greedy discretization follows spectral matching: accept candidates in
+descending eigenvector score, skipping any that conflict with the injective
+mapping constraint.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.candidates import CandidateGenerator, CandidateSet
+from repro.core.consistency import StructureConsistencyBuilder
+from repro.core.eigen import principal_eigenvector
+from repro.core.hydra import LinkageResult
+from repro.features.pipeline import AccountRef, FeaturePipeline
+from repro.socialnet.platform import SocialWorld
+
+__all__ = ["SpectralLinker"]
+
+Pair = tuple[AccountRef, AccountRef]
+
+
+class SpectralLinker:
+    """Label-free linkage by principal-eigenvector spectral matching.
+
+    Parameters
+    ----------
+    keep_fraction:
+        Fraction of candidates (by eigenvector score) eligible for linking;
+        the eigenvector separates the agreement cluster from the rest, and
+        this is the cut point.
+    candidate_generator, consistency_builder, pipeline:
+        Injectable components; defaults mirror :class:`HydraLinker`.
+    """
+
+    name = "Spectral"
+
+    def __init__(
+        self,
+        *,
+        keep_fraction: float = 0.5,
+        candidate_generator: CandidateGenerator | None = None,
+        consistency_builder: StructureConsistencyBuilder | None = None,
+        pipeline: FeaturePipeline | None = None,
+        num_topics: int = 10,
+        max_lda_docs: int = 2500,
+        seed: int = 0,
+    ):
+        if not 0.0 < keep_fraction <= 1.0:
+            raise ValueError(f"keep_fraction must be in (0, 1], got {keep_fraction}")
+        self.keep_fraction = keep_fraction
+        self.candidate_generator = (
+            candidate_generator if candidate_generator is not None
+            else CandidateGenerator()
+        )
+        self.consistency_builder = (
+            consistency_builder if consistency_builder is not None
+            else StructureConsistencyBuilder()
+        )
+        self.pipeline = (
+            pipeline if pipeline is not None
+            else FeaturePipeline(num_topics=num_topics, max_lda_docs=max_lda_docs,
+                                 seed=seed)
+        )
+        self._world: SocialWorld | None = None
+        self.candidates_: dict[tuple[str, str], CandidateSet] = {}
+        self.scores_: dict[tuple[str, str], np.ndarray] = {}
+        self.eigenvalues_: dict[tuple[str, str], float] = {}
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        world: SocialWorld,
+        labeled_positive: list[Pair] | None = None,
+        labeled_negative: list[Pair] | None = None,
+        platform_pairs: list[tuple[str, str]] | None = None,
+        *,
+        candidates: dict[tuple[str, str], CandidateSet] | None = None,
+    ) -> "SpectralLinker":
+        """Build M per platform pair and extract its principal eigenvector.
+
+        Labeled pairs are accepted for interface compatibility but ignored —
+        the method is fully unsupervised (the pipeline's attribute-importance
+        model falls back to uniform weights when no labels are given).
+        """
+        self._world = world
+        if platform_pairs is None:
+            names = world.platform_names()
+            platform_pairs = [
+                (names[i], names[j])
+                for i in range(len(names))
+                for j in range(i + 1, len(names))
+            ]
+        if candidates is not None:
+            self.candidates_ = dict(candidates)
+        else:
+            self.candidates_ = {
+                (pa, pb): self.candidate_generator.generate(world, pa, pb)
+                for pa, pb in platform_pairs
+            }
+        # fit the pipeline with whatever labels exist (possibly none): the
+        # behavior summaries feeding M need no supervision at all
+        self.pipeline.fit(
+            world, list(labeled_positive or []), list(labeled_negative or [])
+        )
+        self.scores_ = {}
+        self.eigenvalues_ = {}
+        for key, cand in self.candidates_.items():
+            if len(cand.pairs) == 0:
+                self.scores_[key] = np.zeros(0)
+                self.eigenvalues_[key] = 0.0
+                continue
+            behavior = {
+                ref: self.pipeline.behavior_summary(ref)
+                for pair in cand.pairs
+                for ref in pair
+            }
+            block = self.consistency_builder.build(world, cand.pairs, behavior)
+            vector, value = principal_eigenvector(block.m)
+            self.scores_[key] = vector
+            self.eigenvalues_[key] = value
+        return self
+
+    # ------------------------------------------------------------------
+    def score_pairs(self, pairs: list[Pair]) -> np.ndarray:
+        """Eigenvector scores for candidate pairs (0 for non-candidates)."""
+        out = np.zeros(len(pairs))
+        index_by_key = {
+            key: cand.pair_index() for key, cand in self.candidates_.items()
+        }
+        for i, pair in enumerate(pairs):
+            key = (pair[0][0], pair[1][0])
+            table = index_by_key.get(key)
+            if table is not None and pair in table:
+                out[i] = float(self.scores_[key][table[pair]])
+        return out
+
+    def linkage(self, platform_a: str, platform_b: str) -> LinkageResult:
+        """Greedy spectral-matching discretization of the eigenvector."""
+        if self._world is None:
+            raise RuntimeError("linker is not fitted; call fit() first")
+        key = (platform_a, platform_b)
+        flipped = False
+        if key not in self.candidates_:
+            key = (platform_b, platform_a)
+            flipped = True
+            if key not in self.candidates_:
+                raise KeyError(
+                    f"platform pair ({platform_a}, {platform_b}) was not fitted"
+                )
+        cand = self.candidates_[key]
+        scores = self.scores_[key]
+        oriented = [(b, a) for a, b in cand.pairs] if flipped else list(cand.pairs)
+        result = LinkageResult(
+            platform_a=platform_a,
+            platform_b=platform_b,
+            pairs=oriented,
+            scores=scores,
+        )
+        if len(oriented) == 0:
+            return result
+        n_keep = max(1, int(round(self.keep_fraction * len(oriented))))
+        order = np.argsort(-scores)[:n_keep]
+        used_a: set[str] = set()
+        used_b: set[str] = set()
+        linked: list[Pair] = []
+        linked_scores: list[float] = []
+        for idx in order:
+            if scores[idx] <= 0.0:
+                break
+            ref_a, ref_b = oriented[int(idx)]
+            if ref_a[1] in used_a or ref_b[1] in used_b:
+                continue
+            used_a.add(ref_a[1])
+            used_b.add(ref_b[1])
+            linked.append((ref_a, ref_b))
+            linked_scores.append(float(scores[idx]))
+        result.linked = linked
+        result.linked_scores = np.asarray(linked_scores)
+        return result

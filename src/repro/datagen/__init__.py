@@ -1,0 +1,59 @@
+"""Synthetic multi-platform social-world generator.
+
+Substitute for the paper's proprietary 10-million-user, 7-platform crawl
+(Section 7.1).  A latent *natural person* carries stable long-term traits —
+topical interests, sentiment disposition, style vocabulary, mobility anchors,
+a face, a media pool and a friend circle — and each platform projects those
+traits through platform-dependent distortion: content divergence, behavior
+asynchrony, data imbalance, unreliable usernames, information veracity noise
+and missing attributes (the five challenges of Section 1.1).
+
+The generator is fully deterministic given a seed, and ground-truth identity
+(the paper's national-ID oracle) is retained on the generated
+:class:`~repro.socialnet.platform.SocialWorld`.
+"""
+
+from repro.datagen.persons import NaturalPerson, PersonPopulation, generate_population
+from repro.datagen.names import UsernameGenerator
+from repro.datagen.content import TopicVocabulary, ContentGenerator, CONTENT_GENRES
+from repro.datagen.trajectory import TrajectoryGenerator, CITY_CENTERS
+from repro.datagen.media import MediaSharingModel, item_of, variant_of, make_fingerprint
+from repro.datagen.missing import MISSING_PATTERNS, MissingnessInjector
+from repro.datagen.generator import (
+    PlatformSpec,
+    WorldConfig,
+    chinese_platform_specs,
+    english_platform_specs,
+    generate_world,
+)
+from repro.datagen.stats import (
+    content_divergence,
+    divergence_summary,
+    volume_imbalance,
+)
+
+__all__ = [
+    "NaturalPerson",
+    "PersonPopulation",
+    "generate_population",
+    "UsernameGenerator",
+    "TopicVocabulary",
+    "ContentGenerator",
+    "CONTENT_GENRES",
+    "TrajectoryGenerator",
+    "CITY_CENTERS",
+    "MediaSharingModel",
+    "item_of",
+    "variant_of",
+    "make_fingerprint",
+    "MISSING_PATTERNS",
+    "MissingnessInjector",
+    "PlatformSpec",
+    "WorldConfig",
+    "chinese_platform_specs",
+    "english_platform_specs",
+    "generate_world",
+    "content_divergence",
+    "divergence_summary",
+    "volume_imbalance",
+]

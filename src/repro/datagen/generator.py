@@ -1,0 +1,361 @@
+"""Multi-platform world generation: the top-level synthetic-data entry point.
+
+:func:`generate_world` builds a :class:`~repro.socialnet.platform.SocialWorld`
+from a :class:`WorldConfig`: a latent population is projected onto each
+platform in the configuration, with every distortion the paper names in
+Section 1.1 applied on the way:
+
+* **Unreliable usernames** — per-platform naming styles, language mixing and
+  unrelated nicknames (:mod:`repro.datagen.names`);
+* **Missing information** — Fig 2(a)-calibrated attribute blanking
+  (:mod:`repro.datagen.missing`);
+* **Information veracity** — randomized false birth year / gender / job;
+* **Platform difference** — topical divergence between a person's content on
+  different platforms (:mod:`repro.datagen.content`);
+* **Behavior asynchrony** — per-platform activity phases and lagged media
+  re-shares (:mod:`repro.datagen.media`);
+* **Data imbalance** — lognormal personal activity times a per-platform
+  multiplier, so the primary platform dominates a user's data volume.
+
+Presets :func:`chinese_platform_specs` and :func:`english_platform_specs`
+mirror the paper's two data sets (Sina Weibo, Tecent Weibo, Renren, Douban,
+Kaixin / Twitter, Facebook).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.datagen.content import CONTENT_GENRES, ContentGenerator, TopicVocabulary
+from repro.datagen.media import MediaSharingModel
+from repro.datagen.missing import MissingnessInjector
+from repro.datagen.names import UsernameGenerator
+from repro.datagen.persons import (
+    NaturalPerson,
+    PersonPopulation,
+    generate_population,
+)
+from repro.datagen.trajectory import TrajectoryGenerator
+from repro.socialnet.platform import (
+    Account,
+    PlatformData,
+    Profile,
+    SocialWorld,
+)
+from repro.utils.rng import RngFactory
+
+__all__ = [
+    "PlatformSpec",
+    "WorldConfig",
+    "chinese_platform_specs",
+    "english_platform_specs",
+    "generate_world",
+]
+
+_JOBS_FOR_VERACITY = (
+    "engineer", "teacher", "designer", "doctor", "analyst", "writer",
+    "manager", "student", "chef", "lawyer", "artist", "nurse",
+)
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """Static description of one platform's character.
+
+    Parameters
+    ----------
+    divergence:
+        Fraction of a user's topical mass pulled toward the platform's own
+        topic profile (the paper measured 25-85 % content difference).
+    activity_multiplier:
+        Scales every user's event volume on this platform (data imbalance).
+    edge_retention:
+        Fraction of real-life friendships that materialize as platform edges.
+    phase_offset_days:
+        Shifts the platform's activity window (behavior asynchrony).
+    post_rate / checkin_rate / media_rate:
+        Expected events per unit of personal activity over the time span.
+    """
+
+    name: str
+    language: str
+    divergence: float = 0.4
+    activity_multiplier: float = 1.0
+    edge_retention: float = 0.75
+    phase_offset_days: float = 0.0
+    post_rate: float = 20.0
+    checkin_rate: float = 10.0
+    media_rate: float = 5.0
+
+
+def chinese_platform_specs() -> tuple[PlatformSpec, ...]:
+    """The five Chinese platforms of the paper's first data set."""
+    return (
+        PlatformSpec("sina_weibo", "zh", divergence=0.25, activity_multiplier=1.6,
+                     edge_retention=0.85, phase_offset_days=0.0),
+        PlatformSpec("tecent_weibo", "zh", divergence=0.40, activity_multiplier=1.0,
+                     edge_retention=0.75, phase_offset_days=2.0),
+        PlatformSpec("renren", "zh", divergence=0.50, activity_multiplier=0.8,
+                     edge_retention=0.80, phase_offset_days=5.0),
+        PlatformSpec("douban", "zh", divergence=0.70, activity_multiplier=0.6,
+                     edge_retention=0.55, phase_offset_days=9.0),
+        PlatformSpec("kaixin", "zh", divergence=0.60, activity_multiplier=0.5,
+                     edge_retention=0.60, phase_offset_days=13.0),
+    )
+
+
+def english_platform_specs() -> tuple[PlatformSpec, ...]:
+    """The two English platforms of the paper's second data set."""
+    return (
+        PlatformSpec("twitter", "en", divergence=0.30, activity_multiplier=1.4,
+                     edge_retention=0.80, phase_offset_days=0.0),
+        PlatformSpec("facebook", "en", divergence=0.45, activity_multiplier=1.0,
+                     edge_retention=0.85, phase_offset_days=4.0),
+    )
+
+
+@dataclass
+class WorldConfig:
+    """Full recipe for one synthetic world."""
+
+    num_persons: int = 120
+    platforms: tuple[PlatformSpec, ...] = field(default_factory=english_platform_specs)
+    time_span_days: float = 365.0
+    seed: int = 0
+    username_overlap_probability: float = 0.7
+    false_attribute_probability: float = 0.08
+    impostor_face_probability: float = 0.08
+    face_noise: float = 0.15
+    apply_missingness: bool = True
+    missingness: MissingnessInjector = field(default_factory=MissingnessInjector)
+    num_topics: int = len(CONTENT_GENRES)
+    media_reshare_probability: float = 0.6
+    media_reshare_lag_days: float = 4.0
+    style_word_probability: float = 0.12
+    checkin_noise_deg: float = 0.02
+    home_stay_probability: float = 0.8
+    #: Media-item universe size as a multiple of the population.  Large values
+    #: give each person a near-unique pool (media overlap identifies); small
+    #: values make items popular across persons (overlap stops identifying).
+    media_universe_per_person: float = 5.0
+
+    def scaled(self, num_persons: int) -> "WorldConfig":
+        """Copy of the config with a different population size."""
+        return replace(self, num_persons=num_persons)
+
+
+def _make_profile(
+    person: NaturalPerson,
+    spec: PlatformSpec,
+    config: WorldConfig,
+    username_gen: UsernameGenerator,
+    population: PersonPopulation,
+    rng: np.random.Generator,
+) -> Profile:
+    """Project a person onto one platform profile, with veracity noise."""
+    username = username_gen.draw(
+        person.given_name, person.family_name, person.zh_name, spec.language
+    )
+    birth: int | None = person.birth
+    gender: str | None = person.gender
+    job: str | None = person.job
+    if rng.random() < config.false_attribute_probability:
+        birth = person.birth - int(rng.integers(1, 6))  # "some women would not tell their true ages"
+    if rng.random() < config.false_attribute_probability * 0.5:
+        gender = "f" if person.gender == "m" else "m"
+    if rng.random() < config.false_attribute_probability:
+        job = _JOBS_FOR_VERACITY[int(rng.integers(0, len(_JOBS_FOR_VERACITY)))]
+
+    face = person.face_embedding + rng.normal(0.0, config.face_noise, person.face_embedding.shape)
+    face = face / np.linalg.norm(face)
+    face_is_real = True
+    if rng.random() < config.impostor_face_probability:
+        # profile picture of somebody (or something) else entirely
+        other = population.persons[int(rng.integers(0, len(population.persons)))]
+        if other.person_id != person.person_id:
+            face = other.face_embedding + rng.normal(
+                0.0, config.face_noise, person.face_embedding.shape
+            )
+            face = face / np.linalg.norm(face)
+            face_is_real = False
+
+    return Profile(
+        username=username,
+        gender=gender,
+        birth=birth,
+        bio=person.bio,
+        tag=person.tag,
+        edu=person.edu,
+        job=job,
+        email=person.email,
+        face_embedding=face,
+        face_is_real=face_is_real,
+    )
+
+
+def generate_world(config: WorldConfig) -> SocialWorld:
+    """Generate the full multi-platform world described by ``config``."""
+    if not config.platforms:
+        raise ValueError("config.platforms must not be empty")
+    names = [spec.name for spec in config.platforms]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate platform names: {names}")
+
+    factory = RngFactory(config.seed)
+    population = generate_population(
+        config.num_persons,
+        num_topics=config.num_topics,
+        num_media_items=max(
+            2, int(config.media_universe_per_person * config.num_persons)
+        ),
+        seed=factory.child_seed("population"),
+    )
+    vocabulary = TopicVocabulary.build(CONTENT_GENRES[: config.num_topics])
+    username_gen = UsernameGenerator(
+        overlap_probability=config.username_overlap_probability,
+        seed=factory.child("usernames"),
+    )
+    trajectory_gen = TrajectoryGenerator(
+        home_stay_probability=config.home_stay_probability,
+        local_noise_deg=config.checkin_noise_deg,
+    )
+    media_model = MediaSharingModel(
+        reshare_probability=config.media_reshare_probability,
+        reshare_lag_scale_days=config.media_reshare_lag_days,
+    )
+    world = SocialWorld()
+
+    # Opaque, shuffled account ids so nothing downstream can join on an index.
+    id_rng = factory.child("account-ids")
+    account_ids: dict[str, list[str]] = {}
+    for spec in config.platforms:
+        order = id_rng.permutation(config.num_persons)
+        account_ids[spec.name] = [f"{spec.name[:2]}{int(x):06d}" for x in order]
+
+    # Per-platform topic tilt: the platform's own content profile.
+    tilt_rng = factory.child("platform-tilts")
+    tilts = {
+        spec.name: tilt_rng.dirichlet(np.full(config.num_topics, 0.5))
+        for spec in config.platforms
+    }
+
+    platforms: dict[str, PlatformData] = {}
+    content_gens: dict[str, ContentGenerator] = {}
+    for spec in config.platforms:
+        platforms[spec.name] = PlatformData(name=spec.name, language=spec.language)
+        content_gens[spec.name] = ContentGenerator(
+            vocabulary,
+            style_word_probability=config.style_word_probability,
+            seed=factory.child(f"content:{spec.name}"),
+        )
+
+    # ------------------------------------------------------------------
+    # per-person projection
+    # ------------------------------------------------------------------
+    span = (0.0, config.time_span_days)
+    for person in population.persons:
+        person_factory = factory.spawn(f"person:{person.person_id}")
+        person_platforms = [spec.name for spec in config.platforms]
+
+        # person-level activity rhythm: posting clusters around personal
+        # "active periods" shared across the person's accounts; platforms
+        # shift the rhythm by their phase offset (behavior asynchrony)
+        anchor_rng = person_factory.child("activity-anchors")
+        n_anchors = max(4, int(anchor_rng.poisson(10)))
+        activity_anchors = anchor_rng.uniform(
+            0.0, config.time_span_days, n_anchors
+        )
+
+        # media posts are planned jointly across the person's platforms so
+        # re-shares land on the right accounts with realistic lags
+        shares = {
+            spec.name: int(
+                person_factory.child(f"media-count:{spec.name}").poisson(
+                    spec.media_rate * person.activity * spec.activity_multiplier
+                )
+            )
+            for spec in config.platforms
+        }
+        media_events = media_model.share_events(
+            person.media_pool,
+            person_platforms,
+            span,
+            shares,
+            seed=person_factory.child("media"),
+        )
+
+        for spec in config.platforms:
+            platform = platforms[spec.name]
+            rng = person_factory.child(f"platform:{spec.name}")
+            account_id = account_ids[spec.name][person.person_id]
+            profile = _make_profile(
+                person, spec, config, username_gen, population, rng
+            )
+            if config.apply_missingness:
+                config.missingness.apply(profile, rng)
+            account = Account(
+                account_id=account_id, platform=spec.name, profile=profile
+            )
+            platform.add_account(account)
+            world.identity[(spec.name, account_id)] = person.person_id
+
+            volume = person.activity * spec.activity_multiplier
+            mixture = content_gens[spec.name].platform_topic_mixture(
+                person.topic_preference, spec.divergence, tilts[spec.name]
+            )
+
+            # posts: drawn around the person's activity anchors, then
+            # phase-shifted per platform (asynchrony); jitter spreads each
+            # burst over a few days
+            n_posts = int(rng.poisson(spec.post_rate * volume))
+            chosen = activity_anchors[
+                rng.integers(0, len(activity_anchors), n_posts)
+            ]
+            post_times = np.sort(
+                (chosen + rng.normal(0.0, 3.0, n_posts)
+                 + spec.phase_offset_days) % config.time_span_days
+            )
+            for ts in post_times:
+                message = content_gens[spec.name].sample_message(
+                    mixture, person.sentiment_disposition, person.style_words
+                )
+                platform.events.add(account_id, "post", float(ts), message)
+
+            # check-ins: same anchors across platforms, different times
+            n_checkins = int(rng.poisson(spec.checkin_rate * volume))
+            checkin_times = np.sort(rng.uniform(0.0, config.time_span_days, n_checkins))
+            coords = trajectory_gen.sample_checkins(
+                person.home,
+                person.travel_spots,
+                checkin_times,
+                seed=rng,
+            )
+            for ts, coord in zip(checkin_times, coords):
+                platform.events.add(account_id, "checkin", float(ts), coord)
+
+            # media posts planned above
+            for ts, fingerprint in media_events[spec.name]:
+                platform.events.add(account_id, "media", float(ts), fingerprint)
+
+    # ------------------------------------------------------------------
+    # platform social graphs: real friendships, partially materialized
+    # ------------------------------------------------------------------
+    for spec in config.platforms:
+        platform = platforms[spec.name]
+        edge_rng = factory.child(f"edges:{spec.name}")
+        ids = account_ids[spec.name]
+        for u_key, v_key, weight in population.friendships.edges():
+            u_person = int(u_key[1:])
+            v_person = int(v_key[1:])
+            if edge_rng.random() < spec.edge_retention:
+                noisy_weight = weight * float(edge_rng.lognormal(0.0, 0.3))
+                platform.graph.add_interaction(
+                    ids[u_person], ids[v_person], noisy_weight
+                )
+
+    for spec in config.platforms:
+        platforms[spec.name].events.finalize()
+        world.add_platform(platforms[spec.name])
+    return world

@@ -1,0 +1,117 @@
+"""Multimedia sharing with near-duplicates and cross-platform asynchrony.
+
+Section 5.4: "Users may post similar multimedia content on the web.  For
+example, they may upload or share exactly the same image/ video/ music ...
+if a high level of synchrony is observed over an extended period of time
+between two user accounts from different platforms, it is reasonable to
+hypothesize that these two users correspond to the same person."  And the
+*Behavior Asynchrony* challenge (Section 1.1): "a user posts selected
+pictures from a trip on Facebook in a certain time period.  At a different
+time, the same or different pictures from the trip may be posted again on
+Twitter."
+
+Media items are identified by 64-bit perceptual fingerprints.  The high bits
+encode the underlying item; the low bits encode a *variant* (re-encode, crop,
+re-compression) so the paper's "near duplicated image sensor or down-sampling
+method [9]" maps to comparing item bits after shifting the variant bits away —
+exactly what perceptual down-sampling achieves on real images.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+
+__all__ = ["VARIANT_BITS", "make_fingerprint", "item_of", "variant_of", "MediaSharingModel"]
+
+#: Low bits of a fingerprint that vary between near-duplicate copies.
+VARIANT_BITS = 8
+
+
+def make_fingerprint(item_id: int, variant: int) -> int:
+    """Compose a fingerprint from an item id and a variant code."""
+    if item_id < 0:
+        raise ValueError(f"item_id must be >= 0, got {item_id}")
+    if not 0 <= variant < (1 << VARIANT_BITS):
+        raise ValueError(f"variant must fit in {VARIANT_BITS} bits, got {variant}")
+    return (item_id << VARIANT_BITS) | variant
+
+
+def item_of(fingerprint: int) -> int:
+    """Recover the underlying item id (the down-sampled representation)."""
+    return fingerprint >> VARIANT_BITS
+
+
+def variant_of(fingerprint: int) -> int:
+    """Recover the variant code of a fingerprint."""
+    return fingerprint & ((1 << VARIANT_BITS) - 1)
+
+
+@dataclass
+class MediaSharingModel:
+    """Generates media-post events for a person across platforms.
+
+    For each item the person decides to share, a *first* post lands on one
+    platform; with probability ``reshare_probability`` the same item (as a
+    near-duplicate variant) is re-posted on each other platform after an
+    exponential lag — the asynchrony the multi-resolution sensors must absorb.
+
+    Parameters
+    ----------
+    reshare_probability:
+        Chance an item shared on the primary platform also appears on any
+        given other platform of the same person.
+    reshare_lag_scale_days:
+        Mean of the exponential re-share delay.
+    """
+
+    reshare_probability: float = 0.6
+    reshare_lag_scale_days: float = 4.0
+
+    def share_events(
+        self,
+        media_pool: tuple[int, ...],
+        platforms: list[str],
+        time_span: tuple[float, float],
+        shares_per_platform: dict[str, int],
+        *,
+        seed: int | np.random.Generator | None = None,
+    ) -> dict[str, list[tuple[float, int]]]:
+        """Plan media posts: ``platform -> [(timestamp, fingerprint), ...]``.
+
+        ``shares_per_platform`` gives how many *originating* shares each
+        platform produces (proportional to the account's activity there);
+        re-shares propagate to the person's other platforms on top of that.
+        """
+        rng = as_rng(seed)
+        t0, t1 = time_span
+        if t1 <= t0:
+            raise ValueError(f"empty time span: {time_span}")
+        out: dict[str, list[tuple[float, int]]] = {p: [] for p in platforms}
+        if not media_pool:
+            return out
+        pool = list(media_pool)
+        for platform in platforms:
+            for _ in range(shares_per_platform.get(platform, 0)):
+                item = pool[int(rng.integers(0, len(pool)))]
+                ts = float(rng.uniform(t0, t1))
+                variant = int(rng.integers(0, 1 << VARIANT_BITS))
+                out[platform].append((ts, make_fingerprint(item, variant)))
+                # asynchronous near-duplicate re-shares on the other platforms
+                for other in platforms:
+                    if other == platform:
+                        continue
+                    if rng.random() < self.reshare_probability:
+                        lag = float(rng.exponential(self.reshare_lag_scale_days))
+                        re_ts = ts + lag
+                        if re_ts < t1:
+                            re_variant = int(rng.integers(0, 1 << VARIANT_BITS))
+                            out[other].append(
+                                (re_ts, make_fingerprint(item, re_variant))
+                            )
+        for platform in out:
+            out[platform].sort()
+        return out

@@ -1,0 +1,95 @@
+"""Missing-information injection calibrated to the paper's Fig 2(a).
+
+The paper's study of seven platforms found "at least 80 % of users are missing
+at least two profile attributes out of the six most popular ones, and merely
+5 % of users have all attributes filled up", with the dominant patterns
+enumerated on the Fig 2(a) axis: none missing / birth / edu / job / birth+edu /
+birth+job / edu+job / birth+edu+job / birth+tag+edu+job / birth+bio+edu+job /
+birth+bio+tag+edu+job / other / missing all.
+
+:data:`MISSING_PATTERNS` encodes that distribution; the injector samples a
+pattern per profile and blanks the corresponding attributes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.socialnet.platform import PROFILE_ATTRIBUTES, Profile
+from repro.utils.rng import as_rng
+
+__all__ = ["MISSING_PATTERNS", "MissingnessInjector"]
+
+#: ``(pattern, probability)`` — pattern is the tuple of attributes to blank;
+#: the sentinel patterns ``("other",)`` and ``("all",)`` are resolved at
+#: sampling time.  Probabilities sum to 1 and reproduce the Fig 2(a) shape:
+#: ~16 % of profiles missing fewer than two attributes, ~4 % complete.
+MISSING_PATTERNS: tuple[tuple[tuple[str, ...], float], ...] = (
+    ((), 0.04),                                      # none missing
+    (("birth",), 0.04),
+    (("edu",), 0.04),
+    (("job",), 0.04),
+    (("birth", "edu"), 0.07),
+    (("birth", "job"), 0.07),
+    (("edu", "job"), 0.09),
+    (("birth", "edu", "job"), 0.16),
+    (("birth", "tag", "edu", "job"), 0.11),
+    (("birth", "bio", "edu", "job"), 0.09),
+    (("birth", "bio", "tag", "edu", "job"), 0.12),
+    (("other",), 0.09),                              # random >=2 subset
+    (("all",), 0.04),                                # all six missing
+)
+
+
+@dataclass
+class MissingnessInjector:
+    """Blanks profile attributes according to :data:`MISSING_PATTERNS`.
+
+    Parameters
+    ----------
+    email_hidden_probability:
+        Emails are privacy-sensitive and hidden far more often than the six
+        tracked attributes; this is their independent hiding rate.
+    image_missing_probability:
+        Chance the profile has no image at all (feeds the face workflow's
+        first abort branch).
+    """
+
+    email_hidden_probability: float = 0.8
+    image_missing_probability: float = 0.3
+
+    def __post_init__(self) -> None:
+        total = sum(p for _, p in MISSING_PATTERNS)
+        if abs(total - 1.0) > 1e-9:
+            raise AssertionError(f"MISSING_PATTERNS must sum to 1, got {total}")
+
+    def sample_pattern(
+        self, rng: np.random.Generator | int | None = None
+    ) -> tuple[str, ...]:
+        """Draw one concrete missing-attribute pattern."""
+        r = as_rng(rng)
+        probs = np.array([p for _, p in MISSING_PATTERNS])
+        idx = int(r.choice(len(MISSING_PATTERNS), p=probs))
+        pattern = MISSING_PATTERNS[idx][0]
+        if pattern == ("all",):
+            return PROFILE_ATTRIBUTES
+        if pattern == ("other",):
+            size = int(r.integers(2, len(PROFILE_ATTRIBUTES)))
+            chosen = r.choice(len(PROFILE_ATTRIBUTES), size=size, replace=False)
+            return tuple(PROFILE_ATTRIBUTES[i] for i in sorted(chosen))
+        return pattern
+
+    def apply(
+        self, profile: Profile, rng: np.random.Generator | int | None = None
+    ) -> Profile:
+        """Blank attributes on ``profile`` in place; returns the profile."""
+        r = as_rng(rng)
+        for attribute in self.sample_pattern(r):
+            setattr(profile, attribute, None)
+        if r.random() < self.email_hidden_probability:
+            profile.email = None
+        if r.random() < self.image_missing_probability:
+            profile.face_embedding = None
+        return profile

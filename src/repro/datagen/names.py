@@ -1,0 +1,122 @@
+"""Username synthesis with cross-platform unreliability (Section 1.1, Fig 1).
+
+The paper's motivating example: "while a user tends to add family name after
+'Adele' in English communities, the user could be very likely to put a Chinese
+name before or after 'Adele' in a Chinese community.  To make things worse,
+some users may even add bizarre characters for eccentricity."
+
+:class:`UsernameGenerator` reproduces those regimes.  For each person and
+platform it draws one of several naming styles — full-name concatenations,
+given-name + digits, language-mixed forms (Chinese name before/after the
+Latin given name on ``zh`` platforms), eccentric decorations, or an unrelated
+nickname — so username-overlap baselines get a realistic mixture of easy,
+hard and impossible cases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+
+__all__ = ["GIVEN_NAMES", "FAMILY_NAMES", "ZH_NAMES", "NICKNAME_WORDS", "UsernameGenerator"]
+
+GIVEN_NAMES: tuple[str, ...] = (
+    "adele", "alice", "bob", "carol", "david", "emma", "frank", "grace",
+    "henry", "iris", "jack", "kate", "leo", "mia", "nathan", "olivia",
+    "peter", "quinn", "rachel", "sam", "tina", "victor", "wendy", "xavier",
+    "yuki", "zoe", "brian", "cindy", "derek", "elaine", "felix", "gina",
+    "harold", "ivy", "jason", "karen", "lucas", "maria", "nick", "paula",
+)
+
+FAMILY_NAMES: tuple[str, ...] = (
+    "smith", "johnson", "lee", "brown", "garcia", "martin", "wang", "zhang",
+    "chen", "liu", "robinson", "clark", "lewis", "walker", "hall", "young",
+    "king", "wright", "hill", "green", "baker", "adams", "nelson", "carter",
+)
+
+#: Chinese display names (characters) used by the language-mixing styles.
+ZH_NAMES: tuple[str, ...] = (
+    "小暖", "素文", "文杰", "志强", "雨婷", "晓明", "丽华", "建国",
+    "静怡", "子涵", "浩然", "欣怡", "天宇", "思琪", "俊杰", "雪梅",
+)
+
+#: Pool for unrelated nicknames (the unlinkable regime).
+NICKNAME_WORDS: tuple[str, ...] = (
+    "shadow", "dragon", "cloud", "pixel", "mango", "storm", "ninja", "comet",
+    "ember", "frost", "lotus", "raven", "sonic", "tiger", "vortex", "zephyr",
+)
+
+_ECCENTRIC_DECOR = ("xX{}Xx", "~{}~", "{}_official", "_{}_", "{}.real")
+
+
+class UsernameGenerator:
+    """Draws per-platform usernames for a person with controllable reliability.
+
+    Parameters
+    ----------
+    overlap_probability:
+        Probability that the drawn style keeps a recognizable overlap with the
+        person's real given name.  The complement produces unrelated
+        nicknames, the regime where username-based baselines must fail.
+    seed:
+        Seed or generator.
+    """
+
+    def __init__(
+        self,
+        *,
+        overlap_probability: float = 0.7,
+        seed: int | np.random.Generator | None = None,
+    ):
+        if not 0.0 <= overlap_probability <= 1.0:
+            raise ValueError(
+                f"overlap_probability must be in [0, 1], got {overlap_probability}"
+            )
+        self.overlap_probability = overlap_probability
+        self._rng = as_rng(seed)
+
+    # ------------------------------------------------------------------
+    def draw(
+        self, given_name: str, family_name: str, zh_name: str, language: str
+    ) -> str:
+        """Draw one username for the given identity on a platform.
+
+        ``language`` is ``"en"`` or ``"zh"``; the zh styles mix Chinese
+        characters with the Latin given name as in Fig 1 of the paper.
+        """
+        rng = self._rng
+        if rng.random() >= self.overlap_probability:
+            # Unrelated nickname: no recoverable overlap with the real name.
+            word = NICKNAME_WORDS[int(rng.integers(0, len(NICKNAME_WORDS)))]
+            return f"{word}{int(rng.integers(10, 9999))}"
+
+        styles_en = ("full", "dotted", "digits", "eccentric", "plain")
+        styles_zh = ("zh_after", "zh_before", "digits", "eccentric", "plain")
+        styles = styles_zh if language == "zh" else styles_en
+        style = styles[int(rng.integers(0, len(styles)))]
+
+        if style == "full":
+            return f"{given_name}{family_name}"
+        if style == "dotted":
+            return f"{given_name}.{family_name}"
+        if style == "digits":
+            return f"{given_name}{int(rng.integers(1, 999))}"
+        if style == "eccentric":
+            decor = _ECCENTRIC_DECOR[int(rng.integers(0, len(_ECCENTRIC_DECOR)))]
+            return decor.format(given_name)
+        if style == "zh_after":
+            return f"{given_name}_{zh_name}"
+        if style == "zh_before":
+            return f"{zh_name}{given_name.capitalize()}"
+        return given_name
+
+    def draw_identity(
+        self, rng: np.random.Generator | None = None
+    ) -> tuple[str, str, str]:
+        """Draw a (given, family, zh) real-name triple for a new person."""
+        r = rng if rng is not None else self._rng
+        given = GIVEN_NAMES[int(r.integers(0, len(GIVEN_NAMES)))]
+        family = FAMILY_NAMES[int(r.integers(0, len(FAMILY_NAMES)))]
+        zh = ZH_NAMES[int(r.integers(0, len(ZH_NAMES)))]
+        return given, family, zh

@@ -1,0 +1,232 @@
+"""Latent natural persons: the ground-truth entities behind all accounts.
+
+Each person carries every long-term trait the HYDRA features rely on:
+
+* demographic attributes (gender, birth year, education, job, bio, tags,
+  email) — the profile layer;
+* a Dirichlet topical preference over the content genres and a sentiment
+  disposition — the UGC layer;
+* a small personal vocabulary of rare *style words* — the style layer;
+* a home location plus travel spots — the trajectory layer;
+* a latent face embedding — the visual-attribute layer;
+* a pool of media items the person likes to share — the multimedia layer;
+* a friend-circle id and the person-level friendship graph — the core social
+  structure the paper's Step 2 exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datagen.content import CONTENT_GENRES
+from repro.datagen.names import UsernameGenerator
+from repro.datagen.trajectory import CITY_CENTERS
+from repro.socialnet.graph import SocialGraph
+from repro.utils.rng import RngFactory
+
+__all__ = ["NaturalPerson", "PersonPopulation", "generate_population"]
+
+_EDUCATIONS = ("highschool", "bachelor", "master", "phd")
+_JOBS = (
+    "engineer", "teacher", "designer", "doctor", "analyst", "writer",
+    "manager", "student", "chef", "lawyer", "artist", "nurse",
+)
+_BIO_WORDS = (
+    "dreamer", "foodie", "runner", "reader", "gamer", "traveler", "coder",
+    "singer", "photographer", "dancer", "thinker", "maker",
+)
+_STYLE_WORD_POOL = tuple(
+    f"styleword{i:03d}" for i in range(400)
+)  # rare by construction: each person owns a few, reused nowhere else
+
+FACE_EMBEDDING_DIM = 16
+
+
+@dataclass(frozen=True)
+class NaturalPerson:
+    """One real-world individual (see module docstring for field semantics)."""
+
+    person_id: int
+    gender: str
+    birth: int
+    city: str
+    edu: str
+    job: str
+    bio: str
+    tag: tuple[str, ...]
+    email: str
+    given_name: str
+    family_name: str
+    zh_name: str
+    topic_preference: np.ndarray
+    sentiment_disposition: np.ndarray
+    style_words: tuple[str, ...]
+    home: tuple[float, float]
+    travel_spots: tuple[tuple[float, float], ...]
+    activity: float
+    face_embedding: np.ndarray
+    media_pool: tuple[int, ...]
+    circle: int
+
+
+@dataclass
+class PersonPopulation:
+    """All persons plus their person-level (real-life) friendship graph."""
+
+    persons: list[NaturalPerson]
+    friendships: SocialGraph
+    circles: list[list[int]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.persons)
+
+    def person(self, person_id: int) -> NaturalPerson:
+        """Look up a person by id (ids are dense 0..n-1)."""
+        return self.persons[person_id]
+
+
+def _person_key(person_id: int) -> str:
+    """Graph node key of a person (the friendship graph is keyed by string)."""
+    return f"p{person_id}"
+
+
+def generate_population(
+    num_persons: int,
+    *,
+    num_topics: int = len(CONTENT_GENRES),
+    circle_size: tuple[int, int] = (8, 20),
+    intra_circle_edge_prob: float = 0.35,
+    cross_circle_edges_per_person: float = 0.5,
+    topic_concentration: float = 0.25,
+    media_pool_size: tuple[int, int] = (4, 12),
+    num_media_items: int | None = None,
+    seed: int = 0,
+) -> PersonPopulation:
+    """Generate ``num_persons`` latent persons and their friendship graph.
+
+    Persons are partitioned into friend circles (sizes uniform in
+    ``circle_size``); within a circle each pair is connected with probability
+    ``intra_circle_edge_prob`` and a lognormal interaction weight, modelling
+    the paper's "friends with the most frequent interactions"; sparse random
+    cross-circle edges keep the graph connected enough for hop-distance
+    queries to be interesting.
+
+    Parameters
+    ----------
+    topic_concentration:
+        Dirichlet concentration of personal topic preferences — small values
+        give peaked (highly discriminative) interests.
+    num_media_items:
+        Size of the global media-item universe; defaults to ``5 * num_persons``.
+    seed:
+        Root seed; all internal streams derive from it via
+        :class:`~repro.utils.rng.RngFactory`.
+    """
+    if num_persons < 1:
+        raise ValueError(f"num_persons must be >= 1, got {num_persons}")
+    factory = RngFactory(seed)
+    rng = factory.child("persons")
+    name_gen = UsernameGenerator(seed=factory.child("names"))
+    if num_media_items is None:
+        num_media_items = 5 * num_persons
+
+    # --- carve the population into friend circles -----------------------
+    circles: list[list[int]] = []
+    next_id = 0
+    lo, hi = circle_size
+    while next_id < num_persons:
+        size = int(rng.integers(lo, hi + 1))
+        members = list(range(next_id, min(next_id + size, num_persons)))
+        circles.append(members)
+        next_id += size
+
+    cities = sorted(CITY_CENTERS)
+    persons: list[NaturalPerson] = []
+    for person_id in range(num_persons):
+        circle_id = next(i for i, c in enumerate(circles) if person_id in c)
+        given, family, zh = name_gen.draw_identity(rng)
+        gender = "f" if rng.random() < 0.5 else "m"
+        birth = int(rng.integers(1955, 2001))
+        city = cities[int(rng.integers(0, len(cities)))]
+        edu = _EDUCATIONS[int(rng.integers(0, len(_EDUCATIONS)))]
+        job = _JOBS[int(rng.integers(0, len(_JOBS)))]
+        bio_words = rng.choice(len(_BIO_WORDS), size=3, replace=False)
+        bio = " ".join(_BIO_WORDS[i] for i in sorted(bio_words))
+        tag_idx = rng.choice(len(CONTENT_GENRES), size=3, replace=False)
+        tag = tuple(sorted(CONTENT_GENRES[i] for i in tag_idx))
+        email = f"{given}.{family}.{person_id}@mail.example"
+        topic_pref = rng.dirichlet(np.full(num_topics, topic_concentration))
+        disposition = rng.dirichlet(np.array([1.5, 0.7, 0.7, 2.0]))
+        n_style = int(rng.integers(2, 5))
+        style_idx = rng.choice(len(_STYLE_WORD_POOL), size=n_style, replace=False)
+        style_words = tuple(_STYLE_WORD_POOL[i] for i in sorted(style_idx))
+        center = CITY_CENTERS[city]
+        home = (
+            center[0] + float(rng.normal(0.0, 0.05)),
+            center[1] + float(rng.normal(0.0, 0.05)),
+        )
+        n_travel = int(rng.integers(1, 4))
+        travel = tuple(
+            (
+                center[0] + float(rng.normal(0.0, 2.0)),
+                center[1] + float(rng.normal(0.0, 2.0)),
+            )
+            for _ in range(n_travel)
+        )
+        activity = float(rng.lognormal(mean=0.0, sigma=0.6))
+        face = rng.normal(0.0, 1.0, size=FACE_EMBEDDING_DIM)
+        face /= np.linalg.norm(face)
+        pool_size = int(rng.integers(media_pool_size[0], media_pool_size[1] + 1))
+        pool = tuple(
+            int(x) for x in rng.choice(num_media_items, size=pool_size, replace=False)
+        )
+        persons.append(
+            NaturalPerson(
+                person_id=person_id,
+                gender=gender,
+                birth=birth,
+                city=city,
+                edu=edu,
+                job=job,
+                bio=bio,
+                tag=tag,
+                email=email,
+                given_name=given,
+                family_name=family,
+                zh_name=zh,
+                topic_preference=topic_pref,
+                sentiment_disposition=disposition,
+                style_words=style_words,
+                home=home,
+                travel_spots=travel,
+                activity=activity,
+                face_embedding=face,
+                media_pool=pool,
+                circle=circle_id,
+            )
+        )
+
+    # --- friendship graph ------------------------------------------------
+    graph_rng = factory.child("friendships")
+    friendships = SocialGraph()
+    for person in persons:
+        friendships.add_node(_person_key(person.person_id))
+    for members in circles:
+        for idx, u in enumerate(members):
+            for v in members[idx + 1 :]:
+                if graph_rng.random() < intra_circle_edge_prob:
+                    weight = float(graph_rng.lognormal(mean=1.0, sigma=0.8))
+                    friendships.add_interaction(_person_key(u), _person_key(v), weight)
+    # sparse cross-circle ties
+    expected_cross = cross_circle_edges_per_person * num_persons
+    n_cross = int(graph_rng.poisson(expected_cross)) if expected_cross > 0 else 0
+    for _ in range(n_cross):
+        u = int(graph_rng.integers(0, num_persons))
+        v = int(graph_rng.integers(0, num_persons))
+        if u != v and persons[u].circle != persons[v].circle:
+            weight = float(graph_rng.lognormal(mean=0.0, sigma=0.5))
+            friendships.add_interaction(_person_key(u), _person_key(v), weight)
+
+    return PersonPopulation(persons=persons, friendships=friendships, circles=circles)

@@ -1,0 +1,125 @@
+"""World-level statistics validating the generator against the paper's claims.
+
+Section 1.1 reports two measured properties of the real data sets that the
+generator must reproduce:
+
+* **Platform difference** — "a 25 % to 85 % difference in user generated
+  content between different platforms" for the same user;
+* **Data imbalance** — "a huge imbalance in terms of data volume between a
+  user's primary social account and the rest".
+
+:func:`content_divergence` measures the first as the total-variation distance
+between one person's empirical topic usage on two platforms (the generator's
+planted quantity is the divergence mixing weight, so the measured value lands
+in the same band); :func:`volume_imbalance` measures the second as the ratio
+of a person's largest to median per-platform event volume.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.socialnet.platform import SocialWorld
+from repro.text.tokenizer import Tokenizer
+
+__all__ = ["content_divergence", "divergence_summary", "volume_imbalance"]
+
+
+def _genre_histogram(
+    texts: list[str], tokenizer: Tokenizer
+) -> tuple[np.ndarray, list[str]] | None:
+    """Empirical genre distribution from the genre-compound tokens."""
+    counts: Counter[str] = Counter()
+    for text in texts:
+        for token in tokenizer.tokenize(text):
+            if "_" in token:
+                counts[token.split("_", 1)[0]] += 1
+    if not counts:
+        return None
+    genres = sorted(counts)
+    hist = np.array([counts[g] for g in genres], dtype=float)
+    return hist / hist.sum(), genres
+
+
+def content_divergence(
+    world: SocialWorld, person_id: int, platform_a: str, platform_b: str
+) -> float | None:
+    """Total-variation distance between one person's content on two platforms.
+
+    Returns ``None`` when the person posted nothing on either platform.
+    The value is in [0, 1]: 0 = identical topical behavior, 1 = disjoint.
+    """
+    tokenizer = Tokenizer()
+    hists = {}
+    for platform_name in (platform_a, platform_b):
+        platform = world.platforms[platform_name]
+        account_id = next(
+            (aid for aid in platform.account_ids()
+             if world.identity[(platform_name, aid)] == person_id),
+            None,
+        )
+        if account_id is None:
+            return None
+        result = _genre_histogram(platform.events.texts_of(account_id), tokenizer)
+        if result is None:
+            return None
+        hists[platform_name] = dict(zip(result[1], result[0]))
+    genres = sorted(set(hists[platform_a]) | set(hists[platform_b]))
+    pa = np.array([hists[platform_a].get(g, 0.0) for g in genres])
+    pb = np.array([hists[platform_b].get(g, 0.0) for g in genres])
+    return float(0.5 * np.abs(pa - pb).sum())
+
+
+def divergence_summary(
+    world: SocialWorld, platform_a: str, platform_b: str
+) -> dict[str, float]:
+    """Distribution of per-person content divergence between two platforms."""
+    person_ids = sorted(
+        {world.identity[(platform_a, aid)]
+         for aid in world.platforms[platform_a].accounts}
+    )
+    values = []
+    for person_id in person_ids:
+        d = content_divergence(world, person_id, platform_a, platform_b)
+        if d is not None:
+            values.append(d)
+    if not values:
+        return {"count": 0.0, "min": 0.0, "median": 0.0, "max": 0.0, "mean": 0.0}
+    arr = np.asarray(values)
+    return {
+        "count": float(arr.size),
+        "min": float(arr.min()),
+        "median": float(np.median(arr)),
+        "max": float(arr.max()),
+        "mean": float(arr.mean()),
+    }
+
+
+def volume_imbalance(world: SocialWorld, person_id: int) -> float | None:
+    """Max-to-median ratio of one person's per-platform event volumes.
+
+    Captures the paper's data-imbalance observation: values well above 1 mean
+    the primary account dominates.  ``None`` if the person has no events.
+    """
+    volumes = []
+    for platform_name, platform in world.platforms.items():
+        account_id = next(
+            (aid for aid in platform.account_ids()
+             if world.identity[(platform_name, aid)] == person_id),
+            None,
+        )
+        if account_id is None:
+            continue
+        total = sum(
+            platform.events.count(account_id, kind)
+            for kind in ("post", "checkin", "media")
+        )
+        volumes.append(total)
+    if not volumes or max(volumes) == 0:
+        return None
+    median = float(np.median(volumes))
+    if median == 0:
+        return float("inf")
+    return float(max(volumes) / median)

@@ -1,0 +1,50 @@
+"""Evaluation layer: metrics, the experiment harness and per-figure configs."""
+
+from repro.eval.metrics import LinkageMetrics, precision_recall_f1
+from repro.eval.harness import (
+    ExperimentHarness,
+    LabelSplit,
+    MethodResult,
+    make_label_split,
+)
+from repro.eval.experiments import (
+    chinese_world,
+    english_world,
+    cross_cultural_world,
+    default_method_factories,
+    run_method_comparison,
+)
+from repro.eval.prepared import PreparedExperiment
+from repro.eval.tuning import TuningGrid, TuningResult, tune_feature_parameters
+from repro.eval.curves import (
+    CurvePoint,
+    average_precision,
+    best_threshold,
+    precision_recall_curve,
+)
+from repro.eval.report import format_table, markdown_table, method_results_table
+
+__all__ = [
+    "LinkageMetrics",
+    "precision_recall_f1",
+    "ExperimentHarness",
+    "LabelSplit",
+    "MethodResult",
+    "make_label_split",
+    "chinese_world",
+    "english_world",
+    "cross_cultural_world",
+    "default_method_factories",
+    "run_method_comparison",
+    "PreparedExperiment",
+    "TuningGrid",
+    "TuningResult",
+    "tune_feature_parameters",
+    "CurvePoint",
+    "average_precision",
+    "best_threshold",
+    "precision_recall_curve",
+    "format_table",
+    "markdown_table",
+    "method_results_table",
+]

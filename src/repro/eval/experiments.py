@@ -1,0 +1,188 @@
+"""Per-figure experiment configurations shared by benchmarks and docs.
+
+The paper's evaluation ran on 10 M crawled users; we reproduce every figure's
+*protocol and shape* on generated worlds at laptop scale.  World presets:
+
+* :func:`english_world` — Twitter + Facebook (the "English" data set);
+* :func:`chinese_world` — the five Chinese platforms, modeled along a chain
+  of platform pairs so the joint QP stays tractable;
+* :func:`cross_cultural_world` — all seven platforms, evaluated across the
+  culture boundary (Fig 13).
+
+:func:`default_method_factories` builds the paper's method suite (HYDRA-M,
+HYDRA-Z, SVM-B, MOBIUS, Alias-Disamb, SMaSh) with shared speed-oriented
+settings; :func:`run_method_comparison` is the common "one world, all
+methods" loop used by Figs 9, 11, 13, 14 and 15.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.hydra import HydraLinker
+from repro.baselines import (
+    AliasDisambBaseline,
+    MobiusBaseline,
+    SmashBaseline,
+    SvmBBaseline,
+)
+from repro.datagen import (
+    WorldConfig,
+    chinese_platform_specs,
+    english_platform_specs,
+    generate_world,
+)
+from repro.eval.harness import ExperimentHarness, MethodResult
+from repro.socialnet.platform import SocialWorld
+
+__all__ = [
+    "FAST_FEATURE_SETTINGS",
+    "HARD_WORLD_OVERRIDES",
+    "very_hard_world_overrides",
+    "english_world",
+    "chinese_world",
+    "cross_cultural_world",
+    "chinese_chain_pairs",
+    "cross_cultural_pairs",
+    "default_method_factories",
+    "run_method_comparison",
+]
+
+#: Speed-oriented featurization settings shared by all experiment methods.
+FAST_FEATURE_SETTINGS: dict = {"num_topics": 10, "max_lda_docs": 2500}
+
+#: World overrides that remove the ceiling effects of the default generator:
+#: fewer recognizable usernames, noisier attributes, weaker media/style/geo
+#: signals.  Used by figures that need visible performance gradients.
+HARD_WORLD_OVERRIDES: dict = {
+    "username_overlap_probability": 0.5,
+    "false_attribute_probability": 0.15,
+    "media_reshare_probability": 0.35,
+    "style_word_probability": 0.07,
+    "checkin_noise_deg": 0.04,
+}
+
+
+def very_hard_world_overrides() -> dict:
+    """Overrides for parameter-sweep figures: every linkage signal weakened.
+
+    A fresh dict (with a fresh :class:`MissingnessInjector`) per call so
+    callers can mutate their copy safely.
+    """
+    from repro.datagen import MissingnessInjector
+
+    return {
+        "username_overlap_probability": 0.35,
+        "false_attribute_probability": 0.22,
+        "media_reshare_probability": 0.22,
+        "media_universe_per_person": 0.6,
+        "style_word_probability": 0.04,
+        "checkin_noise_deg": 0.12,
+        "impostor_face_probability": 0.2,
+        "face_noise": 0.3,
+        "missingness": MissingnessInjector(
+            email_hidden_probability=0.97, image_missing_probability=0.6
+        ),
+    }
+
+
+def english_world(num_persons: int, seed: int = 0, **overrides) -> SocialWorld:
+    """The paper's English data set: Twitter + Facebook."""
+    config = WorldConfig(
+        num_persons=num_persons, platforms=english_platform_specs(), seed=seed,
+        **overrides,
+    )
+    return generate_world(config)
+
+
+def chinese_world(num_persons: int, seed: int = 0, **overrides) -> SocialWorld:
+    """The paper's Chinese data set: five platforms."""
+    config = WorldConfig(
+        num_persons=num_persons, platforms=chinese_platform_specs(), seed=seed,
+        **overrides,
+    )
+    return generate_world(config)
+
+
+def cross_cultural_world(num_persons: int, seed: int = 0, **overrides) -> SocialWorld:
+    """All seven platforms (Fig 13's whole-data-set experiment)."""
+    config = WorldConfig(
+        num_persons=num_persons,
+        platforms=chinese_platform_specs() + english_platform_specs(),
+        seed=seed,
+        **overrides,
+    )
+    return generate_world(config)
+
+
+def chinese_chain_pairs() -> list[tuple[str, str]]:
+    """A chain of four platform pairs through the five Chinese platforms.
+
+    Modeling all C(5,2) = 10 pairs multiplies candidate counts without
+    changing the evaluation shape; the chain keeps the joint dual problem
+    laptop-sized while still exercising multi-platform blocks (Eqn 14).
+    """
+    return [
+        ("douban", "kaixin"),
+        ("kaixin", "renren"),
+        ("renren", "sina_weibo"),
+        ("sina_weibo", "tecent_weibo"),
+    ]
+
+
+def cross_cultural_pairs() -> list[tuple[str, str]]:
+    """Culture-crossing pairs for Fig 13 (Chinese x English platforms)."""
+    return [
+        ("sina_weibo", "twitter"),
+        ("renren", "facebook"),
+    ]
+
+
+def default_method_factories(
+    *,
+    seed: int = 0,
+    gamma_l: float = 0.01,
+    gamma_m: float = 100.0,
+    p: float = 1.0,
+    include: tuple[str, ...] = (
+        "HYDRA-M", "HYDRA-Z", "SVM-B", "MOBIUS", "Alias-Disamb", "SMaSh",
+    ),
+) -> dict[str, Callable[[], object]]:
+    """The paper's method suite as harness-ready factories."""
+    catalogue: dict[str, Callable[[], object]] = {
+        "HYDRA-M": lambda: HydraLinker(
+            gamma_l=gamma_l, gamma_m=gamma_m, p=p, missing_strategy="core",
+            seed=seed, **FAST_FEATURE_SETTINGS,
+        ),
+        "HYDRA-Z": lambda: HydraLinker(
+            gamma_l=gamma_l, gamma_m=gamma_m, p=p, missing_strategy="zero",
+            seed=seed, **FAST_FEATURE_SETTINGS,
+        ),
+        "SVM-B": lambda: SvmBBaseline(seed=seed, **FAST_FEATURE_SETTINGS),
+        "MOBIUS": lambda: MobiusBaseline(),
+        "Alias-Disamb": lambda: AliasDisambBaseline(),
+        "SMaSh": lambda: SmashBaseline(),
+    }
+    unknown = set(include) - set(catalogue)
+    if unknown:
+        raise ValueError(f"unknown methods requested: {sorted(unknown)}")
+    return {name: catalogue[name] for name in include}
+
+
+def run_method_comparison(
+    world: SocialWorld,
+    *,
+    platform_pairs: list[tuple[str, str]] | None = None,
+    label_fraction: float = 1.0 / 6.0,
+    seed: int = 0,
+    methods: dict[str, Callable[[], object]] | None = None,
+) -> list[MethodResult]:
+    """One world, one split, all methods — the shared protocol of Figs 9-15."""
+    harness = ExperimentHarness(
+        world,
+        platform_pairs=platform_pairs,
+        label_fraction=label_fraction,
+        seed=seed,
+    )
+    factories = methods if methods is not None else default_method_factories(seed=seed)
+    return harness.run_suite(factories)

@@ -1,0 +1,260 @@
+"""Experiment harness: label splitting, shared candidates, method timing.
+
+One harness instance owns one generated world.  It fixes the labeled /
+held-out split (the paper's 1:5 labeled-to-unlabeled ratio by default) and a
+single shared candidate generation, then runs any number of methods under
+identical conditions, timing each (the Fig 14 measurements come from these
+timers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.core.candidates import CandidateGenerator, CandidateSet
+from repro.core.hydra import LinkageResult
+from repro.eval.metrics import LinkageMetrics, precision_recall_f1
+from repro.socialnet.platform import SocialWorld
+from repro.utils.rng import RngFactory
+from repro.utils.timing import timed
+
+__all__ = ["LabelSplit", "MethodResult", "make_label_split", "ExperimentHarness"]
+
+AccountRef = tuple[str, str]
+Pair = tuple[AccountRef, AccountRef]
+
+
+class LinkerProtocol(Protocol):
+    """What the harness requires of a method (HYDRA and baselines comply)."""
+
+    def fit(
+        self,
+        world: SocialWorld,
+        labeled_positive: list[Pair],
+        labeled_negative: list[Pair],
+        platform_pairs: list[tuple[str, str]] | None = None,
+        *,
+        candidates: dict[tuple[str, str], CandidateSet] | None = None,
+    ) -> object: ...
+
+    def linkage(self, platform_a: str, platform_b: str) -> LinkageResult: ...
+
+
+@dataclass
+class LabelSplit:
+    """Supervision for one world: labeled pairs and the held-out gold set."""
+
+    labeled_positive: list[Pair]
+    labeled_negative: list[Pair]
+    heldout_true: dict[tuple[str, str], set[Pair]]
+
+    @property
+    def all_true_labeled(self) -> set[Pair]:
+        """Training positives as a set (excluded from evaluation)."""
+        return set(self.labeled_positive)
+
+
+@dataclass
+class MethodResult:
+    """One method's aggregate evaluation on one harness."""
+
+    method: str
+    metrics: LinkageMetrics
+    seconds: float
+    per_pair: dict[tuple[str, str], LinkageMetrics] = field(default_factory=dict)
+    extras: dict[str, float] = field(default_factory=dict)
+
+    def row(self) -> dict[str, float | str]:
+        """Flat reporting row."""
+        out: dict[str, float | str] = {"method": self.method, "seconds": self.seconds}
+        out.update(self.metrics.as_dict())
+        out.update(self.extras)
+        return out
+
+
+def make_label_split(
+    world: SocialWorld,
+    platform_pairs: list[tuple[str, str]],
+    *,
+    label_fraction: float = 1.0 / 6.0,
+    negatives_per_positive: float = 2.0,
+    seed: int = 0,
+) -> LabelSplit:
+    """Split each platform pair's true links into labeled vs held-out.
+
+    ``label_fraction`` of true pairs become labeled positives (the paper's
+    labeled:unlabeled = 1:5 ratio corresponds to 1/6); labeled negatives are
+    sampled mismatched pairs, ``negatives_per_positive`` per positive.
+    """
+    if not 0.0 <= label_fraction <= 1.0:
+        raise ValueError(f"label_fraction must be in [0, 1], got {label_fraction}")
+    factory = RngFactory(seed)
+    labeled_positive: list[Pair] = []
+    labeled_negative: list[Pair] = []
+    heldout: dict[tuple[str, str], set[Pair]] = {}
+    for pa, pb in platform_pairs:
+        rng = factory.child(f"split:{pa}:{pb}")
+        true_pairs = [
+            ((pa, ida), (pb, idb)) for ida, idb in world.true_pairs(pa, pb)
+        ]
+        n_label = int(round(label_fraction * len(true_pairs)))
+        order = rng.permutation(len(true_pairs))
+        labeled_idx = set(int(i) for i in order[:n_label])
+        pair_pos = [true_pairs[i] for i in sorted(labeled_idx)]
+        labeled_positive.extend(pair_pos)
+        heldout[(pa, pb)] = {
+            true_pairs[i] for i in range(len(true_pairs)) if i not in labeled_idx
+        }
+        # mismatched negatives: derange the right-hand accounts
+        n_neg = int(round(negatives_per_positive * max(len(pair_pos), 1)))
+        ids_b = world.platforms[pb].account_ids()
+        true_map = dict(world.true_pairs(pa, pb))
+        produced = 0
+        attempts = 0
+        seen: set[Pair] = set()
+        while produced < n_neg and attempts < 50 * n_neg:
+            attempts += 1
+            left = true_pairs[int(rng.integers(0, len(true_pairs)))][0]
+            right_id = ids_b[int(rng.integers(0, len(ids_b)))]
+            if true_map.get(left[1]) == right_id:
+                continue
+            pair = (left, (pb, right_id))
+            if pair in seen:
+                continue
+            seen.add(pair)
+            labeled_negative.append(pair)
+            produced += 1
+    return LabelSplit(
+        labeled_positive=labeled_positive,
+        labeled_negative=labeled_negative,
+        heldout_true=heldout,
+    )
+
+
+class ExperimentHarness:
+    """Fixed world + split + candidates; runs methods under identical terms.
+
+    Parameters
+    ----------
+    world:
+        The generated multi-platform world.
+    platform_pairs:
+        Platform pairs to model; default all ordered combinations.
+    label_fraction, negatives_per_positive, seed:
+        Split parameters (see :func:`make_label_split`).
+    candidate_generator:
+        Shared blocking configuration.
+    """
+
+    def __init__(
+        self,
+        world: SocialWorld,
+        *,
+        platform_pairs: list[tuple[str, str]] | None = None,
+        label_fraction: float = 1.0 / 6.0,
+        negatives_per_positive: float = 2.0,
+        seed: int = 0,
+        candidate_generator: CandidateGenerator | None = None,
+    ):
+        self.world = world
+        if platform_pairs is None:
+            names = world.platform_names()
+            platform_pairs = [
+                (names[i], names[j])
+                for i in range(len(names))
+                for j in range(i + 1, len(names))
+            ]
+        self.platform_pairs = platform_pairs
+        self.split = make_label_split(
+            world,
+            platform_pairs,
+            label_fraction=label_fraction,
+            negatives_per_positive=negatives_per_positive,
+            seed=seed,
+        )
+        generator = (
+            candidate_generator if candidate_generator is not None else CandidateGenerator()
+        )
+        self.candidates: dict[tuple[str, str], CandidateSet] = {
+            (pa, pb): generator.generate(world, pa, pb)
+            for pa, pb in platform_pairs
+        }
+
+    # ------------------------------------------------------------------
+    def candidate_recall(self) -> float:
+        """Fraction of held-out true pairs surviving blocking (upper bound)."""
+        total = 0
+        found = 0
+        for key, gold in self.split.heldout_true.items():
+            cand = set(self.candidates[key].pairs)
+            total += len(gold)
+            found += len(gold & cand)
+        return found / total if total else 0.0
+
+    def evaluate(self, linker: LinkerProtocol) -> tuple[LinkageMetrics, dict]:
+        """Aggregate micro-averaged metrics of a fitted method."""
+        exclude = self.split.all_true_labeled
+        tp_sum = 0
+        returned_sum = 0
+        actual_sum = 0
+        per_pair: dict[tuple[str, str], LinkageMetrics] = {}
+        for pa, pb in self.platform_pairs:
+            result = linker.linkage(pa, pb)
+            gold = self.split.heldout_true[(pa, pb)]
+            metrics = precision_recall_f1(result.linked, gold, exclude=exclude)
+            per_pair[(pa, pb)] = metrics
+            tp_sum += metrics.true_positives
+            returned_sum += metrics.returned
+            actual_sum += metrics.actual
+        precision = tp_sum / returned_sum if returned_sum else 0.0
+        recall = tp_sum / actual_sum if actual_sum else 0.0
+        f1 = (
+            2 * precision * recall / (precision + recall)
+            if precision + recall > 0
+            else 0.0
+        )
+        overall = LinkageMetrics(
+            precision=precision,
+            recall=recall,
+            f1=f1,
+            true_positives=tp_sum,
+            returned=returned_sum,
+            actual=actual_sum,
+        )
+        return overall, per_pair
+
+    def run(self, name: str, factory: Callable[[], LinkerProtocol]) -> MethodResult:
+        """Fit + evaluate one method, timing the fit+link wall clock."""
+        linker = factory()
+
+        def _fit_and_link():
+            linker.fit(
+                self.world,
+                self.split.labeled_positive,
+                self.split.labeled_negative,
+                self.platform_pairs,
+                candidates=self.candidates,
+            )
+            return self.evaluate(linker)
+
+        (overall, per_pair), seconds = timed(_fit_and_link)
+        extras: dict[str, float] = {}
+        sparsity = getattr(linker, "sparsity_report", None)
+        if callable(sparsity):
+            extras.update(sparsity())
+        return MethodResult(
+            method=name,
+            metrics=overall,
+            seconds=seconds,
+            per_pair=per_pair,
+            extras=extras,
+        )
+
+    def run_suite(
+        self, factories: dict[str, Callable[[], LinkerProtocol]]
+    ) -> list[MethodResult]:
+        """Run several methods; returns results in insertion order."""
+        return [self.run(name, factory) for name, factory in factories.items()]

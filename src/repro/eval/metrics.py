@@ -1,0 +1,70 @@
+"""Linkage quality metrics (Section 7.1, Evaluation Metrics).
+
+"Precision is defined as the fraction of the user pairs in the returned
+result that are correctly linked.  Recall is defined as the fraction of the
+actual linked user pairs that are contained in the returned result."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+__all__ = ["LinkageMetrics", "precision_recall_f1"]
+
+
+@dataclass(frozen=True)
+class LinkageMetrics:
+    """Precision / recall / F1 with the underlying counts."""
+
+    precision: float
+    recall: float
+    f1: float
+    true_positives: int
+    returned: int
+    actual: int
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat dict for tabular reporting."""
+        return {
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+            "true_positives": float(self.true_positives),
+            "returned": float(self.returned),
+            "actual": float(self.actual),
+        }
+
+
+def precision_recall_f1(
+    returned: Iterable[Hashable],
+    actual: Iterable[Hashable],
+    *,
+    exclude: Iterable[Hashable] = (),
+) -> LinkageMetrics:
+    """Compute linkage metrics over hashable pair identifiers.
+
+    ``exclude`` removes items (typically training-labeled pairs) from both
+    the returned set and the gold set, so metrics measure generalization.
+    Empty returned set gives precision 0 by convention; empty gold set gives
+    recall 0.
+    """
+    excluded = set(exclude)
+    returned_set = {item for item in returned if item not in excluded}
+    actual_set = {item for item in actual if item not in excluded}
+    tp = len(returned_set & actual_set)
+    precision = tp / len(returned_set) if returned_set else 0.0
+    recall = tp / len(actual_set) if actual_set else 0.0
+    f1 = (
+        2.0 * precision * recall / (precision + recall)
+        if precision + recall > 0
+        else 0.0
+    )
+    return LinkageMetrics(
+        precision=precision,
+        recall=recall,
+        f1=f1,
+        true_positives=tp,
+        returned=len(returned_set),
+        actual=len(actual_set),
+    )

@@ -1,0 +1,55 @@
+"""Result reporting: turn experiment outputs into aligned text / markdown.
+
+Shared by the benchmark harness (which writes the ``benchmarks/results``
+tables) and by anyone regenerating EXPERIMENTS.md after a run.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.eval.harness import MethodResult
+
+__all__ = ["format_table", "markdown_table", "method_results_table"]
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Aligned plain-text table."""
+    widths = [
+        max(len(str(h)), *(len(_fmt(row[i])) for row in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = ["  ".join(str(h).ljust(w) for h, w in zip(headers, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(_fmt(c).ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def markdown_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """GitHub-flavored markdown table."""
+    lines = ["| " + " | ".join(str(h) for h in headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(_fmt(c) for c in row) + " |")
+    return "\n".join(lines)
+
+
+def method_results_table(
+    results: Sequence[MethodResult], *, markdown: bool = False
+) -> str:
+    """Standard method-comparison table from harness results."""
+    headers = ["method", "precision", "recall", "f1", "seconds"]
+    rows = [
+        [r.method, r.metrics.precision, r.metrics.recall, r.metrics.f1, r.seconds]
+        for r in results
+    ]
+    if markdown:
+        return markdown_table(headers, rows)
+    return format_table(headers, rows)

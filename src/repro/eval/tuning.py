@@ -1,0 +1,139 @@
+"""Grid-search parameter tuning on a validation split (Section 7.1).
+
+Paper: "For the pair-wise similarity calculation ... the parameters (e.g.,
+ε for user profiling, q and λ for multi-resolution temporal similarity
+modeling) are tuned by a grid search procedure to maximize the performance of
+a linear SVM on the validation set.  Then the optimized multi-dimensional
+similarity x_ii' are used for model construction."
+
+:func:`tune_feature_parameters` implements exactly that procedure: for each
+grid point it builds a feature pipeline, featurizes the labeled validation
+pairs, trains a linear SVM, and keeps the configuration with the best
+validation F1.  The winner's settings are returned ready to hand to
+:class:`~repro.core.hydra.HydraLinker` (whose constructor accepts the same
+``sensor_q``/``sensor_lam`` knobs through a pre-built pipeline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+
+import numpy as np
+
+from repro.core.svm import LinearSVM
+from repro.features.missing import ZeroFiller
+from repro.features.pipeline import AccountRef, FeaturePipeline
+from repro.socialnet.platform import SocialWorld
+
+__all__ = ["TuningGrid", "TuningResult", "tune_feature_parameters"]
+
+Pair = tuple[AccountRef, AccountRef]
+
+
+@dataclass
+class TuningGrid:
+    """Search space for the featurization hyper-parameters.
+
+    Defaults cover the ranges the paper's components expect: pooling order q
+    from mean to near-max, sigmoid steepness lambda over one decade, epsilon
+    over three decades.
+    """
+
+    q: tuple[float, ...] = (1.0, 3.0, 6.0)
+    lam: tuple[float, ...] = (2.0, 4.0, 8.0)
+    epsilon: tuple[float, ...] = (0.001, 0.01, 0.1)
+
+
+@dataclass
+class TuningResult:
+    """Winner of the grid search plus the full score table."""
+
+    best_q: float
+    best_lam: float
+    best_epsilon: float
+    best_score: float
+    table: list[dict] = field(default_factory=list)
+
+    def pipeline_kwargs(self) -> dict:
+        """Keyword arguments for a :class:`FeaturePipeline` at the optimum."""
+        return {"sensor_q": self.best_q, "sensor_lam": self.best_lam}
+
+
+def _validation_f1(
+    svm: LinearSVM, x: np.ndarray, y: np.ndarray
+) -> float:
+    predictions = svm.predict(x)
+    tp = float(((predictions > 0) & (y > 0)).sum())
+    fp = float(((predictions > 0) & (y < 0)).sum())
+    fn = float(((predictions < 0) & (y > 0)).sum())
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+def tune_feature_parameters(
+    world: SocialWorld,
+    train_positive: list[Pair],
+    train_negative: list[Pair],
+    validation_positive: list[Pair],
+    validation_negative: list[Pair],
+    *,
+    grid: TuningGrid | None = None,
+    num_topics: int = 10,
+    max_lda_docs: int = 2000,
+    seed: int = 0,
+) -> TuningResult:
+    """Run the paper's grid search; returns the best (q, lambda, epsilon).
+
+    The SVM is trained on the training pairs and scored on the validation
+    pairs for every grid point; ties break toward the first (smallest)
+    configuration so results are deterministic.
+    """
+    if grid is None:
+        grid = TuningGrid()
+    if not train_positive or not train_negative:
+        raise ValueError("training pairs of both classes are required")
+    if not validation_positive or not validation_negative:
+        raise ValueError("validation pairs of both classes are required")
+
+    y_train = np.array(
+        [1.0] * len(train_positive) + [-1.0] * len(train_negative)
+    )
+    y_val = np.array(
+        [1.0] * len(validation_positive) + [-1.0] * len(validation_negative)
+    )
+    train_pairs = list(train_positive) + list(train_negative)
+    val_pairs = list(validation_positive) + list(validation_negative)
+    filler = ZeroFiller()
+
+    best: tuple[float, float, float, float] | None = None
+    table: list[dict] = []
+    for q, lam, epsilon in product(grid.q, grid.lam, grid.epsilon):
+        pipeline = FeaturePipeline(
+            num_topics=num_topics,
+            max_lda_docs=max_lda_docs,
+            sensor_q=q,
+            sensor_lam=lam,
+            seed=seed,
+        )
+        pipeline.importance.epsilon = epsilon
+        pipeline.fit(world, train_positive, train_negative)
+        x_train = filler.fill_matrix(train_pairs, pipeline.matrix(train_pairs))
+        x_val = filler.fill_matrix(val_pairs, pipeline.matrix(val_pairs))
+        svm = LinearSVM(gamma_l=0.01, iterations=500).fit(x_train, y_train)
+        score = _validation_f1(svm, x_val, y_val)
+        table.append({"q": q, "lam": lam, "epsilon": epsilon, "f1": score})
+        if best is None or score > best[3]:
+            best = (q, lam, epsilon, score)
+
+    assert best is not None
+    return TuningResult(
+        best_q=best[0],
+        best_lam=best[1],
+        best_epsilon=best[2],
+        best_score=best[3],
+        table=table,
+    )

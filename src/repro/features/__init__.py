@@ -1,0 +1,44 @@
+"""Heterogeneous behavior modeling (Section 5 of the paper).
+
+Turns a pair of accounts on two platforms into the D-dimensional pair-wise
+similarity vector ``x_ii'`` consumed by the multi-objective learner:
+importance-weighted attribute matches (Eqn 3), the simulated face-matching
+workflow (Fig 4), multi-scale temporal topic and sentiment similarities
+(Fig 5), unique-word style similarity (Eqn 4), and multi-resolution
+sensor-pooled trajectory/media matching (Eqn 5, Fig 6).  Missing entries are
+NaN until a fill strategy (zero fill for HYDRA-Z, core-structure fill Eqn 18
+for HYDRA-M) resolves them.
+"""
+
+from repro.features.attributes import (
+    ATTRIBUTE_MATCHERS,
+    AttributeImportanceModel,
+    attribute_match_vector,
+    username_similarity,
+)
+from repro.features.face import FaceMatcher
+from repro.features.topics import MultiScaleTopicSimilarity, TOPIC_SCALES_DAYS
+from repro.features.style_sim import style_similarity
+from repro.features.temporal import MultiResolutionMatcher, SENSOR_SCALES_DAYS
+from repro.features.sensors import LocationMatchingSensor, NearDuplicateMediaSensor
+from repro.features.pipeline import FeaturePipeline, PairFeatureResult
+from repro.features.missing import CoreStructureFiller, ZeroFiller
+
+__all__ = [
+    "ATTRIBUTE_MATCHERS",
+    "AttributeImportanceModel",
+    "attribute_match_vector",
+    "username_similarity",
+    "FaceMatcher",
+    "MultiScaleTopicSimilarity",
+    "TOPIC_SCALES_DAYS",
+    "style_similarity",
+    "MultiResolutionMatcher",
+    "SENSOR_SCALES_DAYS",
+    "LocationMatchingSensor",
+    "NearDuplicateMediaSensor",
+    "FeaturePipeline",
+    "PairFeatureResult",
+    "CoreStructureFiller",
+    "ZeroFiller",
+]

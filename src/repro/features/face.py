@@ -1,0 +1,85 @@
+"""Visual attribute matching: the Fig 4 face-recognition workflow, simulated.
+
+The paper pipes profile images through image detection -> face detection ->
+feature extraction -> a pre-trained classifier emitting "a confidence score in
+[0, 1] indicating how likely the two faces belong to one person", aborting
+(missing feature) when either image is absent or contains no detectable face.
+
+Our substrate replaces pixel data with latent unit-norm *face embeddings*
+(:mod:`repro.datagen` gives each person one; profiles carry noisy or impostor
+copies).  The workflow structure is preserved exactly:
+
+1. *image detector* — a ``None`` embedding means no image was uploaded: abort;
+2. *face detector* — detection failure is simulated deterministically from the
+   embedding content (a hash-derived coin), so the same image always
+   detects or fails identically, like a real detector would: abort;
+3. *classifier* — logistic calibration of cosine similarity between the two
+   embeddings, the standard form of verification heads on embedding models.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["FaceMatcher"]
+
+
+class FaceMatcher:
+    """Simulated face verification with the paper's abort semantics.
+
+    Parameters
+    ----------
+    detection_failure_rate:
+        Fraction of images in which the detector finds no face (poor
+        illumination, occlusion).  Failure is a deterministic function of the
+        image, not of call order.
+    steepness, threshold:
+        Logistic calibration ``score = sigmoid(steepness * (cos - threshold))``
+        mapping cosine similarity to a same-person confidence.
+    """
+
+    def __init__(
+        self,
+        *,
+        detection_failure_rate: float = 0.1,
+        steepness: float = 8.0,
+        threshold: float = 0.5,
+    ):
+        if not 0.0 <= detection_failure_rate < 1.0:
+            raise ValueError(
+                f"detection_failure_rate must be in [0, 1), got {detection_failure_rate}"
+            )
+        self.detection_failure_rate = detection_failure_rate
+        self.steepness = steepness
+        self.threshold = threshold
+
+    # ------------------------------------------------------------------
+    def detects_face(self, embedding: np.ndarray) -> bool:
+        """Deterministic face-detector simulation on one image."""
+        digest = hashlib.blake2b(
+            np.ascontiguousarray(embedding, dtype=np.float64).tobytes(),
+            digest_size=8,
+        ).digest()
+        coin = int.from_bytes(digest, "little") / float(1 << 64)
+        return coin >= self.detection_failure_rate
+
+    def score(
+        self, embedding_a: np.ndarray | None, embedding_b: np.ndarray | None
+    ) -> float:
+        """Run the Fig 4 workflow; returns confidence in [0, 1] or NaN on abort."""
+        # image detector stage
+        if embedding_a is None or embedding_b is None:
+            return float("nan")
+        # face detector stage
+        if not self.detects_face(embedding_a) or not self.detects_face(embedding_b):
+            return float("nan")
+        # feature extraction + classifier stage
+        a = np.asarray(embedding_a, dtype=float)
+        b = np.asarray(embedding_b, dtype=float)
+        denom = float(np.linalg.norm(a) * np.linalg.norm(b))
+        if denom == 0.0:
+            return float("nan")
+        cosine = float(a @ b) / denom
+        return float(1.0 / (1.0 + np.exp(-self.steepness * (cosine - self.threshold))))

@@ -1,0 +1,143 @@
+"""Missing-feature resolution strategies (Section 6.3, "Dealing with Missing
+Information").
+
+Two strategies, matching the paper's two model variants:
+
+* :class:`ZeroFiller` — HYDRA-Z: "a missing feature is automatically filled
+  with zeros based on the assumption that the values do exist but are not
+  observed" (the previous-work behavior the paper argues against);
+* :class:`CoreStructureFiller` — HYDRA-M (Eqn 18): the missing dimension of a
+  pair (i, i') is filled with the average of that same similarity measure
+  over the 3 x 3 pairs of their top-3 most-interacting friends,
+  ``s(i,i') = (1/9) * sum_p sum_q s(i_p, i'_q)``; "if the information of
+  their friends are still missing, we automatically fill the corresponding
+  dimension as 0".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.features.pipeline import AccountRef, FeaturePipeline
+from repro.socialnet.platform import SocialWorld
+
+__all__ = ["MissingFiller", "ZeroFiller", "CoreStructureFiller"]
+
+
+class MissingFiller(Protocol):
+    """Strategy turning NaN-bearing feature matrices into complete ones."""
+
+    def fill_matrix(
+        self, pairs: list[tuple[AccountRef, AccountRef]], matrix: np.ndarray
+    ) -> np.ndarray:
+        """Return a copy of ``matrix`` with every NaN resolved."""
+        ...  # pragma: no cover - protocol
+
+
+class ZeroFiller:
+    """HYDRA-Z: missing dimensions become zeros."""
+
+    def fill_matrix(
+        self, pairs: list[tuple[AccountRef, AccountRef]], matrix: np.ndarray
+    ) -> np.ndarray:
+        """NaN -> 0, unconditionally."""
+        return np.nan_to_num(np.asarray(matrix, dtype=float), nan=0.0)
+
+
+class CoreStructureFiller:
+    """HYDRA-M: Eqn 18 fill from the core social network.
+
+    Parameters
+    ----------
+    world:
+        The social world (for the per-platform interaction graphs).
+    pipeline:
+        A fitted :class:`~repro.features.pipeline.FeaturePipeline`; friend-pair
+        vectors are computed through it on demand and memoized, so filling a
+        batch of pairs shares work across pairs with common friends.
+    top_k:
+        Number of most-interacting friends per side (the paper uses 3).
+    """
+
+    def __init__(
+        self,
+        world: SocialWorld,
+        pipeline: FeaturePipeline,
+        *,
+        top_k: int = 3,
+        pair_vector: Callable[[AccountRef, AccountRef], np.ndarray] | None = None,
+    ):
+        if top_k < 1:
+            raise ValueError(f"top_k must be >= 1, got {top_k}")
+        self.world = world
+        self.pipeline = pipeline
+        self.top_k = top_k
+        self._pair_vector = (
+            pair_vector if pair_vector is not None else pipeline.pair_vector
+        )
+        self._vector_cache: dict[tuple[AccountRef, AccountRef], np.ndarray] = {}
+
+    def _cached_vector(self, ref_a: AccountRef, ref_b: AccountRef) -> np.ndarray:
+        key = (ref_a, ref_b)
+        vec = self._vector_cache.get(key)
+        if vec is None:
+            vec = self._pair_vector(ref_a, ref_b)
+            self._vector_cache[key] = vec
+        return vec
+
+    def friend_pair_average(
+        self, ref_a: AccountRef, ref_b: AccountRef
+    ) -> np.ndarray:
+        """Eqn 18: dimension-wise mean over the top-k x top-k friend pairs.
+
+        Dimensions missing on *every* friend pair stay NaN (the caller zeros
+        them, per the paper).
+        """
+        platform_a = self.world.platforms[ref_a[0]]
+        platform_b = self.world.platforms[ref_b[0]]
+        friends_a = platform_a.graph.top_friends(ref_a[1], self.top_k)
+        friends_b = platform_b.graph.top_friends(ref_b[1], self.top_k)
+        if not friends_a or not friends_b:
+            return np.full(self.pipeline.dim, np.nan)
+        vectors = [
+            self._cached_vector((ref_a[0], fa), (ref_b[0], fb))
+            for fa in friends_a
+            for fb in friends_b
+        ]
+        stacked = np.vstack(vectors)
+        # nanmean of an all-NaN column is NaN by design (caller zeros it);
+        # compute it manually to avoid the noisy RuntimeWarning
+        valid = ~np.isnan(stacked)
+        counts = valid.sum(axis=0)
+        sums = np.where(valid, stacked, 0.0).sum(axis=0)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            means = np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+        return means
+
+    def fill_vector(
+        self, ref_a: AccountRef, ref_b: AccountRef, vector: np.ndarray
+    ) -> np.ndarray:
+        """Fill one pair's vector; falls back to 0 where friends are silent too."""
+        vec = np.array(vector, dtype=float, copy=True)
+        missing = np.isnan(vec)
+        if not missing.any():
+            return vec
+        fill = self.friend_pair_average(ref_a, ref_b)
+        vec[missing] = fill[missing]
+        return np.nan_to_num(vec, nan=0.0)
+
+    def fill_matrix(
+        self, pairs: list[tuple[AccountRef, AccountRef]], matrix: np.ndarray
+    ) -> np.ndarray:
+        """Fill every row; ``pairs[i]`` must correspond to ``matrix[i]``."""
+        matrix = np.asarray(matrix, dtype=float)
+        if len(pairs) != matrix.shape[0]:
+            raise ValueError(
+                f"pairs ({len(pairs)}) and matrix rows ({matrix.shape[0]}) disagree"
+            )
+        out = np.empty_like(matrix)
+        for row, (ref_a, ref_b) in enumerate(pairs):
+            out[row] = self.fill_vector(ref_a, ref_b, matrix[row])
+        return out

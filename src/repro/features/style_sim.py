@@ -1,0 +1,35 @@
+"""User style similarity: unique-word matching (Section 5.3, Eqn 4).
+
+``S_lea = #matched_words / k`` over the k most unique words of each user
+(after normalization to "a uniform format, such as lower-case and singular
+form" — handled by the tokenizer when the signatures were extracted).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.text.style import UserStyle
+
+__all__ = ["style_similarity"]
+
+
+def style_similarity(style_a: UserStyle, style_b: UserStyle) -> np.ndarray:
+    """Eqn 4 at every k level shared by the two signatures.
+
+    Returns one value per k (ascending k order).  A level where either user
+    has an empty signature (no usable unique words, e.g. an account that never
+    posted) is NaN — missing, not zero.
+    """
+    ks = sorted(set(style_a.signatures) & set(style_b.signatures))
+    if not ks:
+        raise ValueError("styles share no signature levels")
+    out = np.empty(len(ks))
+    for idx, k in enumerate(ks):
+        words_a = set(style_a.signatures[k])
+        words_b = set(style_b.signatures[k])
+        if not words_a or not words_b:
+            out[idx] = np.nan
+            continue
+        out[idx] = len(words_a & words_b) / float(k)
+    return out

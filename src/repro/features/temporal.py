@@ -1,0 +1,180 @@
+"""Multi-resolution temporal behavior matching (Section 5.4, Fig 6, Eqn 5).
+
+For each sensor and each temporal scale, the time axis is divided into
+windows; the sensor emits one stimulus per co-active window.  The collected
+stimuli are pooled with the lq-norm
+
+    S_mr = ( (1/N) * sum_k s_mr(k)^q )^(1/q),   q >= 1
+
+— "when q approaches infinity, the signal selection tends to better
+approximate the maximum stimulation (i.e., max-pooling)" — then squashed by
+the sigmoid ``S_hat = 1 / (1 + exp(-lambda * S_mr))`` into a stimulated
+signal in [0, 1].  One output dimension per (sensor, scale).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.features.sensors import PatternSensor
+from repro.socialnet.storage import EventStore
+
+__all__ = ["SENSOR_SCALES_DAYS", "lq_pool", "stimulated_sigmoid", "MultiResolutionMatcher"]
+
+#: Five temporal search ranges ("Scale 1 ... Scale 5" in Fig 6), in days.
+SENSOR_SCALES_DAYS: tuple[float, ...] = (2.0, 4.0, 8.0, 16.0, 32.0)
+
+
+def lq_pool(stimuli: np.ndarray, q: float) -> float:
+    """Eqn 5: lq-norm pooling of a stimulus set.
+
+    ``q = 1`` is mean pooling; ``q -> inf`` approaches max pooling.  Empty
+    stimulus sets pool to 0 (no matched behavior observed).
+    """
+    if q < 1:
+        raise ValueError(f"q must be >= 1, got {q}")
+    s = np.asarray(stimuli, dtype=float)
+    if s.size == 0:
+        return 0.0
+    if (s < 0).any():
+        raise ValueError("stimuli must be non-negative")
+    return float((np.mean(s**q)) ** (1.0 / q))
+
+
+def stimulated_sigmoid(value: float, lam: float) -> float:
+    """The nonlinear transformation ``1 / (1 + exp(-lambda * value))``."""
+    if lam <= 0:
+        raise ValueError(f"lambda must be > 0, got {lam}")
+    return float(1.0 / (1.0 + np.exp(-lam * value)))
+
+
+class MultiResolutionMatcher:
+    """Pools sensor stimuli across temporal scales into a feature vector.
+
+    Parameters
+    ----------
+    sensors:
+        The pattern-matching sensors (location, near-duplicate media, ...).
+    scales_days:
+        Temporal window widths; sensors are evaluated at each scale.
+    q:
+        lq-norm pooling order.
+    lam:
+        Sigmoid steepness ("the parameter lambda can be tuned on the specific
+        validation dataset").
+    time_range:
+        Global (t0, t1) observation window.
+    """
+
+    def __init__(
+        self,
+        sensors: list[PatternSensor],
+        *,
+        scales_days: tuple[float, ...] = SENSOR_SCALES_DAYS,
+        q: float = 3.0,
+        lam: float = 4.0,
+        time_range: tuple[float, float] = (0.0, 365.0),
+    ):
+        if not sensors:
+            raise ValueError("at least one sensor is required")
+        if not scales_days or any(s <= 0 for s in scales_days):
+            raise ValueError(f"scales_days must be positive, got {scales_days}")
+        self.sensors = list(sensors)
+        self.scales_days = tuple(float(s) for s in scales_days)
+        self.q = float(q)
+        self.lam = float(lam)
+        self.time_range = time_range
+        # validate pooling params eagerly
+        lq_pool(np.array([0.0]), self.q)
+        stimulated_sigmoid(0.0, self.lam)
+
+    @property
+    def output_dim(self) -> int:
+        """One dimension per (sensor, scale)."""
+        return len(self.sensors) * len(self.scales_days)
+
+    def feature_names(self) -> list[str]:
+        """Stable names like ``checkin@8d`` for each output dimension."""
+        return [
+            f"{sensor.kind}@{scale:g}d"
+            for sensor in self.sensors
+            for scale in self.scales_days
+        ]
+
+    # ------------------------------------------------------------------
+    def _bucketize(
+        self, store: EventStore, account: str, kind: str, scale: float
+    ) -> dict[int, list]:
+        """Window index -> payload list for one account/modality/scale."""
+        t0, _ = self.time_range
+        times = store.timestamps_for(account, kind)
+        payloads = store.payloads_for(account, kind)
+        buckets: dict[int, list] = {}
+        if times.size:
+            idx = np.floor((times - t0) / scale).astype(int)
+            for window, payload in zip(idx, payloads):
+                buckets.setdefault(int(window), []).append(payload)
+        return buckets
+
+    def account_buckets(
+        self, store: EventStore, account: str
+    ) -> dict[tuple[str, float], dict[int, list]]:
+        """Precompute one account's windowed payloads for every (sensor, scale).
+
+        Pair-independent, so pipelines cache it per account and combine two
+        cached bucket maps with :meth:`match_from_buckets`.
+        """
+        out: dict[tuple[str, float], dict[int, list]] = {}
+        for sensor in self.sensors:
+            for scale in self.scales_days:
+                out[(sensor.kind, scale)] = self._bucketize(
+                    store, account, sensor.kind, scale
+                )
+        return out
+
+    def match_from_buckets(
+        self,
+        buckets_a: dict[tuple[str, float], dict[int, list]],
+        buckets_b: dict[tuple[str, float], dict[int, list]],
+    ) -> np.ndarray:
+        """The multi-dimensional pattern-matching feature from cached buckets.
+
+        Per (sensor, scale): collect the sensor stimulus in every window where
+        *both* accounts have events of the modality, lq-pool, sigmoid.  When
+        either account has no events of a modality at all, that sensor's
+        dimensions are NaN (missing modality, e.g. a platform without
+        check-ins) rather than zero.
+        """
+        out = np.empty(self.output_dim)
+        pos = 0
+        for sensor in self.sensors:
+            any_a = any(buckets_a[(sensor.kind, s)] for s in self.scales_days)
+            any_b = any(buckets_b[(sensor.kind, s)] for s in self.scales_days)
+            if not any_a or not any_b:
+                out[pos : pos + len(self.scales_days)] = np.nan
+                pos += len(self.scales_days)
+                continue
+            for scale in self.scales_days:
+                windows_a = buckets_a[(sensor.kind, scale)]
+                windows_b = buckets_b[(sensor.kind, scale)]
+                stimuli = [
+                    sensor.stimulus(windows_a[w], windows_b[w])
+                    for w in sorted(windows_a.keys() & windows_b.keys())
+                ]
+                pooled = lq_pool(np.asarray(stimuli), self.q)
+                out[pos] = stimulated_sigmoid(pooled, self.lam)
+                pos += 1
+        return out
+
+    def match_vector(
+        self,
+        store_a: EventStore,
+        account_a: str,
+        store_b: EventStore,
+        account_b: str,
+    ) -> np.ndarray:
+        """One-shot convenience wrapper around the cached-bucket path."""
+        return self.match_from_buckets(
+            self.account_buckets(store_a, account_a),
+            self.account_buckets(store_b, account_b),
+        )

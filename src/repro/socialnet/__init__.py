@@ -1,0 +1,31 @@
+"""Social-network substrate.
+
+Data model for platforms, accounts and profiles; an interaction-weighted
+social graph with core-structure queries (the paper's "core social network" =
+top-k most frequently interacting friends); label-propagation community
+detection (used by the Fig 12 experiment); and a columnar event store holding
+every timestamped behavior record with secondary indexes.
+"""
+
+from repro.socialnet.platform import (
+    Account,
+    PlatformData,
+    Profile,
+    PROFILE_ATTRIBUTES,
+    SocialWorld,
+)
+from repro.socialnet.graph import SocialGraph
+from repro.socialnet.community import label_propagation_communities
+from repro.socialnet.storage import BehaviorEvent, EventStore
+
+__all__ = [
+    "Account",
+    "PlatformData",
+    "Profile",
+    "PROFILE_ATTRIBUTES",
+    "SocialWorld",
+    "SocialGraph",
+    "label_propagation_communities",
+    "BehaviorEvent",
+    "EventStore",
+]

@@ -1,0 +1,205 @@
+"""Interaction-weighted social graph.
+
+The structure-consistency model (Section 6.2) needs three graph primitives:
+
+* the *core structure* of a user — "friends with the most frequent
+  interactions" (top-k neighbors by interaction weight);
+* the n-hop closeness ``d_ij = (k_ij + 1)^2`` where ``k_ij`` is the number of
+  intermediate users on a shortest path from i to j (Eqn 9);
+* neighborhood queries for linkage propagation.
+
+Implemented from scratch on dict adjacency + BFS; no networkx dependency so
+the substrate is self-contained.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Iterator
+
+__all__ = ["SocialGraph"]
+
+
+class SocialGraph:
+    """Undirected graph with non-negative interaction weights on edges.
+
+    Edge weight models cumulative interaction frequency (comments, retweets,
+    mentions) between two accounts.  ``add_interaction`` accumulates weight,
+    so replaying an interaction log builds the graph incrementally.
+
+    Examples
+    --------
+    >>> g = SocialGraph()
+    >>> g.add_interaction("a", "b", 2.0)
+    >>> g.add_interaction("a", "b", 1.0)
+    >>> g.weight("a", "b")
+    3.0
+    >>> g.top_friends("a", k=1)
+    ['b']
+    """
+
+    def __init__(self) -> None:
+        self._adj: dict[str, dict[str, float]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: str) -> None:
+        """Ensure ``node`` exists (isolated nodes are legal)."""
+        self._adj.setdefault(node, {})
+
+    def add_interaction(self, u: str, v: str, weight: float = 1.0) -> None:
+        """Accumulate ``weight`` on the undirected edge ``(u, v)``."""
+        if u == v:
+            raise ValueError(f"self-interaction not allowed: {u!r}")
+        if weight < 0:
+            raise ValueError(f"interaction weight must be >= 0, got {weight}")
+        self._adj.setdefault(u, {})[v] = self._adj.get(u, {}).get(v, 0.0) + weight
+        self._adj.setdefault(v, {})[u] = self._adj.get(v, {}).get(u, 0.0) + weight
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    def __contains__(self, node: str) -> bool:
+        return node in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def nodes(self) -> list[str]:
+        """Sorted node list."""
+        return sorted(self._adj)
+
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def neighbors(self, node: str) -> list[str]:
+        """Sorted neighbor ids of ``node``."""
+        return sorted(self._adj.get(node, {}))
+
+    def weight(self, u: str, v: str) -> float:
+        """Interaction weight of edge ``(u, v)``; 0 if absent."""
+        return self._adj.get(u, {}).get(v, 0.0)
+
+    def degree(self, node: str) -> int:
+        """Number of neighbors of ``node``."""
+        return len(self._adj.get(node, {}))
+
+    def strength(self, node: str) -> float:
+        """Total interaction weight incident to ``node``."""
+        return sum(self._adj.get(node, {}).values())
+
+    def edges(self) -> Iterator[tuple[str, str, float]]:
+        """Yield each undirected edge once as ``(u, v, weight)`` with u < v."""
+        for u in sorted(self._adj):
+            for v, w in sorted(self._adj[u].items()):
+                if u < v:
+                    yield u, v, w
+
+    # ------------------------------------------------------------------
+    # core structure
+    # ------------------------------------------------------------------
+    def top_friends(self, node: str, k: int) -> list[str]:
+        """The user's core structure: top-``k`` neighbors by interaction weight.
+
+        Ties break by id so results are deterministic.  Fewer than ``k``
+        friends are returned when the user has a smaller neighborhood.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        nbrs = self._adj.get(node, {})
+        ranked = sorted(nbrs.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [v for v, _ in ranked[:k]]
+
+    # ------------------------------------------------------------------
+    # distances
+    # ------------------------------------------------------------------
+    def hop_count(self, source: str, target: str, *, max_hops: int | None = None) -> int | None:
+        """Shortest-path edge count between two nodes (BFS), or None.
+
+        ``max_hops`` bounds the search; paths longer than that return None,
+        which the consistency model treats as "too far to constrain".
+        """
+        if source not in self._adj or target not in self._adj:
+            return None
+        if source == target:
+            return 0
+        seen = {source}
+        frontier = deque([(source, 0)])
+        while frontier:
+            node, dist = frontier.popleft()
+            if max_hops is not None and dist >= max_hops:
+                continue
+            for nbr in self._adj[node]:
+                if nbr == target:
+                    return dist + 1
+                if nbr not in seen:
+                    seen.add(nbr)
+                    frontier.append((nbr, dist + 1))
+        return None
+
+    def closeness_distance(self, source: str, target: str, *, max_hops: int = 4) -> float | None:
+        """The paper's ``d_ij = (k_ij + 1)^2`` with ``k_ij`` intermediate users.
+
+        Adjacent users have ``k_ij = 0`` hence distance 1; one intermediate
+        gives 4, and so on.  ``None`` when no path within ``max_hops`` edges.
+        """
+        hops = self.hop_count(source, target, max_hops=max_hops)
+        if hops is None or hops == 0:
+            return None if hops is None else 1.0
+        intermediates = hops - 1
+        return float((intermediates + 1) ** 2)
+
+    def hop_counts_from(self, source: str, *, max_hops: int) -> dict[str, int]:
+        """All nodes within ``max_hops`` edges of ``source`` and their hop counts."""
+        if source not in self._adj:
+            return {}
+        dist = {source: 0}
+        frontier = deque([source])
+        while frontier:
+            node = frontier.popleft()
+            d = dist[node]
+            if d >= max_hops:
+                continue
+            for nbr in self._adj[node]:
+                if nbr not in dist:
+                    dist[nbr] = d + 1
+                    frontier.append(nbr)
+        return dist
+
+    # ------------------------------------------------------------------
+    # components
+    # ------------------------------------------------------------------
+    def connected_components(self) -> list[set[str]]:
+        """Connected components, largest first (size ties: lexicographic min)."""
+        seen: set[str] = set()
+        components: list[set[str]] = []
+        for start in sorted(self._adj):
+            if start in seen:
+                continue
+            comp = {start}
+            frontier = deque([start])
+            while frontier:
+                node = frontier.popleft()
+                for nbr in self._adj[node]:
+                    if nbr not in comp:
+                        comp.add(nbr)
+                        frontier.append(nbr)
+            seen |= comp
+            components.append(comp)
+        components.sort(key=lambda c: (-len(c), min(c)))
+        return components
+
+    def subgraph(self, nodes: Iterable[str]) -> "SocialGraph":
+        """Induced subgraph on ``nodes`` (weights preserved)."""
+        keep = set(nodes)
+        sub = SocialGraph()
+        for node in keep:
+            if node in self._adj:
+                sub.add_node(node)
+        for u in keep:
+            for v, w in self._adj.get(u, {}).items():
+                if v in keep and u < v:
+                    sub.add_interaction(u, v, w)
+        return sub

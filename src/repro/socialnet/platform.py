@@ -1,0 +1,161 @@
+"""Core data model: profiles, accounts, platforms and the multi-platform world.
+
+The model mirrors what the paper collects for each platform (Section 7.1):
+"user profiles (e.g. gender, city, and favorites), social content (e.g.
+tweets, posts, and status), social connections (e.g., friendship, comments,
+and repost or retweet contents), and timeline information (e.g., time index
+for each behavior)".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.socialnet.graph import SocialGraph
+from repro.socialnet.storage import EventStore
+
+__all__ = ["PROFILE_ATTRIBUTES", "Profile", "Account", "PlatformData", "SocialWorld"]
+
+#: The six most popular profile attributes tracked in the paper's Fig 2(a)
+#: missing-information study ("birth, bio, tag, edu, job" plus gender).
+PROFILE_ATTRIBUTES: tuple[str, ...] = ("gender", "birth", "bio", "tag", "edu", "job")
+
+
+@dataclass
+class Profile:
+    """A user profile on one platform.  ``None`` marks a missing attribute.
+
+    ``username`` is never ``None`` (platforms require one) but is *unreliable*
+    (Section 1.1); ``face_embedding`` simulates the profile image — ``None``
+    means no image was uploaded, and the embedding may be an impostor's
+    (see :mod:`repro.features.face`).
+    """
+
+    username: str
+    gender: str | None = None
+    birth: int | None = None
+    bio: str | None = None
+    tag: tuple[str, ...] | None = None
+    edu: str | None = None
+    job: str | None = None
+    email: str | None = None
+    face_embedding: np.ndarray | None = None
+    face_is_real: bool = True
+
+    def attribute(self, name: str):
+        """Read one of :data:`PROFILE_ATTRIBUTES` by name."""
+        if name not in PROFILE_ATTRIBUTES:
+            raise KeyError(f"unknown profile attribute: {name!r}")
+        return getattr(self, name)
+
+    def missing_attributes(self) -> tuple[str, ...]:
+        """Names of the tracked attributes that are absent on this profile."""
+        return tuple(a for a in PROFILE_ATTRIBUTES if self.attribute(a) is None)
+
+    def num_missing(self) -> int:
+        """Count of missing tracked attributes (the Fig 2(a) x-axis)."""
+        return len(self.missing_attributes())
+
+
+@dataclass
+class Account:
+    """One platform account.  Behavior lives in the platform's event store."""
+
+    account_id: str
+    platform: str
+    profile: Profile
+
+
+@dataclass
+class PlatformData:
+    """Everything one platform knows: accounts, social graph, behavior events.
+
+    Parameters
+    ----------
+    name:
+        Platform identifier, e.g. ``"sina_weibo"``.
+    language:
+        Dominant platform language/culture, ``"zh"`` or ``"en"`` — the paper's
+        Chinese vs English data sets.
+    """
+
+    name: str
+    language: str
+    accounts: dict[str, Account] = field(default_factory=dict)
+    graph: SocialGraph = field(default_factory=SocialGraph)
+    events: EventStore = field(default_factory=EventStore)
+
+    def add_account(self, account: Account) -> None:
+        """Register ``account``; its id must be unique on the platform."""
+        if account.account_id in self.accounts:
+            raise ValueError(
+                f"duplicate account id on {self.name}: {account.account_id!r}"
+            )
+        if account.platform != self.name:
+            raise ValueError(
+                f"account platform {account.platform!r} != platform {self.name!r}"
+            )
+        self.accounts[account.account_id] = account
+        self.graph.add_node(account.account_id)
+
+    def __len__(self) -> int:
+        return len(self.accounts)
+
+    def account_ids(self) -> list[str]:
+        """Stable-ordered list of account ids."""
+        return sorted(self.accounts)
+
+
+@dataclass
+class SocialWorld:
+    """A multi-platform data set with (oracle) identity ground truth.
+
+    ``identity`` maps ``(platform_name, account_id)`` to the latent natural
+    person id — the role played in the paper by the data provider's national
+    ID / IP / home-address records.  Experiments subsample it into labeled
+    training pairs and held-out evaluation pairs.
+    """
+
+    platforms: dict[str, PlatformData] = field(default_factory=dict)
+    identity: dict[tuple[str, str], int] = field(default_factory=dict)
+
+    def add_platform(self, platform: PlatformData) -> None:
+        """Register a platform; names must be unique."""
+        if platform.name in self.platforms:
+            raise ValueError(f"duplicate platform: {platform.name!r}")
+        self.platforms[platform.name] = platform
+
+    def platform(self, name: str) -> PlatformData:
+        """Look up a platform by name."""
+        return self.platforms[name]
+
+    def person_of(self, platform: str, account_id: str) -> int:
+        """Ground-truth natural-person id of an account."""
+        return self.identity[(platform, account_id)]
+
+    def true_pairs(self, platform_a: str, platform_b: str) -> list[tuple[str, str]]:
+        """All (account_a, account_b) pairs owned by the same person."""
+        by_person: dict[int, str] = {}
+        for account_id in self.platforms[platform_a].accounts:
+            by_person[self.identity[(platform_a, account_id)]] = account_id
+        pairs = []
+        for account_id in sorted(self.platforms[platform_b].accounts):
+            person = self.identity[(platform_b, account_id)]
+            if person in by_person:
+                pairs.append((by_person[person], account_id))
+        pairs.sort()
+        return pairs
+
+    def iter_accounts(self) -> Iterator[Account]:
+        """Iterate over every account on every platform (sorted order)."""
+        for name in sorted(self.platforms):
+            platform = self.platforms[name]
+            for account_id in platform.account_ids():
+                yield platform.accounts[account_id]
+
+    def platform_names(self) -> list[str]:
+        """Sorted platform names."""
+        return sorted(self.platforms)

@@ -1,0 +1,198 @@
+"""Columnar behavior-event store with secondary indexes.
+
+Every timestamped behavior record the paper collects ("timeline information
+(e.g., time index for each behavior)") is kept here instead of on the account
+objects.  The store is deliberately database-shaped:
+
+* an append phase followed by :meth:`EventStore.finalize`, which freezes the
+  data into column arrays (timestamps as one contiguous ``float64`` array);
+* a hash index ``account_id -> row ids`` (rows time-sorted per account);
+* range scans by time interval via binary search over the per-account rows.
+
+The feature layer performs millions of small per-account, per-time-bucket
+scans (multi-scale temporal matching, Section 5), so these indexes are what
+keeps featurization tractable.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+import numpy as np
+
+__all__ = ["BehaviorEvent", "EventStore", "EVENT_KINDS"]
+
+#: Behavior modalities recorded by the generator and consumed by sensors.
+EVENT_KINDS: tuple[str, ...] = ("post", "checkin", "media", "interaction")
+
+
+@dataclass(frozen=True)
+class BehaviorEvent:
+    """One timestamped behavior record.
+
+    ``payload`` depends on ``kind``:
+
+    * ``"post"``     -> ``str`` message text
+    * ``"checkin"``  -> ``(lat, lon)`` tuple of floats
+    * ``"media"``    -> ``int`` perceptual fingerprint of the shared item
+    * ``"interaction"`` -> ``str`` id of the other account
+    """
+
+    account_id: str
+    kind: str
+    timestamp: float
+    payload: Any
+
+
+class EventStore:
+    """Append-then-freeze columnar store of :class:`BehaviorEvent` rows."""
+
+    def __init__(self) -> None:
+        self._account_ids: list[str] = []
+        self._kinds: list[str] = []
+        self._timestamps: list[float] = []
+        self._payloads: list[Any] = []
+        self._finalized = False
+        # account -> kind -> (sorted timestamps array, row ids array)
+        self._index: dict[str, dict[str, tuple[np.ndarray, np.ndarray]]] = {}
+
+    # ------------------------------------------------------------------
+    # append phase
+    # ------------------------------------------------------------------
+    def add(self, account_id: str, kind: str, timestamp: float, payload: Any) -> None:
+        """Append one event.  Only legal before :meth:`finalize`."""
+        if self._finalized:
+            raise RuntimeError("store is finalized; no further appends allowed")
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind: {kind!r}")
+        self._account_ids.append(account_id)
+        self._kinds.append(kind)
+        self._timestamps.append(float(timestamp))
+        self._payloads.append(payload)
+
+    def add_event(self, event: BehaviorEvent) -> None:
+        """Append a pre-built :class:`BehaviorEvent`."""
+        self.add(event.account_id, event.kind, event.timestamp, event.payload)
+
+    # ------------------------------------------------------------------
+    # freeze phase
+    # ------------------------------------------------------------------
+    def finalize(self) -> "EventStore":
+        """Freeze appends and build the per-account, per-kind time indexes."""
+        if self._finalized:
+            return self
+        rows_by_key: dict[tuple[str, str], list[int]] = {}
+        for row, (account_id, kind) in enumerate(zip(self._account_ids, self._kinds)):
+            rows_by_key.setdefault((account_id, kind), []).append(row)
+        ts = np.asarray(self._timestamps, dtype=np.float64)
+        for (account_id, kind), rows in rows_by_key.items():
+            row_arr = np.asarray(rows, dtype=np.int64)
+            order = np.argsort(ts[row_arr], kind="stable")
+            sorted_rows = row_arr[order]
+            self._index.setdefault(account_id, {})[kind] = (
+                ts[sorted_rows],
+                sorted_rows,
+            )
+        self._ts_array = ts
+        self._finalized = True
+        return self
+
+    @property
+    def finalized(self) -> bool:
+        """Whether :meth:`finalize` has run."""
+        return self._finalized
+
+    def __len__(self) -> int:
+        return len(self._timestamps)
+
+    # ------------------------------------------------------------------
+    # queries (require finalize)
+    # ------------------------------------------------------------------
+    def _require_finalized(self) -> None:
+        if not self._finalized:
+            raise RuntimeError("store must be finalized before querying")
+
+    def accounts(self) -> list[str]:
+        """Sorted account ids that have at least one event."""
+        self._require_finalized()
+        return sorted(self._index)
+
+    def events_for(
+        self,
+        account_id: str,
+        kind: str,
+        *,
+        t0: float | None = None,
+        t1: float | None = None,
+    ) -> list[BehaviorEvent]:
+        """Events of ``kind`` for ``account_id`` with ``t0 <= t < t1``, time-sorted."""
+        self._require_finalized()
+        per_kind = self._index.get(account_id)
+        if not per_kind or kind not in per_kind:
+            return []
+        times, rows = per_kind[kind]
+        lo = 0 if t0 is None else bisect.bisect_left(times, t0)
+        hi = len(times) if t1 is None else bisect.bisect_left(times, t1)
+        return [
+            BehaviorEvent(
+                account_id=account_id,
+                kind=kind,
+                timestamp=float(times[i]),
+                payload=self._payloads[int(rows[i])],
+            )
+            for i in range(lo, hi)
+        ]
+
+    def timestamps_for(self, account_id: str, kind: str) -> np.ndarray:
+        """Sorted timestamp array for one account/kind (possibly empty)."""
+        self._require_finalized()
+        per_kind = self._index.get(account_id)
+        if not per_kind or kind not in per_kind:
+            return np.empty(0, dtype=np.float64)
+        return per_kind[kind][0]
+
+    def payloads_for(
+        self,
+        account_id: str,
+        kind: str,
+        *,
+        t0: float | None = None,
+        t1: float | None = None,
+    ) -> list[Any]:
+        """Payloads only (cheaper than building event objects)."""
+        self._require_finalized()
+        per_kind = self._index.get(account_id)
+        if not per_kind or kind not in per_kind:
+            return []
+        times, rows = per_kind[kind]
+        lo = 0 if t0 is None else bisect.bisect_left(times, t0)
+        hi = len(times) if t1 is None else bisect.bisect_left(times, t1)
+        return [self._payloads[int(rows[i])] for i in range(lo, hi)]
+
+    def texts_of(self, account_id: str) -> list[str]:
+        """All post texts of an account, time-ordered."""
+        return self.payloads_for(account_id, "post")
+
+    def count(self, account_id: str, kind: str) -> int:
+        """Number of events of ``kind`` for ``account_id``."""
+        self._require_finalized()
+        per_kind = self._index.get(account_id)
+        if not per_kind or kind not in per_kind:
+            return 0
+        return len(per_kind[kind][0])
+
+    def time_range(self) -> tuple[float, float]:
+        """(min, max) timestamp over the whole store; (0, 0) when empty."""
+        self._require_finalized()
+        if len(self._timestamps) == 0:
+            return (0.0, 0.0)
+        return float(self._ts_array.min()), float(self._ts_array.max())
+
+    def iter_all(self) -> Iterator[BehaviorEvent]:
+        """Iterate every event in insertion order."""
+        for account_id, kind, ts, payload in zip(
+            self._account_ids, self._kinds, self._timestamps, self._payloads
+        ):
+            yield BehaviorEvent(account_id, kind, ts, payload)

@@ -1,0 +1,28 @@
+"""Text-processing substrate.
+
+HYDRA's user-generated-content features (Section 5.2-5.3 of the paper) need a
+text stack: tokenization and normalization, vocabulary construction with
+corpus-level term statistics, Latent Dirichlet Allocation for topic
+distributions, a sentiment model, and unique-word style extraction.  All of it
+is implemented here from scratch on numpy so the library has no text-mining
+dependencies.
+"""
+
+from repro.text.tokenizer import Tokenizer, normalize_word
+from repro.text.vocabulary import Vocabulary
+from repro.text.lda import LatentDirichletAllocation
+from repro.text.variational import VariationalLDA, digamma
+from repro.text.sentiment import SentimentModel, SENTIMENT_CATEGORIES
+from repro.text.style import StyleExtractor
+
+__all__ = [
+    "Tokenizer",
+    "normalize_word",
+    "Vocabulary",
+    "LatentDirichletAllocation",
+    "VariationalLDA",
+    "digamma",
+    "SentimentModel",
+    "SENTIMENT_CATEGORIES",
+    "StyleExtractor",
+]

@@ -1,0 +1,148 @@
+"""Sentiment pattern modeling (Section 5.2, "Sentiment Pattern Distribution").
+
+The paper groups emotions into categories ("happy/ fear/ sad/ neutral") by
+"extracting representative emotional key words in the textual content and
+learning a sentiment vocabulary", then represents each message as a
+probability distribution over the sentiment vocabulary.  It also references
+the two-dimensional arousal-valence space of affective computing [10].
+
+This module implements both views:
+
+* a keyword lexicon mapping emotional words to categories, learnable from a
+  labeled seed corpus (:meth:`SentimentModel.fit_lexicon`), and
+* a message -> categorical-distribution encoder with additive smoothing,
+  plus an arousal/valence projection of that distribution.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SENTIMENT_CATEGORIES", "SentimentModel", "DEFAULT_LEXICON"]
+
+#: Categorical sentiment space used throughout the library.
+SENTIMENT_CATEGORIES: tuple[str, ...] = ("happy", "fear", "sad", "neutral")
+
+#: (valence, arousal) coordinates per category, following the circumplex
+#: layout in affective-content modeling [10]: happy = positive valence/high
+#: arousal, fear = negative/high, sad = negative/low, neutral = origin.
+_AROUSAL_VALENCE: dict[str, tuple[float, float]] = {
+    "happy": (0.8, 0.6),
+    "fear": (-0.6, 0.8),
+    "sad": (-0.7, -0.5),
+    "neutral": (0.0, 0.0),
+}
+
+#: Seed lexicon of representative emotional keywords.  The synthetic corpus
+#: generator draws its emotional words from this same inventory, which mirrors
+#: how the paper learns a sentiment vocabulary from representative keywords.
+DEFAULT_LEXICON: dict[str, str] = {
+    # happy
+    "happy": "happy", "joy": "happy", "love": "happy", "great": "happy",
+    "awesome": "happy", "excited": "happy", "wonderful": "happy",
+    "fun": "happy", "laugh": "happy", "smile": "happy", "win": "happy",
+    "celebrate": "happy", "delight": "happy", "cheer": "happy",
+    # fear
+    "fear": "fear", "afraid": "fear", "scared": "fear", "panic": "fear",
+    "terrified": "fear", "worry": "fear", "anxious": "fear", "dread": "fear",
+    "nervous": "fear", "horror": "fear", "threat": "fear",
+    # sad
+    "sad": "sad", "cry": "sad", "lonely": "sad", "miss": "sad",
+    "depressed": "sad", "grief": "sad", "tear": "sad", "heartbroken": "sad",
+    "sorrow": "sad", "regret": "sad", "gloomy": "sad", "lost": "sad",
+}
+
+
+@dataclass
+class SentimentModel:
+    """Message-level sentiment distribution encoder.
+
+    Parameters
+    ----------
+    lexicon:
+        word -> category map.  Defaults to :data:`DEFAULT_LEXICON`; can be
+        extended or replaced by :meth:`fit_lexicon`.
+    smoothing:
+        Additive mass spread over all categories so distributions are never
+        degenerate; messages with no emotional keywords collapse to a
+        neutral-centered distribution.
+    """
+
+    lexicon: dict[str, str] = field(default_factory=lambda: dict(DEFAULT_LEXICON))
+    smoothing: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.smoothing <= 0:
+            raise ValueError(f"smoothing must be > 0, got {self.smoothing}")
+        bad = {c for c in self.lexicon.values()} - set(SENTIMENT_CATEGORIES)
+        if bad:
+            raise ValueError(f"lexicon maps to unknown categories: {sorted(bad)}")
+
+    @property
+    def num_categories(self) -> int:
+        """Size of the categorical sentiment space."""
+        return len(SENTIMENT_CATEGORIES)
+
+    def fit_lexicon(
+        self, documents: list[list[str]], labels: list[str], *, min_count: int = 2
+    ) -> "SentimentModel":
+        """Learn a sentiment vocabulary from category-labeled documents.
+
+        A word is assigned to the category in which it appears most often,
+        provided it occurs at least ``min_count`` times in emotional documents
+        and never dominates in ``neutral`` ones.  Mirrors the paper's
+        "extracting representative emotional key words ... and learning a
+        sentiment vocabulary".
+        """
+        if len(documents) != len(labels):
+            raise ValueError("documents and labels must have equal length")
+        per_word: dict[str, Counter[str]] = {}
+        for tokens, label in zip(documents, labels):
+            if label not in SENTIMENT_CATEGORIES:
+                raise ValueError(f"unknown sentiment label: {label!r}")
+            for word in tokens:
+                per_word.setdefault(word, Counter())[label] += 1
+        for word, counts in per_word.items():
+            category, count = counts.most_common(1)[0]
+            if category == "neutral" or count < min_count:
+                continue
+            self.lexicon[word] = category
+        return self
+
+    def message_distribution(self, tokens: list[str]) -> np.ndarray:
+        """Encode one tokenized message as a distribution over categories."""
+        counts = np.full(self.num_categories, self.smoothing, dtype=float)
+        index = {c: i for i, c in enumerate(SENTIMENT_CATEGORIES)}
+        matched = False
+        for word in tokens:
+            category = self.lexicon.get(word)
+            if category is not None:
+                counts[index[category]] += 1.0
+                matched = True
+        if not matched:
+            counts[index["neutral"]] += 1.0
+        return counts / counts.sum()
+
+    def corpus_distributions(self, documents: list[list[str]]) -> np.ndarray:
+        """Encode every message; returns an ``(n_messages, 4)`` array."""
+        if not documents:
+            return np.zeros((0, self.num_categories))
+        return np.vstack([self.message_distribution(doc) for doc in documents])
+
+    def arousal_valence(self, distribution: np.ndarray) -> tuple[float, float]:
+        """Project a categorical distribution onto the (valence, arousal) plane."""
+        dist = np.asarray(distribution, dtype=float)
+        if dist.shape != (self.num_categories,):
+            raise ValueError(
+                f"expected shape ({self.num_categories},), got {dist.shape}"
+            )
+        valence = sum(
+            dist[i] * _AROUSAL_VALENCE[c][0] for i, c in enumerate(SENTIMENT_CATEGORIES)
+        )
+        arousal = sum(
+            dist[i] * _AROUSAL_VALENCE[c][1] for i, c in enumerate(SENTIMENT_CATEGORIES)
+        )
+        return float(valence), float(arousal)

@@ -1,0 +1,170 @@
+"""Batch variational-Bayes LDA (Blei et al. 2003; Hoffman et al. 2010 updates).
+
+The collapsed Gibbs sampler in :mod:`repro.text.lda` is the reference
+implementation, but it resamples token-by-token in Python and the experiment
+harness has to infer topic distributions for tens of thousands of messages per
+run.  This module provides the production path: fully vectorized variational
+inference over the document-term count matrix, mathematically the standard
+mean-field approximation of the same model.
+
+The digamma function is implemented locally (recurrence + asymptotic series)
+to keep the core library numpy-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+
+__all__ = ["digamma", "VariationalLDA"]
+
+
+def digamma(x: np.ndarray | float) -> np.ndarray:
+    """Elementwise digamma via the shift recurrence + asymptotic expansion.
+
+    Uses ``psi(x) = psi(x + 1) - 1/x`` to push arguments above 6, then the
+    standard asymptotic series; accurate to ~1e-8 for x > 0, far beyond what
+    mean-field updates need.
+    """
+    x = np.asarray(x, dtype=float)
+    if (x <= 0).any():
+        raise ValueError("digamma requires strictly positive arguments")
+    result = np.zeros_like(x)
+    y = x.copy()
+    # recurrence: accumulate -1/y while y < 6
+    while (y < 6).any():
+        mask = y < 6
+        result[mask] -= 1.0 / y[mask]
+        y[mask] += 1.0
+    inv = 1.0 / y
+    inv2 = inv * inv
+    result += (
+        np.log(y)
+        - 0.5 * inv
+        - inv2 * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 / 252.0))
+    )
+    return result
+
+
+class VariationalLDA:
+    """LDA fitted by batch variational EM on a dense doc-term matrix.
+
+    Parameters mirror :class:`repro.text.lda.LatentDirichletAllocation`; the
+    fitted attributes ``topic_word_`` (K, V) and ``doc_topic_`` (D, K) have
+    identical semantics so the two implementations are interchangeable.
+
+    Examples
+    --------
+    >>> docs = [[0, 0, 1], [1, 1, 0], [2, 3, 2], [3, 2, 3]]
+    >>> lda = VariationalLDA(num_topics=2, vocab_size=4, seed=0).fit(docs)
+    >>> lda.doc_topic_.shape
+    (4, 2)
+    """
+
+    def __init__(
+        self,
+        num_topics: int,
+        vocab_size: int,
+        *,
+        alpha: float | None = None,
+        eta: float = 0.01,
+        em_iterations: int = 30,
+        e_step_iterations: int = 20,
+        seed: int | np.random.Generator | None = None,
+    ):
+        if num_topics < 1:
+            raise ValueError(f"num_topics must be >= 1, got {num_topics}")
+        if vocab_size < 1:
+            raise ValueError(f"vocab_size must be >= 1, got {vocab_size}")
+        self.num_topics = int(num_topics)
+        self.vocab_size = int(vocab_size)
+        self.alpha = float(alpha) if alpha is not None else 1.0 / num_topics
+        self.eta = float(eta)
+        self.em_iterations = int(em_iterations)
+        self.e_step_iterations = int(e_step_iterations)
+        self._rng = as_rng(seed)
+        self.topic_word_: np.ndarray | None = None
+        self.doc_topic_: np.ndarray | None = None
+        self._lambda: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def count_matrix(
+        documents: list[list[int] | np.ndarray], vocab_size: int
+    ) -> np.ndarray:
+        """Dense (D, V) doc-term count matrix from id lists."""
+        counts = np.zeros((len(documents), vocab_size), dtype=float)
+        for row, doc in enumerate(documents):
+            ids = np.asarray(doc, dtype=np.int64)
+            if ids.size:
+                if ids.min() < 0 or ids.max() >= vocab_size:
+                    raise ValueError("document contains word ids outside the vocabulary")
+                np.add.at(counts[row], ids, 1.0)
+        return counts
+
+    def _e_step(
+        self, counts: np.ndarray, exp_elog_beta: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Mean-field document updates; returns (gamma, sufficient stats)."""
+        num_docs = counts.shape[0]
+        gamma = self._rng.gamma(100.0, 0.01, (num_docs, self.num_topics))
+        for _ in range(self.e_step_iterations):
+            exp_elog_theta = np.exp(
+                digamma(gamma) - digamma(gamma.sum(axis=1, keepdims=True))
+            )
+            # phinorm[d, w] = sum_k expElogtheta[d,k] expElogbeta[k,w]
+            phinorm = exp_elog_theta @ exp_elog_beta + 1e-100
+            gamma = self.alpha + exp_elog_theta * (
+                (counts / phinorm) @ exp_elog_beta.T
+            )
+        exp_elog_theta = np.exp(
+            digamma(gamma) - digamma(gamma.sum(axis=1, keepdims=True))
+        )
+        phinorm = exp_elog_theta @ exp_elog_beta + 1e-100
+        sstats = exp_elog_beta * (exp_elog_theta.T @ (counts / phinorm))
+        return gamma, sstats
+
+    def fit(self, documents: list[list[int] | np.ndarray]) -> "VariationalLDA":
+        """Run variational EM on ``documents`` (lists of word ids)."""
+        counts = self.count_matrix(documents, self.vocab_size)
+        lam = self._rng.gamma(100.0, 0.01, (self.num_topics, self.vocab_size))
+        for _ in range(self.em_iterations):
+            exp_elog_beta = np.exp(
+                digamma(lam) - digamma(lam.sum(axis=1, keepdims=True))
+            )
+            gamma, sstats = self._e_step(counts, exp_elog_beta)
+            lam = self.eta + sstats
+        self._lambda = lam
+        self.topic_word_ = lam / lam.sum(axis=1, keepdims=True)
+        self.doc_topic_ = gamma / gamma.sum(axis=1, keepdims=True)
+        return self
+
+    def transform(
+        self, documents: list[list[int] | np.ndarray], *, batch_size: int = 4096
+    ) -> np.ndarray:
+        """Per-document topic distributions for new documents.
+
+        Processes in batches of ``batch_size`` documents so the dense
+        doc-term matrix never exceeds a bounded footprint.
+        """
+        if self._lambda is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        exp_elog_beta = np.exp(
+            digamma(self._lambda) - digamma(self._lambda.sum(axis=1, keepdims=True))
+        )
+        chunks = []
+        for start in range(0, len(documents), batch_size):
+            batch = documents[start : start + batch_size]
+            counts = self.count_matrix(batch, self.vocab_size)
+            gamma, _ = self._e_step(counts, exp_elog_beta)
+            theta = gamma / gamma.sum(axis=1, keepdims=True)
+            # documents with no tokens carry no information: uniform
+            empty = counts.sum(axis=1) == 0
+            theta[empty] = 1.0 / self.num_topics
+            chunks.append(theta)
+        if not chunks:
+            return np.zeros((0, self.num_topics))
+        return np.vstack(chunks)

@@ -1,0 +1,127 @@
+"""Vocabulary: a bidirectional word <-> id map with corpus term statistics.
+
+Serves two consumers:
+
+* :class:`repro.text.lda.LatentDirichletAllocation` needs dense word ids;
+* :class:`repro.text.style.StyleExtractor` needs whole-corpus term frequencies
+  to find each user's *least-used* unique words (Section 5.3).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Iterator
+
+import numpy as np
+
+__all__ = ["Vocabulary"]
+
+
+class Vocabulary:
+    """Append-only word index with document and term frequencies.
+
+    Examples
+    --------
+    >>> vocab = Vocabulary()
+    >>> vocab.add_document(["apple", "banana", "apple"])
+    >>> vocab.term_frequency("apple")
+    2
+    >>> vocab.encode(["apple", "banana"]).tolist()
+    [0, 1]
+    """
+
+    def __init__(self) -> None:
+        self._word_to_id: dict[str, int] = {}
+        self._id_to_word: list[str] = []
+        self._term_freq: Counter[str] = Counter()
+        self._doc_freq: Counter[str] = Counter()
+        self._num_documents = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_word(self, word: str) -> int:
+        """Insert ``word`` if new; return its integer id."""
+        word_id = self._word_to_id.get(word)
+        if word_id is None:
+            word_id = len(self._id_to_word)
+            self._word_to_id[word] = word_id
+            self._id_to_word.append(word)
+        return word_id
+
+    def add_document(self, tokens: Iterable[str]) -> None:
+        """Register a tokenized document, updating term/document frequencies."""
+        tokens = list(tokens)
+        self._num_documents += 1
+        for word in tokens:
+            self.add_word(word)
+            self._term_freq[word] += 1
+        for word in set(tokens):
+            self._doc_freq[word] += 1
+
+    def add_corpus(self, documents: Iterable[Iterable[str]]) -> None:
+        """Register every document in ``documents``."""
+        for doc in documents:
+            self.add_document(doc)
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._id_to_word)
+
+    def __contains__(self, word: str) -> bool:
+        return word in self._word_to_id
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._id_to_word)
+
+    @property
+    def num_documents(self) -> int:
+        """Number of documents registered via :meth:`add_document`."""
+        return self._num_documents
+
+    def word_id(self, word: str) -> int:
+        """Return the id of ``word``; raises :class:`KeyError` if unknown."""
+        return self._word_to_id[word]
+
+    def word(self, word_id: int) -> str:
+        """Return the word with id ``word_id``."""
+        return self._id_to_word[word_id]
+
+    def term_frequency(self, word: str) -> int:
+        """Corpus-wide occurrence count of ``word`` (0 if unknown)."""
+        return self._term_freq.get(word, 0)
+
+    def document_frequency(self, word: str) -> int:
+        """Number of documents containing ``word`` (0 if unknown)."""
+        return self._doc_freq.get(word, 0)
+
+    # ------------------------------------------------------------------
+    # encoding
+    # ------------------------------------------------------------------
+    def encode(self, tokens: Iterable[str], *, skip_unknown: bool = False) -> np.ndarray:
+        """Map tokens to an int array of word ids.
+
+        With ``skip_unknown`` the encoder drops out-of-vocabulary tokens
+        instead of raising, which is what inference on unseen text needs.
+        """
+        ids = []
+        for word in tokens:
+            word_id = self._word_to_id.get(word)
+            if word_id is None:
+                if skip_unknown:
+                    continue
+                raise KeyError(f"word not in vocabulary: {word!r}")
+            ids.append(word_id)
+        return np.asarray(ids, dtype=np.int64)
+
+    def rarest_words(self, tokens: Iterable[str], k: int) -> list[str]:
+        """Return up to ``k`` distinct tokens sorted by ascending corpus frequency.
+
+        Ties are broken alphabetically so the result is deterministic.  This is
+        the primitive behind the paper's "k most unique words" style feature.
+        """
+        distinct = sorted(set(tokens))
+        distinct.sort(key=lambda w: (self.term_frequency(w), w))
+        return distinct[:k]

@@ -1,0 +1,21 @@
+"""Shared low-level utilities: RNG management, timing, validation helpers."""
+
+from repro.utils.rng import RngFactory, as_rng
+from repro.utils.timing import Stopwatch, timed
+from repro.utils.validation import (
+    check_in_range,
+    check_non_empty,
+    check_positive,
+    check_probability_vector,
+)
+
+__all__ = [
+    "RngFactory",
+    "as_rng",
+    "Stopwatch",
+    "timed",
+    "check_in_range",
+    "check_non_empty",
+    "check_positive",
+    "check_probability_vector",
+]

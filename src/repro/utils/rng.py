@@ -1,0 +1,68 @@
+"""Deterministic random-number management.
+
+Every stochastic component in the library takes either an integer seed or a
+``numpy.random.Generator``.  Experiments need many *independent but
+reproducible* streams (one per platform, per person, per module); the
+:class:`RngFactory` derives child generators from a root seed and a string
+label, so adding a new consumer never perturbs the streams of existing ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["as_rng", "RngFactory"]
+
+
+def as_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    ``None`` yields a non-deterministic generator; an ``int`` seeds a fresh
+    PCG64 stream; an existing generator is returned unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+class RngFactory:
+    """Derive named, independent random streams from one root seed.
+
+    The child seed is computed by hashing ``(root_seed, label)`` with BLAKE2,
+    which keeps streams stable under code reorganization: the stream for
+    ``factory.child("topics")`` depends only on the root seed and the label,
+    not on how many other children were created before it.
+
+    Examples
+    --------
+    >>> factory = RngFactory(7)
+    >>> a = factory.child("persons").integers(0, 100, 3)
+    >>> b = RngFactory(7).child("persons").integers(0, 100, 3)
+    >>> bool((a == b).all())
+    True
+    """
+
+    def __init__(self, root_seed: int):
+        if not isinstance(root_seed, (int, np.integer)):
+            raise TypeError(f"root_seed must be an int, got {type(root_seed).__name__}")
+        self.root_seed = int(root_seed)
+
+    def child_seed(self, label: str) -> int:
+        """Return the derived 63-bit integer seed for ``label``."""
+        digest = hashlib.blake2b(
+            f"{self.root_seed}:{label}".encode("utf-8"), digest_size=8
+        ).digest()
+        return int.from_bytes(digest, "little") >> 1
+
+    def child(self, label: str) -> np.random.Generator:
+        """Return a fresh generator for the stream named ``label``."""
+        return np.random.default_rng(self.child_seed(label))
+
+    def spawn(self, label: str) -> "RngFactory":
+        """Return a sub-factory whose streams are namespaced under ``label``."""
+        return RngFactory(self.child_seed(label))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RngFactory(root_seed={self.root_seed})"

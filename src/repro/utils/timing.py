@@ -1,0 +1,53 @@
+"""Wall-clock measurement helpers used by the efficiency experiments (Fig 14)."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, TypeVar
+
+__all__ = ["Stopwatch", "timed"]
+
+T = TypeVar("T")
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates named timing segments.
+
+    Used by the experiment harness to attribute run time to pipeline stages
+    (feature extraction, graph construction, optimization) the way the paper's
+    efficiency evaluation separates model construction from solving.
+    """
+
+    segments: dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, name: str) -> Iterator[None]:
+        """Context manager adding the elapsed wall time to segment ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.segments[name] = self.segments.get(name, 0.0) + (
+                time.perf_counter() - start
+            )
+
+    @property
+    def total(self) -> float:
+        """Total seconds across all recorded segments."""
+        return sum(self.segments.values())
+
+    def report(self) -> str:
+        """Human-readable one-line-per-segment summary."""
+        lines = [f"  {name:<28s} {secs:8.3f}s" for name, secs in self.segments.items()]
+        lines.append(f"  {'TOTAL':<28s} {self.total:8.3f}s")
+        return "\n".join(lines)
+
+
+def timed(fn: Callable[..., T], *args, **kwargs) -> tuple[T, float]:
+    """Run ``fn(*args, **kwargs)`` and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start

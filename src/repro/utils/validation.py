@@ -1,0 +1,56 @@
+"""Argument validation helpers with consistent, informative error messages."""
+
+from __future__ import annotations
+
+from typing import Sized
+
+import numpy as np
+
+__all__ = [
+    "check_positive",
+    "check_in_range",
+    "check_non_empty",
+    "check_probability_vector",
+]
+
+
+def check_positive(value: float, name: str) -> float:
+    """Raise :class:`ValueError` unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_in_range(
+    value: float, name: str, low: float, high: float, *, inclusive: bool = True
+) -> float:
+    """Raise :class:`ValueError` unless ``low <= value <= high`` (or strict)."""
+    if inclusive:
+        ok = low <= value <= high
+        bounds = f"[{low}, {high}]"
+    else:
+        ok = low < value < high
+        bounds = f"({low}, {high})"
+    if not ok:
+        raise ValueError(f"{name} must be in {bounds}, got {value!r}")
+    return value
+
+
+def check_non_empty(collection: Sized, name: str) -> Sized:
+    """Raise :class:`ValueError` if ``collection`` has no elements."""
+    if len(collection) == 0:
+        raise ValueError(f"{name} must not be empty")
+    return collection
+
+
+def check_probability_vector(vec: np.ndarray, name: str, *, atol: float = 1e-6) -> np.ndarray:
+    """Validate that ``vec`` is a non-negative vector summing to 1."""
+    arr = np.asarray(vec, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-dimensional, got shape {arr.shape}")
+    if (arr < -atol).any():
+        raise ValueError(f"{name} must be non-negative")
+    total = float(arr.sum())
+    if abs(total - 1.0) > atol:
+        raise ValueError(f"{name} must sum to 1 (got {total})")
+    return arr

@@ -1,0 +1,51 @@
+"""Shared fixtures.
+
+The expensive artifacts (a generated world, a fitted feature pipeline) are
+session-scoped: they are deterministic (fixed seeds) and read-only for the
+tests that consume them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import WorldConfig, generate_world
+from repro.features import FeaturePipeline
+
+
+@pytest.fixture(scope="session")
+def small_world():
+    """A 30-person Twitter+Facebook world."""
+    return generate_world(WorldConfig(num_persons=30, seed=11))
+
+
+@pytest.fixture(scope="session")
+def true_refs(small_world):
+    """All ground-truth linked (facebook, twitter) account-ref pairs."""
+    return [
+        (("facebook", a), ("twitter", b))
+        for a, b in small_world.true_pairs("facebook", "twitter")
+    ]
+
+
+@pytest.fixture(scope="session")
+def labeled_split(true_refs):
+    """(positives, negatives) labeled pairs for supervised components."""
+    positives = true_refs[:8]
+    negatives = []
+    n = len(true_refs)
+    for i in range(10):
+        left = true_refs[i % n][0]
+        right = true_refs[(i * 5 + 3) % n][1]
+        if (left, right) not in true_refs:
+            negatives.append((left, right))
+    return positives, negatives
+
+
+@pytest.fixture(scope="session")
+def fitted_pipeline(small_world, labeled_split):
+    """A feature pipeline fitted on the small world (session-cached)."""
+    positives, negatives = labeled_split
+    pipeline = FeaturePipeline(num_topics=8, max_lda_docs=1500, seed=13)
+    pipeline.fit(small_world, positives, negatives)
+    return pipeline

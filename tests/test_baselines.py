@@ -1,0 +1,164 @@
+"""Tests for the four comparison baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AliasDisambBaseline,
+    MobiusBaseline,
+    SmashBaseline,
+    SvmBBaseline,
+    username_feature_vector,
+)
+from repro.baselines.alias_disamb import NgramLanguageModel
+from repro.baselines.mobius import USERNAME_FEATURE_NAMES
+
+
+class TestUsernameFeatures:
+    def test_vector_length(self):
+        vec = username_feature_vector("adele", "adele99")
+        assert vec.shape == (len(USERNAME_FEATURE_NAMES),)
+
+    def test_identical_names(self):
+        vec = username_feature_vector("adele", "adele")
+        names = list(USERNAME_FEATURE_NAMES)
+        assert vec[names.index("exact_match")] == 1.0
+        assert vec[names.index("edit_similarity")] == 1.0
+        assert vec[names.index("bigram_jaccard")] == 1.0
+
+    def test_unrelated_names(self):
+        vec = username_feature_vector("adele", "zxqwv")
+        names = list(USERNAME_FEATURE_NAMES)
+        assert vec[names.index("exact_match")] == 0.0
+        assert vec[names.index("bigram_jaccard")] < 0.2
+
+    def test_containment(self):
+        vec = username_feature_vector("adele", "xadelex")
+        names = list(USERNAME_FEATURE_NAMES)
+        assert vec[names.index("contains")] == 1.0
+
+    def test_case_insensitive(self):
+        a = username_feature_vector("Adele", "aDeLe")
+        names = list(USERNAME_FEATURE_NAMES)
+        assert a[names.index("exact_match")] == 1.0
+
+    def test_bounded(self):
+        rng = np.random.default_rng(0)
+        alphabet = "abcdefghij0123_"
+        for _ in range(50):
+            a = "".join(rng.choice(list(alphabet), 8))
+            b = "".join(rng.choice(list(alphabet), 12))
+            vec = username_feature_vector(a, b)
+            assert (vec >= -1e-9).all()
+            assert (vec <= 1.5).all()
+
+
+class TestNgramLanguageModel:
+    def test_common_name_scores_higher(self):
+        names = ["adele", "adela", "adelle", "bob", "bobby"] * 10 + ["xq9z_!!"]
+        model = NgramLanguageModel(n=2).fit(names)
+        assert model.probability("adele") > model.probability("xq9z_!!")
+
+    def test_probability_in_unit_interval(self):
+        model = NgramLanguageModel(n=2).fit(["alpha", "beta"])
+        for name in ("alpha", "gamma", "zzz"):
+            assert 0.0 < model.probability(name) <= 1.0
+
+    def test_unfitted_neutral(self):
+        assert NgramLanguageModel().probability("x") == 0.5
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            NgramLanguageModel(n=0)
+
+
+@pytest.fixture(scope="module")
+def baseline_setup(small_world, labeled_split):
+    positives, negatives = labeled_split
+    return small_world, positives, negatives
+
+
+class TestBaselineLinkage:
+    def _evaluate(self, linker, world, positives):
+        result = linker.linkage("facebook", "twitter")
+        true_set = {
+            (("facebook", a), ("twitter", b))
+            for a, b in world.true_pairs("facebook", "twitter")
+        }
+        train = set(positives)
+        linked = [p for p in result.linked if p not in train]
+        gold = true_set - train
+        tp = sum(1 for p in linked if p in gold)
+        precision = tp / len(linked) if linked else 0.0
+        recall = tp / len(gold) if gold else 0.0
+        return precision, recall
+
+    def test_mobius_runs_and_links(self, baseline_setup):
+        world, pos, neg = baseline_setup
+        linker = MobiusBaseline().fit(world, pos, neg)
+        precision, recall = self._evaluate(linker, world, pos)
+        assert recall > 0.1  # usernames carry some signal
+        assert precision > 0.3
+
+    def test_mobius_requires_labels(self, baseline_setup):
+        world, pos, neg = baseline_setup
+        with pytest.raises(ValueError):
+            MobiusBaseline().fit(world, [], [])
+
+    def test_alias_disamb_unsupervised(self, baseline_setup):
+        world, pos, neg = baseline_setup
+        # labels are ignored: same result with and without them
+        with_labels = AliasDisambBaseline().fit(world, pos, neg)
+        without = AliasDisambBaseline().fit(world, [], [])
+        r1 = with_labels.linkage("facebook", "twitter")
+        r2 = without.linkage("facebook", "twitter")
+        np.testing.assert_allclose(r1.scores, r2.scores)
+
+    def test_alias_disamb_self_labels(self, baseline_setup):
+        world, pos, neg = baseline_setup
+        linker = AliasDisambBaseline().fit(world, [], [])
+        labeled = linker.self_labeled_pairs()
+        assert all(score > linker.threshold for _, score in labeled)
+
+    def test_smash_discovers_linkage_points(self, baseline_setup):
+        world, pos, neg = baseline_setup
+        linker = SmashBaseline().fit(world, [], [])
+        active = linker.active_points_[("facebook", "twitter")]
+        assert "email" in active  # near-unique shared attribute
+
+    def test_smash_links_on_strong_points(self, baseline_setup):
+        world, pos, neg = baseline_setup
+        linker = SmashBaseline().fit(world, [], [])
+        precision, recall = self._evaluate(linker, world, pos)
+        assert precision > 0.5  # strong points are precise
+        # recall limited by attribute availability
+        assert recall > 0.05
+
+    def test_svm_b_beats_username_baselines(self, baseline_setup):
+        world, pos, neg = baseline_setup
+        svm_b = SvmBBaseline(seed=3, num_topics=8, max_lda_docs=1000).fit(
+            world, pos, neg
+        )
+        p_svm, r_svm = self._evaluate(svm_b, world, pos)
+        mobius = MobiusBaseline().fit(world, pos, neg)
+        p_mob, r_mob = self._evaluate(mobius, world, pos)
+        # F1 comparison: behavior features dominate usernames
+        f1 = lambda p, r: 2 * p * r / (p + r) if p + r else 0.0
+        assert f1(p_svm, r_svm) > f1(p_mob, r_mob)
+
+    def test_shared_candidates_injection(self, baseline_setup):
+        world, pos, neg = baseline_setup
+        from repro.core import CandidateGenerator
+        shared = {
+            ("facebook", "twitter"): CandidateGenerator().generate(
+                world, "facebook", "twitter"
+            )
+        }
+        linker = MobiusBaseline().fit(
+            world, pos, neg, [("facebook", "twitter")], candidates=shared
+        )
+        assert linker.candidates_ == shared
+
+    def test_unfitted_linkage_raises(self):
+        with pytest.raises(RuntimeError):
+            MobiusBaseline().linkage("a", "b")

@@ -1,0 +1,204 @@
+"""Tests for candidate generation and the structure-consistency matrix."""
+
+import numpy as np
+import pytest
+
+from repro.core import CandidateGenerator, StructureConsistencyBuilder
+from repro.socialnet import SocialGraph
+from repro.socialnet.platform import PlatformData, Profile, SocialWorld
+from repro.socialnet.platform import Account
+
+
+@pytest.fixture(scope="module")
+def candidates(small_world):
+    gen = CandidateGenerator()
+    return gen.generate(small_world, "facebook", "twitter")
+
+
+class TestCandidateGenerator:
+    def test_high_candidate_recall(self, small_world, candidates):
+        true = set(small_world.true_pairs("facebook", "twitter"))
+        found = {
+            (a[1], b[1]) for a, b in candidates.pairs
+        }
+        recall = len(true & found) / len(true)
+        assert recall >= 0.9  # blocking must keep nearly all true pairs
+
+    def test_search_space_reduced(self, small_world, candidates):
+        n = len(small_world.platform("facebook"))
+        assert len(candidates.pairs) < n * n * 0.6  # far below all-pairs
+
+    def test_budget_respected(self, small_world):
+        gen = CandidateGenerator(max_per_account=3)
+        cand = gen.generate(small_world, "facebook", "twitter")
+        from collections import Counter
+        per_a = Counter(a for a, _ in cand.pairs)
+        assert max(per_a.values()) <= 3
+
+    def test_evidence_recorded(self, candidates):
+        assert len(candidates.evidence) == len(candidates.pairs)
+        all_rules = set().union(*candidates.evidence)
+        assert all_rules <= {"username", "email", "media", "style", "location"}
+        assert len(all_rules) >= 2  # several rules fire on a real world
+
+    def test_prematched_high_precision(self, small_world, candidates):
+        """The paper's rule-labeled pairs are >95 % precise; ours must be too."""
+        if not candidates.prematched:
+            pytest.skip("no prematched pairs in this world")
+        true = set(small_world.true_pairs("facebook", "twitter"))
+        correct = sum(
+            1
+            for idx in candidates.prematched
+            if (candidates.pairs[idx][0][1], candidates.pairs[idx][1][1]) in true
+        )
+        assert correct / len(candidates.prematched) >= 0.9
+
+    def test_pair_index(self, candidates):
+        index = candidates.pair_index()
+        for i, pair in enumerate(candidates.pairs):
+            assert index[pair] == i
+
+    def test_same_platform_rejected(self, small_world):
+        with pytest.raises(ValueError):
+            CandidateGenerator().generate(small_world, "twitter", "twitter")
+
+
+def _toy_world_for_consistency():
+    """Two platforms, 4 users each; friendships: 0-1, 2-3 on both platforms."""
+    world = SocialWorld()
+    for name in ("pa", "pb"):
+        platform = PlatformData(name=name, language="en")
+        for i in range(4):
+            platform.add_account(
+                Account(f"{name}{i}", name, Profile(username=f"user{i}"))
+            )
+        platform.graph.add_interaction(f"{name}0", f"{name}1", 5.0)
+        platform.graph.add_interaction(f"{name}2", f"{name}3", 5.0)
+        world.add_platform(platform)
+        for i in range(4):
+            world.identity[(name, f"{name}{i}")] = i
+    return world
+
+
+class TestStructureConsistency:
+    def _behavior(self, world, noise=0.0):
+        """Person i gets behavior e_i on both platforms (+ optional noise)."""
+        rng = np.random.default_rng(0)
+        behavior = {}
+        for name in ("pa", "pb"):
+            for i in range(4):
+                vec = np.zeros(4)
+                vec[i] = 1.0
+                behavior[(name, f"{name}{i}")] = vec + rng.normal(0, noise, 4)
+        return behavior
+
+    def test_diagonal_affinity_favors_true_pairs(self):
+        world = _toy_world_for_consistency()
+        behavior = self._behavior(world)
+        pairs = [(("pa", f"pa{i}"), ("pb", f"pb{j}")) for i in range(4) for j in range(4)]
+        block = StructureConsistencyBuilder(sigma1=0.5).build(world, pairs, behavior)
+        diag = np.diag(block.m)
+        true_rows = [i * 4 + i for i in range(4)]
+        false_rows = [r for r in range(16) if r not in true_rows]
+        assert diag[true_rows].min() > diag[false_rows].max()
+
+    def test_structural_agreement_edges(self):
+        """True pairs of adjacent friends (0,0')-(1,1') must connect in M."""
+        world = _toy_world_for_consistency()
+        behavior = self._behavior(world)
+        pairs = [
+            (("pa", "pa0"), ("pb", "pb0")),
+            (("pa", "pa1"), ("pb", "pb1")),
+            (("pa", "pa2"), ("pb", "pb2")),
+        ]
+        block = StructureConsistencyBuilder(sigma1=0.5).build(world, pairs, behavior)
+        # rows 0, 1 are friends on both platforms with equal hop distance -> edge
+        assert block.m[0, 1] > 0
+        assert block.m[1, 0] == pytest.approx(block.m[0, 1])
+        # row 2 (pa2/pb2) has no graph path to rows 0/1 -> no edge
+        assert block.m[0, 2] == 0.0
+        assert block.m[1, 2] == 0.0
+
+    def test_inconsistent_distances_zeroed(self):
+        """Adjacent on one platform, far on the other -> structural factor <= 0."""
+        world = _toy_world_for_consistency()
+        # make pb0 - pb2 adjacent instead of pb0 - pb1
+        world.platforms["pb"].graph.add_interaction("pb0", "pb2", 5.0)
+        behavior = self._behavior(world)
+        pairs = [
+            (("pa", "pa0"), ("pb", "pb0")),
+            (("pa", "pa1"), ("pb", "pb3")),  # pa0~pa1 adjacent; pb0~pb3 unreachable
+        ]
+        block = StructureConsistencyBuilder(sigma1=0.5, max_hops=2).build(
+            world, pairs, behavior
+        )
+        assert block.m[0, 1] == 0.0
+
+    def test_laplacian_psd(self, small_world, fitted_pipeline, candidates):
+        pairs = candidates.pairs[:60]
+        behavior = {
+            ref: fitted_pipeline.behavior_summary(ref)
+            for pair in pairs
+            for ref in pair
+        }
+        block = StructureConsistencyBuilder().build(small_world, pairs, behavior)
+        eigvals = np.linalg.eigvalsh(block.laplacian)
+        assert eigvals.min() > -1e-8
+
+    def test_degree_matrix_rowsums(self, small_world, fitted_pipeline, candidates):
+        pairs = candidates.pairs[:40]
+        behavior = {
+            ref: fitted_pipeline.behavior_summary(ref)
+            for pair in pairs
+            for ref in pair
+        }
+        block = StructureConsistencyBuilder().build(small_world, pairs, behavior)
+        np.testing.assert_allclose(np.diag(block.d), block.m.sum(axis=1))
+
+    def test_sparsity(self, small_world, fitted_pipeline, candidates):
+        """M should be sparse, approaching the paper's <1 % at max_hops=1."""
+        pairs = candidates.pairs
+        behavior = {
+            ref: fitted_pipeline.behavior_summary(ref)
+            for pair in pairs
+            for ref in pair
+        }
+        block = StructureConsistencyBuilder(max_hops=1).build(
+            small_world, pairs, behavior
+        )
+        assert block.nonzero_fraction() < 0.08
+
+    def test_indices_validation(self):
+        world = _toy_world_for_consistency()
+        behavior = self._behavior(world)
+        pairs = [(("pa", "pa0"), ("pb", "pb0"))]
+        with pytest.raises(ValueError):
+            StructureConsistencyBuilder().build(
+                world, pairs, behavior, indices=np.array([0, 1])
+            )
+
+    def test_mixed_platform_pairs_rejected(self):
+        world = _toy_world_for_consistency()
+        behavior = self._behavior(world)
+        pairs = [
+            (("pa", "pa0"), ("pb", "pb0")),
+            (("pb", "pb1"), ("pa", "pa1")),
+        ]
+        with pytest.raises(ValueError):
+            StructureConsistencyBuilder().build(world, pairs, behavior)
+
+    def test_empty_pairs_rejected(self):
+        with pytest.raises(ValueError):
+            StructureConsistencyBuilder().build(
+                _toy_world_for_consistency(), [], {}
+            )
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            StructureConsistencyBuilder(sigma1=-1.0)
+        with pytest.raises(ValueError):
+            StructureConsistencyBuilder(sigma2=0.0)
+        with pytest.raises(ValueError):
+            StructureConsistencyBuilder(max_hops=0)
+        with pytest.raises(ValueError):
+            StructureConsistencyBuilder(sigma1_scale=0.0)

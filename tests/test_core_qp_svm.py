@@ -1,0 +1,135 @@
+"""Unit tests for the SMO QP solver (Eqn 16) and the linear SVM (Eqn 7)."""
+
+import numpy as np
+import pytest
+
+from repro.core import LinearSVM, solve_box_qp
+
+
+def _svm_dual_matrices(x, y, gamma_l):
+    """Standard SVM dual in the paper's parametrization: Q = Y K Y / (2 gamma_l)."""
+    k = x @ x.T
+    return np.diag(y) @ k @ np.diag(y) / (2.0 * gamma_l)
+
+
+class TestSolveBoxQp:
+    def test_feasibility(self):
+        rng = np.random.default_rng(0)
+        x = np.vstack([rng.normal(1, 0.5, (10, 2)), rng.normal(-1, 0.5, (10, 2))])
+        y = np.array([1.0] * 10 + [-1.0] * 10)
+        c = 1.0 / 20
+        q = _svm_dual_matrices(x, y, gamma_l=0.05)
+        result = solve_box_qp(q, y, c)
+        beta = result.beta
+        assert (beta >= -1e-12).all()
+        assert (beta <= c + 1e-12).all()
+        assert abs(beta @ y) < 1e-9
+
+    def test_objective_improves_over_zero(self):
+        rng = np.random.default_rng(1)
+        x = np.vstack([rng.normal(1, 0.5, (8, 2)), rng.normal(-1, 0.5, (8, 2))])
+        y = np.array([1.0] * 8 + [-1.0] * 8)
+        q = _svm_dual_matrices(x, y, gamma_l=0.05)
+        result = solve_box_qp(q, y, 1.0 / 16)
+        assert result.objective > 0.0  # objective at beta=0 is 0
+
+    def test_separable_problem_classifies(self):
+        rng = np.random.default_rng(2)
+        x = np.vstack([rng.normal(2, 0.3, (15, 2)), rng.normal(-2, 0.3, (15, 2))])
+        y = np.array([1.0] * 15 + [-1.0] * 15)
+        gamma_l = 0.01
+        q = _svm_dual_matrices(x, y, gamma_l)
+        result = solve_box_qp(q, y, 1.0 / 30)
+        # recover w = sum beta y x / (2 gamma_l)
+        w = (result.beta * y) @ x / (2.0 * gamma_l)
+        margins = y * (x @ w)
+        assert (margins > 0).mean() == 1.0
+
+    def test_matches_reference_qp(self):
+        scipy_optimize = pytest.importorskip("scipy.optimize")
+        rng = np.random.default_rng(3)
+        n = 10
+        x = np.vstack([rng.normal(1, 0.8, (5, 2)), rng.normal(-1, 0.8, (5, 2))])
+        y = np.array([1.0] * 5 + [-1.0] * 5)
+        q = _svm_dual_matrices(x, y, gamma_l=0.1)
+        c = 1.0 / n
+        ours = solve_box_qp(q, y, c, tol=1e-10)
+        reference = scipy_optimize.minimize(
+            lambda b: -(b.sum() - 0.5 * b @ q @ b),
+            np.zeros(n),
+            jac=lambda b: -(np.ones(n) - q @ b),
+            bounds=[(0.0, c)] * n,
+            constraints=[{"type": "eq", "fun": lambda b: b @ y}],
+            method="SLSQP",
+        )
+        ours_obj = ours.objective
+        ref_obj = -(reference.fun)
+        assert ours_obj == pytest.approx(ref_obj, abs=1e-6)
+
+    def test_support_fraction(self):
+        rng = np.random.default_rng(4)
+        x = np.vstack([rng.normal(3, 0.2, (10, 2)), rng.normal(-3, 0.2, (10, 2))])
+        y = np.array([1.0] * 10 + [-1.0] * 10)
+        q = _svm_dual_matrices(x, y, gamma_l=0.001)
+        result = solve_box_qp(q, y, 1.0 / 20)
+        assert 0.0 < result.support_fraction <= 1.0
+
+    def test_input_validation(self):
+        q = np.eye(2)
+        with pytest.raises(ValueError):
+            solve_box_qp(q, np.array([1.0, 2.0]), 0.5)  # bad labels
+        with pytest.raises(ValueError):
+            solve_box_qp(q, np.array([1.0, -1.0]), 0.0)  # bad box
+        with pytest.raises(ValueError):
+            solve_box_qp(np.zeros((2, 3)), np.array([1.0, -1.0]), 0.5)
+
+
+class TestLinearSVM:
+    def test_separable_accuracy(self):
+        rng = np.random.default_rng(0)
+        x = np.vstack([rng.normal(1.5, 0.4, (30, 3)), rng.normal(-1.5, 0.4, (30, 3))])
+        y = np.array([1.0] * 30 + [-1.0] * 30)
+        svm = LinearSVM(gamma_l=0.01, iterations=600).fit(x, y)
+        assert (svm.predict(x) == y).mean() >= 0.97
+
+    def test_decision_sign_matches_predict(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(20, 2))
+        y = np.where(x[:, 0] > 0, 1.0, -1.0)
+        svm = LinearSVM(gamma_l=0.05, iterations=300).fit(x, y)
+        decisions = svm.decision_function(x)
+        np.testing.assert_array_equal(np.sign(decisions) >= 0, svm.predict(x) > 0)
+
+    def test_objective_decreases_with_fit_quality(self):
+        rng = np.random.default_rng(2)
+        x = np.vstack([rng.normal(2, 0.3, (20, 2)), rng.normal(-2, 0.3, (20, 2))])
+        y = np.array([1.0] * 20 + [-1.0] * 20)
+        good = LinearSVM(gamma_l=0.01, iterations=800).fit(x, y)
+        poor = LinearSVM(gamma_l=0.01, iterations=2).fit(x, y)
+        assert good.objective(x, y) <= poor.objective(x, y)
+
+    def test_rejects_nan(self):
+        svm = LinearSVM()
+        with pytest.raises(ValueError):
+            svm.fit(np.array([[np.nan, 1.0]]), np.array([1.0]))
+
+    def test_rejects_bad_labels(self):
+        with pytest.raises(ValueError):
+            LinearSVM().fit(np.zeros((2, 2)), np.array([0.0, 1.0]))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LinearSVM().decision_function(np.zeros((1, 2)))
+
+    def test_no_intercept_option(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(20, 2))
+        y = np.where(x[:, 0] > 0, 1.0, -1.0)
+        svm = LinearSVM(fit_intercept=False, iterations=100).fit(x, y)
+        assert svm.b_ == 0.0
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            LinearSVM(gamma_l=0.0)
+        with pytest.raises(ValueError):
+            LinearSVM(iterations=0)

@@ -1,0 +1,282 @@
+"""Unit tests for the synthetic world generator components."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import (
+    CONTENT_GENRES,
+    ContentGenerator,
+    MISSING_PATTERNS,
+    MediaSharingModel,
+    MissingnessInjector,
+    TopicVocabulary,
+    TrajectoryGenerator,
+    UsernameGenerator,
+    WorldConfig,
+    generate_population,
+    generate_world,
+    item_of,
+    make_fingerprint,
+    variant_of,
+)
+from repro.socialnet.platform import PROFILE_ATTRIBUTES, Profile
+
+
+class TestUsernameGenerator:
+    def test_deterministic(self):
+        a = UsernameGenerator(seed=1).draw("adele", "smith", "小暖", "en")
+        b = UsernameGenerator(seed=1).draw("adele", "smith", "小暖", "en")
+        assert a == b
+
+    def test_overlap_regime(self):
+        gen = UsernameGenerator(overlap_probability=1.0, seed=2)
+        names = [gen.draw("adele", "smith", "小暖", "en") for _ in range(30)]
+        assert all("adele" in n.lower() for n in names)
+
+    def test_nickname_regime(self):
+        gen = UsernameGenerator(overlap_probability=0.0, seed=3)
+        names = [gen.draw("adele", "smith", "小暖", "en") for _ in range(30)]
+        assert all("adele" not in n.lower() for n in names)
+
+    def test_zh_styles_mix_chinese(self):
+        gen = UsernameGenerator(overlap_probability=1.0, seed=4)
+        names = [gen.draw("adele", "smith", "小暖", "zh") for _ in range(60)]
+        assert any("小暖" in n for n in names)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            UsernameGenerator(overlap_probability=1.5)
+
+    def test_draw_identity(self):
+        given, family, zh = UsernameGenerator(seed=0).draw_identity()
+        assert given.islower()
+        assert family.islower()
+        assert len(zh) >= 2
+
+
+class TestTopicVocabularyAndContent:
+    def test_vocabulary_shape(self):
+        vocab = TopicVocabulary.build()
+        assert vocab.num_topics == len(CONTENT_GENRES)
+        assert all(len(words) == 20 for words in vocab.words)
+        assert len(set(vocab.all_words())) == 20 * len(CONTENT_GENRES)
+
+    def test_platform_mixture_blends(self):
+        vocab = TopicVocabulary.build(CONTENT_GENRES[:4])
+        gen = ContentGenerator(vocab, seed=0)
+        pref = np.array([1.0, 0.0, 0.0, 0.0])
+        tilt = np.array([0.0, 1.0, 0.0, 0.0])
+        mix = gen.platform_topic_mixture(pref, 0.25, tilt)
+        assert mix[0] == pytest.approx(0.75)
+        assert mix[1] == pytest.approx(0.25)
+
+    def test_mixture_divergence_bounds(self):
+        vocab = TopicVocabulary.build(CONTENT_GENRES[:2])
+        gen = ContentGenerator(vocab, seed=0)
+        with pytest.raises(ValueError):
+            gen.platform_topic_mixture(
+                np.array([0.5, 0.5]), 1.5, np.array([0.5, 0.5])
+            )
+
+    def test_message_uses_topic_words(self):
+        vocab = TopicVocabulary.build(CONTENT_GENRES[:3])
+        gen = ContentGenerator(vocab, sentiment_word_probability=0.0,
+                               style_word_probability=0.0, seed=1)
+        message = gen.sample_message(
+            np.array([1.0, 0.0, 0.0]), np.array([0.25] * 4), ()
+        )
+        words = message.split()
+        genre_words = [w for w in words if w.startswith("sports_")]
+        assert genre_words  # topic 0 = sports dominates
+
+    def test_style_word_injected(self):
+        vocab = TopicVocabulary.build(CONTENT_GENRES[:2])
+        gen = ContentGenerator(vocab, style_word_probability=1.0, seed=2)
+        message = gen.sample_message(
+            np.array([0.5, 0.5]), np.array([0.25] * 4), ("mystyleword",)
+        )
+        assert "mystyleword" in message.split()
+
+
+class TestTrajectoryGenerator:
+    def test_home_clustering(self):
+        gen = TrajectoryGenerator(home_stay_probability=1.0, local_noise_deg=0.01)
+        times = np.arange(0.0, 30.0, 1.0)
+        coords = gen.sample_checkins((40.0, -74.0), (), times, seed=0)
+        arr = np.asarray(coords)
+        assert np.abs(arr[:, 0] - 40.0).max() < 0.1
+        assert np.abs(arr[:, 1] + 74.0).max() < 0.1
+
+    def test_travel_visits(self):
+        gen = TrajectoryGenerator(home_stay_probability=0.0, local_noise_deg=0.001)
+        times = np.arange(0.0, 10.0, 1.0)
+        coords = gen.sample_checkins((0.0, 0.0), ((50.0, 50.0),), times, seed=1)
+        arr = np.asarray(coords)
+        assert np.abs(arr[:, 0] - 50.0).max() < 0.1
+
+    def test_same_day_stickiness(self):
+        gen = TrajectoryGenerator(home_stay_probability=0.5, local_noise_deg=0.0)
+        times = np.array([3.1, 3.5, 3.9])  # one calendar day
+        coords = gen.sample_checkins((0.0, 0.0), ((9.0, 9.0),), times, seed=2)
+        assert len({c for c in coords}) == 1  # same anchor, zero noise
+
+
+class TestMediaModel:
+    def test_fingerprint_roundtrip(self):
+        fp = make_fingerprint(123, 45)
+        assert item_of(fp) == 123
+        assert variant_of(fp) == 45
+
+    def test_fingerprint_validation(self):
+        with pytest.raises(ValueError):
+            make_fingerprint(-1, 0)
+        with pytest.raises(ValueError):
+            make_fingerprint(0, 256)
+
+    def test_reshare_appears_on_other_platform(self):
+        model = MediaSharingModel(reshare_probability=1.0, reshare_lag_scale_days=1.0)
+        events = model.share_events(
+            (7,), ["p1", "p2"], (0.0, 100.0), {"p1": 5, "p2": 0}, seed=0
+        )
+        assert len(events["p1"]) == 5
+        assert events["p2"]  # re-shares landed
+        items_p2 = {item_of(fp) for _, fp in events["p2"]}
+        assert items_p2 == {7}
+
+    def test_reshare_lag_positive(self):
+        model = MediaSharingModel(reshare_probability=1.0, reshare_lag_scale_days=2.0)
+        events = model.share_events(
+            (1,), ["p1", "p2"], (0.0, 1000.0), {"p1": 1, "p2": 0}, seed=1
+        )
+        t_orig = events["p1"][0][0]
+        if events["p2"]:
+            assert events["p2"][0][0] > t_orig
+
+    def test_no_pool_no_events(self):
+        model = MediaSharingModel()
+        events = model.share_events((), ["p1"], (0.0, 10.0), {"p1": 5}, seed=0)
+        assert events["p1"] == []
+
+    def test_empty_span_rejected(self):
+        with pytest.raises(ValueError):
+            MediaSharingModel().share_events((1,), ["p"], (5.0, 5.0), {"p": 1})
+
+
+class TestMissingness:
+    def test_patterns_sum_to_one(self):
+        assert sum(p for _, p in MISSING_PATTERNS) == pytest.approx(1.0)
+
+    def test_apply_blanks_attributes(self):
+        injector = MissingnessInjector(email_hidden_probability=1.0)
+        rng = np.random.default_rng(0)
+        blanked_any = False
+        for _ in range(20):
+            profile = Profile(
+                username="u", gender="f", birth=1990, bio="b",
+                tag=("music",), edu="phd", job="chef", email="e@x",
+            )
+            injector.apply(profile, rng)
+            assert profile.email is None  # always hidden at probability 1
+            if profile.num_missing() > 0:
+                blanked_any = True
+        assert blanked_any
+
+    def test_fig2a_shape(self):
+        """At most ~25 % of profiles miss fewer than two attributes; few complete."""
+        injector = MissingnessInjector()
+        rng = np.random.default_rng(1)
+        counts = []
+        for _ in range(600):
+            profile = Profile(
+                username="u", gender="f", birth=1990, bio="b",
+                tag=("music",), edu="phd", job="chef", email="e@x",
+            )
+            injector.apply(profile, rng)
+            counts.append(profile.num_missing())
+        counts = np.asarray(counts)
+        assert (counts >= 2).mean() >= 0.75  # paper: "at least 80 %"
+        assert (counts == 0).mean() <= 0.10  # paper: "merely 5 %"
+
+    def test_sample_pattern_all(self):
+        injector = MissingnessInjector()
+        rng = np.random.default_rng(2)
+        seen_all = any(
+            injector.sample_pattern(rng) == PROFILE_ATTRIBUTES for _ in range(400)
+        )
+        assert seen_all
+
+
+class TestPopulationAndWorld:
+    def test_population_sizes(self):
+        pop = generate_population(40, seed=0)
+        assert len(pop) == 40
+        assert len(pop.friendships) == 40
+        assert pop.circles and sum(len(c) for c in pop.circles) == 40
+
+    def test_population_determinism(self):
+        a = generate_population(20, seed=3)
+        b = generate_population(20, seed=3)
+        assert a.persons[5].email == b.persons[5].email
+        np.testing.assert_array_equal(
+            a.persons[5].topic_preference, b.persons[5].topic_preference
+        )
+
+    def test_person_traits_valid(self):
+        pop = generate_population(15, seed=1)
+        for person in pop.persons:
+            assert person.topic_preference.sum() == pytest.approx(1.0)
+            assert person.sentiment_disposition.sum() == pytest.approx(1.0)
+            assert np.linalg.norm(person.face_embedding) == pytest.approx(1.0)
+            assert person.media_pool
+            assert person.style_words
+
+    def test_world_accounts_per_platform(self):
+        world = generate_world(WorldConfig(num_persons=12, seed=0))
+        for platform in world.platforms.values():
+            assert len(platform) == 12
+
+    def test_world_ground_truth_complete(self):
+        world = generate_world(WorldConfig(num_persons=12, seed=0))
+        assert len(world.identity) == 12 * len(world.platforms)
+        assert len(world.true_pairs("facebook", "twitter")) == 12
+
+    def test_world_determinism(self):
+        w1 = generate_world(WorldConfig(num_persons=10, seed=5))
+        w2 = generate_world(WorldConfig(num_persons=10, seed=5))
+        ids1 = w1.platform("twitter").account_ids()
+        ids2 = w2.platform("twitter").account_ids()
+        assert ids1 == ids2
+        assert w1.platform("twitter").events.texts_of(ids1[0]) == \
+            w2.platform("twitter").events.texts_of(ids2[0])
+
+    def test_world_seed_changes_content(self):
+        w1 = generate_world(WorldConfig(num_persons=10, seed=5))
+        w2 = generate_world(WorldConfig(num_persons=10, seed=6))
+        t1 = [len(w1.platform("twitter").events.texts_of(a))
+              for a in w1.platform("twitter").account_ids()]
+        t2 = [len(w2.platform("twitter").events.texts_of(a))
+              for a in w2.platform("twitter").account_ids()]
+        assert t1 != t2
+
+    def test_duplicate_platform_names_rejected(self):
+        from repro.datagen import PlatformSpec
+        config = WorldConfig(
+            num_persons=5,
+            platforms=(PlatformSpec("x", "en"), PlatformSpec("x", "en")),
+        )
+        with pytest.raises(ValueError):
+            generate_world(config)
+
+    def test_no_missingness_option(self):
+        world = generate_world(
+            WorldConfig(num_persons=10, seed=0, apply_missingness=False)
+        )
+        for account in world.iter_accounts():
+            # only tracked attributes are guaranteed; email always survives
+            assert account.profile.email is not None
+
+    def test_scaled_config(self):
+        config = WorldConfig(num_persons=10, seed=0)
+        bigger = config.scaled(20)
+        assert bigger.num_persons == 20
+        assert bigger.seed == config.seed

@@ -1,0 +1,141 @@
+"""Tests for metrics, the experiment harness and experiment presets."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    ExperimentHarness,
+    chinese_world,
+    cross_cultural_world,
+    default_method_factories,
+    english_world,
+    make_label_split,
+    precision_recall_f1,
+)
+from repro.eval.experiments import chinese_chain_pairs, cross_cultural_pairs
+
+
+class TestMetrics:
+    def test_perfect(self):
+        m = precision_recall_f1([("a", "b")], [("a", "b")])
+        assert m.precision == 1.0
+        assert m.recall == 1.0
+        assert m.f1 == 1.0
+
+    def test_partial(self):
+        m = precision_recall_f1(
+            [("a", "b"), ("c", "d")], [("a", "b"), ("e", "f")]
+        )
+        assert m.precision == 0.5
+        assert m.recall == 0.5
+        assert m.true_positives == 1
+
+    def test_empty_returned(self):
+        m = precision_recall_f1([], [("a", "b")])
+        assert m.precision == 0.0
+        assert m.recall == 0.0
+        assert m.f1 == 0.0
+
+    def test_exclusion(self):
+        m = precision_recall_f1(
+            [("train", "pair"), ("new", "pair")],
+            [("train", "pair"), ("new", "pair")],
+            exclude=[("train", "pair")],
+        )
+        assert m.returned == 1
+        assert m.actual == 1
+        assert m.precision == 1.0
+
+    def test_as_dict(self):
+        d = precision_recall_f1([("a", "b")], [("a", "b")]).as_dict()
+        assert set(d) >= {"precision", "recall", "f1"}
+
+
+class TestLabelSplit:
+    def test_fraction_respected(self, small_world):
+        split = make_label_split(
+            small_world, [("facebook", "twitter")], label_fraction=0.2, seed=0
+        )
+        n_true = len(small_world.true_pairs("facebook", "twitter"))
+        assert len(split.labeled_positive) == round(0.2 * n_true)
+        heldout = split.heldout_true[("facebook", "twitter")]
+        assert len(heldout) == n_true - len(split.labeled_positive)
+
+    def test_negatives_are_mismatches(self, small_world):
+        split = make_label_split(
+            small_world, [("facebook", "twitter")], label_fraction=0.2, seed=0
+        )
+        true = set(small_world.true_pairs("facebook", "twitter"))
+        for (pa, ida), (pb, idb) in split.labeled_negative:
+            assert (ida, idb) not in true
+
+    def test_deterministic(self, small_world):
+        a = make_label_split(small_world, [("facebook", "twitter")], seed=4)
+        b = make_label_split(small_world, [("facebook", "twitter")], seed=4)
+        assert a.labeled_positive == b.labeled_positive
+        assert a.labeled_negative == b.labeled_negative
+
+    def test_invalid_fraction(self, small_world):
+        with pytest.raises(ValueError):
+            make_label_split(
+                small_world, [("facebook", "twitter")], label_fraction=2.0
+            )
+
+
+class TestHarness:
+    def test_candidate_recall_high(self, small_world):
+        harness = ExperimentHarness(small_world, seed=1)
+        assert harness.candidate_recall() >= 0.85
+
+    def test_run_method(self, small_world):
+        harness = ExperimentHarness(small_world, seed=1)
+        factories = default_method_factories(
+            seed=1, include=("MOBIUS", "Alias-Disamb")
+        )
+        results = harness.run_suite(factories)
+        assert [r.method for r in results] == ["MOBIUS", "Alias-Disamb"]
+        for result in results:
+            assert 0.0 <= result.metrics.precision <= 1.0
+            assert 0.0 <= result.metrics.recall <= 1.0
+            assert result.seconds > 0.0
+            assert ("facebook", "twitter") in result.per_pair
+
+    def test_result_row(self, small_world):
+        harness = ExperimentHarness(small_world, seed=1)
+        result = harness.run(
+            "SMaSh", default_method_factories(include=("SMaSh",))["SMaSh"]
+        )
+        row = result.row()
+        assert row["method"] == "SMaSh"
+        assert "precision" in row
+
+
+class TestWorldPresets:
+    def test_english_platforms(self):
+        world = english_world(6, seed=0)
+        assert set(world.platforms) == {"twitter", "facebook"}
+
+    def test_chinese_platforms(self):
+        world = chinese_world(6, seed=0)
+        assert set(world.platforms) == {
+            "sina_weibo", "tecent_weibo", "renren", "douban", "kaixin",
+        }
+
+    def test_cross_cultural_platforms(self):
+        world = cross_cultural_world(6, seed=0)
+        assert len(world.platforms) == 7
+
+    def test_chain_pairs_valid(self):
+        world = chinese_world(5, seed=0)
+        for pa, pb in chinese_chain_pairs():
+            assert pa in world.platforms
+            assert pb in world.platforms
+
+    def test_cross_pairs_valid(self):
+        world = cross_cultural_world(5, seed=0)
+        for pa, pb in cross_cultural_pairs():
+            assert pa in world.platforms
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            default_method_factories(include=("NOPE",))

@@ -1,0 +1,109 @@
+"""Tests for PR curves, report formatting, and the tuning grid search."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    CurvePoint,
+    average_precision,
+    best_threshold,
+    format_table,
+    markdown_table,
+    precision_recall_curve,
+)
+from repro.eval.harness import MethodResult
+from repro.eval.metrics import LinkageMetrics
+from repro.eval.report import method_results_table
+
+
+@pytest.fixture
+def scored_pairs():
+    """Ten pairs; the five true ones carry the five highest scores."""
+    pairs = [(f"a{i}", f"b{i}") for i in range(10)]
+    scores = np.array([0.9, 0.85, 0.8, 0.75, 0.7, 0.3, 0.25, 0.2, 0.15, 0.1])
+    true = set(pairs[:5])
+    return pairs, scores, true
+
+
+class TestPrecisionRecallCurve:
+    def test_extremes(self, scored_pairs):
+        pairs, scores, true = scored_pairs
+        points = precision_recall_curve(pairs, scores, true, num_thresholds=20)
+        # lowest threshold links everything -> recall 1, precision 0.5
+        assert points[0].recall == pytest.approx(1.0)
+        assert points[0].precision == pytest.approx(0.5)
+        # highest threshold links nothing
+        assert points[-1].recall == 0.0
+
+    def test_perfect_separation_has_perfect_point(self, scored_pairs):
+        pairs, scores, true = scored_pairs
+        points = precision_recall_curve(pairs, scores, true, num_thresholds=50)
+        best = best_threshold(points)
+        assert best.precision == pytest.approx(1.0)
+        assert best.recall == pytest.approx(1.0)
+
+    def test_recall_monotone_in_threshold(self, scored_pairs):
+        pairs, scores, true = scored_pairs
+        points = precision_recall_curve(pairs, scores, true, num_thresholds=30)
+        recalls = [pt.recall for pt in points]
+        assert all(a >= b - 1e-12 for a, b in zip(recalls, recalls[1:]))
+
+    def test_one_to_one_constraint(self):
+        # two candidates share the left account; only one can link
+        pairs = [("a0", "b0"), ("a0", "b1")]
+        scores = np.array([0.9, 0.8])
+        points = precision_recall_curve(
+            pairs, scores, {("a0", "b0")}, num_thresholds=5
+        )
+        assert points[0].precision == pytest.approx(1.0)
+
+    def test_average_precision_perfect(self, scored_pairs):
+        pairs, scores, true = scored_pairs
+        points = precision_recall_curve(pairs, scores, true, num_thresholds=50)
+        assert average_precision(points) == pytest.approx(1.0, abs=0.02)
+
+    def test_average_precision_empty(self):
+        assert average_precision([]) == 0.0
+
+    def test_empty_scores(self):
+        assert precision_recall_curve([], np.zeros(0), set()) == []
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            precision_recall_curve([("a", "b")], np.zeros(2), set())
+
+    def test_f_beta(self):
+        point = CurvePoint(threshold=0.0, precision=1.0, recall=0.5)
+        assert point.f_beta(1.0) == pytest.approx(2 / 3)
+        # beta > 1 weights recall: with recall below precision, the score drops
+        assert point.f_beta(2.0) < point.f_beta(1.0) < point.f_beta(0.5)
+
+    def test_best_threshold_empty(self):
+        with pytest.raises(ValueError):
+            best_threshold([])
+
+
+class TestReport:
+    def test_format_table_aligned(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.125]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "2.500" in text
+        assert "0.125" in text
+
+    def test_markdown_table(self):
+        text = markdown_table(["x"], [[0.5]])
+        assert text.splitlines()[0] == "| x |"
+        assert "| 0.500 |" in text
+
+    def test_method_results_table(self):
+        metrics = LinkageMetrics(
+            precision=0.9, recall=0.8, f1=0.847, true_positives=8,
+            returned=9, actual=10,
+        )
+        result = MethodResult(method="HYDRA-M", metrics=metrics, seconds=1.5)
+        text = method_results_table([result])
+        assert "HYDRA-M" in text
+        assert "0.900" in text
+        md = method_results_table([result], markdown=True)
+        assert md.startswith("| method")

@@ -1,0 +1,62 @@
+"""Tests for the featurize-once sweep state (PreparedExperiment)."""
+
+import numpy as np
+import pytest
+
+from repro.core.moo import MooConfig
+from repro.eval import PreparedExperiment
+
+
+@pytest.fixture(scope="module")
+def prepared(small_world):
+    return PreparedExperiment(
+        small_world, seed=61, num_topics=8, max_lda_docs=1200
+    )
+
+
+class TestPreparedExperiment:
+    def test_layout_contract(self, prepared):
+        # labeled rows first, then unlabeled; labels match the split
+        assert prepared.num_labeled == len(prepared.y)
+        assert prepared.x_all.shape[0] == len(prepared.global_pairs)
+        assert not np.isnan(prepared.x_all).any()
+
+    def test_block_indices_in_range(self, prepared):
+        n = len(prepared.global_pairs)
+        for block in prepared.blocks:
+            assert block.indices.min() >= 0
+            assert block.indices.max() < n
+
+    def test_evaluate_config_metrics(self, prepared):
+        result = prepared.evaluate_config(MooConfig(gamma_l=0.01, gamma_m=0.0))
+        assert 0.0 <= result.metrics.precision <= 1.0
+        assert 0.0 <= result.metrics.recall <= 1.0
+        assert len(result.objective_values) >= 1
+
+    def test_same_config_deterministic(self, prepared):
+        config = MooConfig(gamma_l=0.01, gamma_m=10.0)
+        a = prepared.evaluate_config(config)
+        b = prepared.evaluate_config(config)
+        assert a.metrics.precision == b.metrics.precision
+        assert a.metrics.recall == b.metrics.recall
+
+    def test_gamma_matters(self, prepared):
+        """Extreme over-regularization must degrade the result."""
+        good = prepared.evaluate_config(MooConfig(gamma_l=0.01, gamma_m=0.0))
+        bad = prepared.evaluate_config(MooConfig(gamma_l=100.0, gamma_m=0.0))
+        assert good.metrics.f1 >= bad.metrics.f1
+
+    def test_reasonable_quality(self, prepared):
+        result = prepared.evaluate_config(MooConfig(gamma_l=0.01, gamma_m=100.0))
+        assert result.metrics.f1 > 0.5
+
+    def test_zero_fill_variant(self, small_world):
+        zero = PreparedExperiment(
+            small_world, seed=61, missing_strategy="zero",
+            num_topics=8, max_lda_docs=800,
+        )
+        assert not np.isnan(zero.x_all).any()
+
+    def test_invalid_strategy(self, small_world):
+        with pytest.raises(ValueError):
+            PreparedExperiment(small_world, missing_strategy="bogus")

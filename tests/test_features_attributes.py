@@ -1,0 +1,139 @@
+"""Unit tests for attribute matching and importance learning (Eqn 3)."""
+
+import numpy as np
+import pytest
+
+from repro.features import (
+    ATTRIBUTE_MATCHERS,
+    AttributeImportanceModel,
+    attribute_match_vector,
+    username_similarity,
+)
+from repro.socialnet.platform import Profile
+
+
+def _profile(**kwargs):
+    defaults = dict(username="user")
+    defaults.update(kwargs)
+    return Profile(**defaults)
+
+
+class TestAttributeMatchVector:
+    def test_exact_matches(self):
+        a = _profile(gender="f", birth=1990, edu="phd", job="chef",
+                     bio="runner reader", tag=("music", "art"), email="e@x")
+        b = _profile(gender="f", birth=1990, edu="phd", job="chef",
+                     bio="runner reader", tag=("music", "art"), email="e@x")
+        vec = attribute_match_vector(a, b)
+        np.testing.assert_array_equal(vec, np.ones(len(ATTRIBUTE_MATCHERS)))
+
+    def test_birth_tolerance(self):
+        a = _profile(birth=1990)
+        b = _profile(birth=1991)
+        vec = attribute_match_vector(a, b)
+        idx = list(ATTRIBUTE_MATCHERS).index("birth")
+        assert vec[idx] == 1.0
+        c = _profile(birth=1993)
+        assert attribute_match_vector(a, c)[idx] == 0.0
+
+    def test_missing_is_nan(self):
+        a = _profile(gender="f")
+        b = _profile()
+        vec = attribute_match_vector(a, b)
+        idx = list(ATTRIBUTE_MATCHERS).index("gender")
+        assert np.isnan(vec[idx])  # missing on b
+        assert np.isnan(vec).sum() == len(ATTRIBUTE_MATCHERS)
+
+    def test_tag_jaccard_threshold(self):
+        a = _profile(tag=("music", "art", "sports"))
+        b = _profile(tag=("music", "film", "tech"))
+        idx = list(ATTRIBUTE_MATCHERS).index("tag")
+        # jaccard 1/5 < 1/3 -> no match
+        assert attribute_match_vector(a, b)[idx] == 0.0
+        c = _profile(tag=("music", "art", "film"))
+        # jaccard 2/4 >= 1/3 -> match
+        assert attribute_match_vector(a, c)[idx] == 1.0
+
+    def test_bio_token_jaccard(self):
+        a = _profile(bio="runner reader coder")
+        b = _profile(bio="runner reader dancer")
+        idx = list(ATTRIBUTE_MATCHERS).index("bio")
+        assert attribute_match_vector(a, b)[idx] == 1.0
+
+
+class TestUsernameSimilarity:
+    def test_identical(self):
+        assert username_similarity("adele", "adele") == 1.0
+
+    def test_case_insensitive(self):
+        assert username_similarity("Adele", "aDELE") == 1.0
+
+    def test_decoration_keeps_overlap(self):
+        sim = username_similarity("adele", "adele123")
+        assert 0.3 < sim < 1.0
+
+    def test_unrelated_low(self):
+        assert username_similarity("adele", "xyzzy99") < 0.2
+
+    def test_empty(self):
+        assert username_similarity("", "adele") == 0.0
+
+    def test_symmetric(self):
+        assert username_similarity("adele.smith", "smithadele") == pytest.approx(
+            username_similarity("smithadele", "adele.smith")
+        )
+
+
+class TestAttributeImportanceModel:
+    def _pairs(self):
+        """Email matches only in positives; gender matches everywhere."""
+        pos = []
+        neg = []
+        for i in range(10):
+            pos.append((
+                _profile(gender="f", email=f"user{i}@x"),
+                _profile(gender="f", email=f"user{i}@x"),
+            ))
+            neg.append((
+                _profile(gender="f", email=f"user{i}@x"),
+                _profile(gender="f", email=f"other{i}@x"),
+            ))
+        return pos, neg
+
+    def test_discriminative_attribute_weighted_higher(self):
+        pos, neg = self._pairs()
+        model = AttributeImportanceModel().fit(pos, neg)
+        names = model.attribute_names
+        weights = dict(zip(names, model.weights_))
+        assert weights["email"] > weights["gender"]
+
+    def test_weights_normalized(self):
+        pos, neg = self._pairs()
+        model = AttributeImportanceModel().fit(pos, neg)
+        assert model.weights_.sum() == pytest.approx(1.0)
+        assert (model.weights_ >= 0).all()
+
+    def test_epsilon_keeps_unseen_positive(self):
+        pos, neg = self._pairs()
+        model = AttributeImportanceModel(epsilon=0.01).fit(pos, neg)
+        # attributes never observed (birth, bio, ...) still get epsilon mass
+        assert (model.weights_ > 0).all()
+
+    def test_weighted_matches_scale(self):
+        pos, neg = self._pairs()
+        model = AttributeImportanceModel().fit(pos, neg)
+        a, b = pos[0]
+        weighted = model.weighted_matches(a, b)
+        names = model.attribute_names
+        email_idx = names.index("email")
+        assert weighted[email_idx] == pytest.approx(1.0)  # strongest attribute
+        gender_idx = names.index("gender")
+        assert 0 < weighted[gender_idx] < 1.0
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            AttributeImportanceModel().weighted_matches(_profile(), _profile())
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            AttributeImportanceModel(epsilon=0.0)

@@ -1,0 +1,76 @@
+"""Unit tests for the simulated face-matching workflow (Fig 4)."""
+
+import numpy as np
+import pytest
+
+from repro.features import FaceMatcher
+
+
+def _unit(vec):
+    vec = np.asarray(vec, dtype=float)
+    return vec / np.linalg.norm(vec)
+
+
+class TestFaceMatcher:
+    def test_missing_image_aborts(self):
+        matcher = FaceMatcher(detection_failure_rate=0.0)
+        assert np.isnan(matcher.score(None, _unit([1, 0])))
+        assert np.isnan(matcher.score(_unit([1, 0]), None))
+
+    def test_same_face_high_score(self):
+        matcher = FaceMatcher(detection_failure_rate=0.0)
+        face = _unit(np.arange(1, 17))
+        assert matcher.score(face, face) > 0.9
+
+    def test_different_faces_low_score(self):
+        rng = np.random.default_rng(0)
+        matcher = FaceMatcher(detection_failure_rate=0.0)
+        a = _unit(rng.normal(size=16))
+        b = _unit(rng.normal(size=16))
+        assert matcher.score(a, b) < 0.5
+
+    def test_noisy_same_face_still_high(self):
+        rng = np.random.default_rng(1)
+        matcher = FaceMatcher(detection_failure_rate=0.0)
+        base = _unit(rng.normal(size=16))
+        noisy = _unit(base + rng.normal(0, 0.1, 16))
+        assert matcher.score(base, noisy) > 0.7
+
+    def test_detection_failure_deterministic(self):
+        matcher = FaceMatcher(detection_failure_rate=0.5)
+        face = _unit(np.arange(1, 17))
+        assert matcher.detects_face(face) == matcher.detects_face(face)
+
+    def test_detection_failure_rate_respected(self):
+        rng = np.random.default_rng(2)
+        matcher = FaceMatcher(detection_failure_rate=0.3)
+        detected = sum(
+            matcher.detects_face(_unit(rng.normal(size=16))) for _ in range(300)
+        )
+        assert 0.55 < detected / 300 < 0.85  # ~70 % detected
+
+    def test_failed_detection_aborts(self):
+        rng = np.random.default_rng(3)
+        matcher = FaceMatcher(detection_failure_rate=0.9)
+        aborted = 0
+        for _ in range(50):
+            a = _unit(rng.normal(size=16))
+            b = _unit(rng.normal(size=16))
+            if np.isnan(matcher.score(a, b)):
+                aborted += 1
+        assert aborted > 40
+
+    def test_zero_vector_aborts(self):
+        matcher = FaceMatcher(detection_failure_rate=0.0)
+        assert np.isnan(matcher.score(np.zeros(16), _unit(np.arange(1, 17))))
+
+    def test_score_in_unit_interval(self):
+        rng = np.random.default_rng(4)
+        matcher = FaceMatcher(detection_failure_rate=0.0)
+        for _ in range(20):
+            score = matcher.score(_unit(rng.normal(size=16)), _unit(rng.normal(size=16)))
+            assert 0.0 <= score <= 1.0
+
+    def test_invalid_failure_rate(self):
+        with pytest.raises(ValueError):
+            FaceMatcher(detection_failure_rate=1.0)

@@ -1,0 +1,180 @@
+"""Unit tests for pattern sensors and multi-resolution pooling (Eqn 5, Fig 6)."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.media import make_fingerprint
+from repro.features import (
+    LocationMatchingSensor,
+    MultiResolutionMatcher,
+    NearDuplicateMediaSensor,
+    SENSOR_SCALES_DAYS,
+)
+from repro.features.temporal import lq_pool, stimulated_sigmoid
+from repro.socialnet import EventStore
+
+
+class TestLocationSensor:
+    def test_same_location_strong(self):
+        sensor = LocationMatchingSensor(bandwidth_km=2.0)
+        stim = sensor.stimulus([(40.0, -74.0)], [(40.0, -74.0)])
+        assert stim == pytest.approx(1.0)
+
+    def test_nearby_decays(self):
+        sensor = LocationMatchingSensor(bandwidth_km=2.0)
+        # ~1.1 km north
+        stim = sensor.stimulus([(40.0, -74.0)], [(40.01, -74.0)])
+        assert 0.5 < stim < 1.0
+
+    def test_beyond_range_zero(self):
+        sensor = LocationMatchingSensor(bandwidth_km=2.0, max_range_km=25.0)
+        # ~111 km away
+        assert sensor.stimulus([(40.0, -74.0)], [(41.0, -74.0)]) == 0.0
+
+    def test_best_pair_wins(self):
+        sensor = LocationMatchingSensor(bandwidth_km=2.0)
+        stim = sensor.stimulus(
+            [(40.0, -74.0), (50.0, 8.0)], [(50.0, 8.0)]
+        )
+        assert stim == pytest.approx(1.0)
+
+    def test_empty_windows(self):
+        sensor = LocationMatchingSensor()
+        assert sensor.stimulus([], [(1.0, 1.0)]) == 0.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LocationMatchingSensor(bandwidth_km=0.0)
+        with pytest.raises(ValueError):
+            LocationMatchingSensor(max_range_km=-1.0)
+
+
+class TestMediaSensor:
+    def test_same_item_any_variant(self):
+        sensor = NearDuplicateMediaSensor()
+        a = [make_fingerprint(5, 1)]
+        b = [make_fingerprint(5, 200)]
+        assert sensor.stimulus(a, b) == pytest.approx(1.0)
+
+    def test_disjoint_items(self):
+        sensor = NearDuplicateMediaSensor()
+        assert sensor.stimulus(
+            [make_fingerprint(1, 0)], [make_fingerprint(2, 0)]
+        ) == 0.0
+
+    def test_partial_overlap(self):
+        sensor = NearDuplicateMediaSensor()
+        a = [make_fingerprint(1, 0), make_fingerprint(2, 0)]
+        b = [make_fingerprint(2, 3), make_fingerprint(3, 0), make_fingerprint(4, 0)]
+        assert sensor.stimulus(a, b) == pytest.approx(0.5)  # 1 shared / min(2,3)
+
+    def test_empty(self):
+        assert NearDuplicateMediaSensor().stimulus([], [1]) == 0.0
+
+
+class TestPooling:
+    def test_q1_is_mean(self):
+        s = np.array([0.2, 0.4, 0.6])
+        assert lq_pool(s, 1.0) == pytest.approx(s.mean())
+
+    def test_large_q_approaches_max(self):
+        s = np.array([0.1, 0.9])
+        assert lq_pool(s, 50.0) == pytest.approx(0.9 * (0.5) ** (1 / 50.0), rel=1e-3)
+        assert lq_pool(s, 50.0) > lq_pool(s, 1.0)
+
+    def test_monotone_in_q_for_mixed_signals(self):
+        s = np.array([0.1, 0.5, 0.9])
+        pools = [lq_pool(s, q) for q in (1.0, 2.0, 4.0, 8.0)]
+        assert all(a <= b + 1e-12 for a, b in zip(pools, pools[1:]))
+
+    def test_empty_pools_to_zero(self):
+        assert lq_pool(np.array([]), 3.0) == 0.0
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            lq_pool(np.array([0.5]), 0.5)
+
+    def test_negative_stimuli_rejected(self):
+        with pytest.raises(ValueError):
+            lq_pool(np.array([-0.1]), 2.0)
+
+    def test_sigmoid_range_and_monotonicity(self):
+        lo = stimulated_sigmoid(0.0, 4.0)
+        hi = stimulated_sigmoid(1.0, 4.0)
+        assert lo == pytest.approx(0.5)
+        assert lo < hi < 1.0
+
+    def test_sigmoid_invalid_lambda(self):
+        with pytest.raises(ValueError):
+            stimulated_sigmoid(0.5, 0.0)
+
+
+def _store_with(account, kind, events):
+    store = EventStore()
+    for ts, payload in events:
+        store.add(account, kind, ts, payload)
+    return store
+
+
+class TestMultiResolutionMatcher:
+    def _matcher(self, **kwargs):
+        defaults = dict(
+            sensors=[LocationMatchingSensor(), NearDuplicateMediaSensor()],
+            scales_days=(2.0, 8.0),
+            time_range=(0.0, 32.0),
+        )
+        defaults.update(kwargs)
+        return MultiResolutionMatcher(**defaults)
+
+    def test_output_dim_and_names(self):
+        matcher = self._matcher()
+        assert matcher.output_dim == 4
+        assert matcher.feature_names() == [
+            "checkin@2d", "checkin@8d", "media@2d", "media@8d",
+        ]
+
+    def test_synchronized_behavior_scores_high(self):
+        events = [(float(t), (40.0, -74.0)) for t in range(0, 32, 2)]
+        store_a = _store_with("a", "checkin", events).finalize()
+        store_b = _store_with("b", "checkin", events).finalize()
+        matcher = self._matcher(sensors=[LocationMatchingSensor()])
+        vec = matcher.match_vector(store_a, "a", store_b, "b")
+        assert (vec > 0.9).all()
+
+    def test_missing_modality_is_nan(self):
+        store_a = _store_with("a", "checkin", [(1.0, (0.0, 0.0))]).finalize()
+        store_b = EventStore().finalize()
+        matcher = self._matcher(sensors=[LocationMatchingSensor()])
+        vec = matcher.match_vector(store_a, "a", store_b, "b")
+        assert np.isnan(vec).all()
+
+    def test_asynchronous_matches_only_coarse_scale(self):
+        fp = make_fingerprint(9, 0)
+        store_a = _store_with("a", "media", [(0.5, fp)]).finalize()
+        store_b = _store_with("b", "media", [(5.0, fp)]).finalize()  # 4.5 days later
+        matcher = self._matcher(sensors=[NearDuplicateMediaSensor()])
+        vec = matcher.match_vector(store_a, "a", store_b, "b")
+        # scale 2d: different windows -> no stimuli -> sigmoid(0) = 0.5
+        assert vec[0] == pytest.approx(0.5)
+        # scale 8d: same window -> full match
+        assert vec[1] > 0.9
+
+    def test_match_from_buckets_equals_one_shot(self):
+        events = [(float(t), (40.0, -74.0)) for t in range(0, 30, 3)]
+        store = _store_with("a", "checkin", events).finalize()
+        matcher = self._matcher(sensors=[LocationMatchingSensor()])
+        buckets = matcher.account_buckets(store, "a")
+        via_buckets = matcher.match_from_buckets(buckets, buckets)
+        one_shot = matcher.match_vector(store, "a", store, "a")
+        np.testing.assert_allclose(via_buckets, one_shot, equal_nan=True)
+
+    def test_paper_default_scales(self):
+        assert SENSOR_SCALES_DAYS == (2.0, 4.0, 8.0, 16.0, 32.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiResolutionMatcher([], scales_days=(1.0,))
+        with pytest.raises(ValueError):
+            self._matcher(scales_days=())
+        with pytest.raises(ValueError):
+            self._matcher(q=0.5)

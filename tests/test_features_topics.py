@@ -1,0 +1,143 @@
+"""Unit tests for multi-scale temporal topic similarity (Fig 5)."""
+
+import numpy as np
+import pytest
+
+from repro.features import MultiScaleTopicSimilarity, TOPIC_SCALES_DAYS
+from repro.features.topics import (
+    bucket_aggregate,
+    chi_square_similarity,
+    histogram_intersection,
+)
+
+
+class TestKernels:
+    def test_chi_square_identical(self):
+        p = np.array([0.2, 0.3, 0.5])
+        assert chi_square_similarity(p, p) == pytest.approx(1.0)
+
+    def test_chi_square_disjoint(self):
+        assert chi_square_similarity(
+            np.array([1.0, 0.0]), np.array([0.0, 1.0])
+        ) == pytest.approx(0.0)
+
+    def test_histogram_intersection_identical(self):
+        p = np.array([0.4, 0.6])
+        assert histogram_intersection(p, p) == pytest.approx(1.0)
+
+    def test_histogram_intersection_partial(self):
+        assert histogram_intersection(
+            np.array([0.5, 0.5]), np.array([1.0, 0.0])
+        ) == pytest.approx(0.5)
+
+    def test_kernels_bounded(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            p = rng.dirichlet(np.ones(5))
+            q = rng.dirichlet(np.ones(5))
+            assert 0.0 <= chi_square_similarity(p, q) <= 1.0 + 1e-9
+            assert 0.0 <= histogram_intersection(p, q) <= 1.0 + 1e-9
+
+
+class TestBucketAggregate:
+    def test_mean_within_bucket(self):
+        dists = np.array([[1.0, 0.0], [0.0, 1.0]])
+        times = np.array([0.5, 0.7])
+        means, has = bucket_aggregate(dists, times, scale_days=1.0, t0=0.0, t1=2.0)
+        assert means.shape == (2, 2)
+        np.testing.assert_allclose(means[0], [0.5, 0.5])
+        assert has.tolist() == [True, False]
+
+    def test_bucket_count(self):
+        means, has = bucket_aggregate(
+            np.zeros((0, 3)), np.zeros(0), scale_days=8.0, t0=0.0, t1=20.0
+        )
+        assert means.shape[0] == 3  # ceil(20/8)
+        assert not has.any()
+
+    def test_boundary_clipping(self):
+        dists = np.array([[1.0]])
+        means, has = bucket_aggregate(
+            dists, np.array([2.0]), scale_days=1.0, t0=0.0, t1=2.0
+        )
+        assert has[1]  # clipped into last bucket
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            bucket_aggregate(np.zeros((0, 1)), np.zeros(0), scale_days=0.0, t0=0, t1=1)
+        with pytest.raises(ValueError):
+            bucket_aggregate(np.zeros((0, 1)), np.zeros(0), scale_days=1.0, t0=1, t1=1)
+
+
+class TestMultiScaleTopicSimilarity:
+    def test_paper_scales_default(self):
+        assert TOPIC_SCALES_DAYS == (1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+
+    def test_output_dim(self):
+        sim = MultiScaleTopicSimilarity(scales_days=(2.0, 4.0), time_range=(0, 8))
+        assert sim.output_dim == 2
+
+    def test_identical_users_high_similarity(self):
+        rng = np.random.default_rng(1)
+        times = np.sort(rng.uniform(0, 64, 40))
+        dists = rng.dirichlet(np.ones(4), size=40)
+        sim = MultiScaleTopicSimilarity(time_range=(0.0, 64.0))
+        vec = sim.similarity_vector(dists, times, dists, times)
+        assert np.nanmin(vec) > 0.99
+
+    def test_disjoint_topics_low_similarity(self):
+        times = np.arange(0.0, 64.0, 2.0)
+        n = len(times)
+        dists_a = np.tile([1.0, 0.0], (n, 1))
+        dists_b = np.tile([0.0, 1.0], (n, 1))
+        sim = MultiScaleTopicSimilarity(time_range=(0.0, 64.0))
+        vec = sim.similarity_vector(dists_a, times, dists_b, times)
+        assert np.nanmax(vec) == pytest.approx(0.0)
+
+    def test_no_overlap_gives_nan(self):
+        # user A active first half, user B second half; 1-day buckets never co-fire
+        times_a = np.arange(0.0, 10.0)
+        times_b = np.arange(20.0, 30.0)
+        dists = np.tile([0.5, 0.5], (10, 1))
+        sim = MultiScaleTopicSimilarity(scales_days=(1.0,), time_range=(0.0, 30.0))
+        vec = sim.similarity_vector(dists, times_a, dists, times_b)
+        assert np.isnan(vec[0])
+
+    def test_coarser_scales_recover_overlap(self):
+        # asynchronous-but-similar behavior: matches only at coarse scales
+        times_a = np.array([0.0, 8.0, 16.0, 24.0])
+        times_b = times_a + 3.0  # 3-day lag
+        dists = np.tile([1.0, 0.0], (4, 1))
+        sim = MultiScaleTopicSimilarity(
+            scales_days=(1.0, 16.0), time_range=(0.0, 32.0)
+        )
+        vec = sim.similarity_vector(dists, times_a, dists, times_b)
+        assert np.isnan(vec[0]) or vec[0] < 1.0
+        assert vec[1] == pytest.approx(1.0)
+
+    def test_profiles_match_one_shot(self):
+        rng = np.random.default_rng(2)
+        times = np.sort(rng.uniform(0, 32, 20))
+        dists = rng.dirichlet(np.ones(3), size=20)
+        sim = MultiScaleTopicSimilarity(time_range=(0.0, 32.0))
+        profile = sim.account_profile(dists, times)
+        via_profiles = sim.similarity_from_profiles(profile, profile)
+        one_shot = sim.similarity_vector(dists, times, dists, times)
+        np.testing.assert_allclose(via_profiles, one_shot, equal_nan=True)
+
+    def test_histogram_kernel_option(self):
+        sim = MultiScaleTopicSimilarity(
+            kernel="histogram_intersection", scales_days=(4.0,), time_range=(0, 8)
+        )
+        times = np.array([1.0, 5.0])
+        dists = np.array([[0.5, 0.5], [0.5, 0.5]])
+        vec = sim.similarity_vector(dists, times, dists, times)
+        assert vec[0] == pytest.approx(1.0)
+
+    def test_invalid_kernel(self):
+        with pytest.raises(ValueError):
+            MultiScaleTopicSimilarity(kernel="bogus")
+
+    def test_empty_scales(self):
+        with pytest.raises(ValueError):
+            MultiScaleTopicSimilarity(scales_days=())

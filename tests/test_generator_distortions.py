@@ -1,0 +1,189 @@
+"""Per-challenge validation of the Section 1.1 distortions in generated worlds.
+
+The paper names five reasons cross-platform linkage is hard: unreliable
+usernames, missing information, information veracity, platform difference /
+behavior asynchrony, and data imbalance.  Each test isolates one distortion
+knob of the generator and verifies it produces the phenomenon.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datagen import (
+    PlatformSpec,
+    WorldConfig,
+    divergence_summary,
+    generate_world,
+)
+from repro.features.attributes import username_similarity
+
+
+def _two_platform_config(**overrides):
+    defaults = dict(num_persons=25, seed=71)
+    defaults.update(overrides)
+    return WorldConfig(**defaults)
+
+
+def _paired_profiles(world):
+    """(facebook profile, twitter profile) per person."""
+    out = []
+    for fb_id, tw_id in world.true_pairs("facebook", "twitter"):
+        out.append(
+            (
+                world.platforms["facebook"].accounts[fb_id].profile,
+                world.platforms["twitter"].accounts[tw_id].profile,
+            )
+        )
+    return out
+
+
+class TestUnreliableUsernames:
+    def test_low_overlap_setting_breaks_username_matching(self):
+        reliable = generate_world(
+            _two_platform_config(username_overlap_probability=1.0)
+        )
+        unreliable = generate_world(
+            _two_platform_config(username_overlap_probability=0.0)
+        )
+        sim_reliable = np.mean(
+            [username_similarity(a.username, b.username)
+             for a, b in _paired_profiles(reliable)]
+        )
+        sim_unreliable = np.mean(
+            [username_similarity(a.username, b.username)
+             for a, b in _paired_profiles(unreliable)]
+        )
+        assert sim_reliable > sim_unreliable + 0.2
+
+    def test_usernames_always_present(self):
+        world = generate_world(_two_platform_config())
+        for account in world.iter_accounts():
+            assert account.profile.username
+
+
+class TestInformationVeracity:
+    def test_false_attributes_injected(self):
+        """With veracity noise, some same-person profiles disagree on birth."""
+        noisy = generate_world(
+            _two_platform_config(false_attribute_probability=0.5,
+                                 apply_missingness=False)
+        )
+        disagreements = sum(
+            1 for a, b in _paired_profiles(noisy)
+            if a.birth is not None and b.birth is not None
+            and abs(a.birth - b.birth) > 1
+        )
+        assert disagreements > 0
+
+    def test_clean_setting_agrees(self):
+        clean = generate_world(
+            _two_platform_config(false_attribute_probability=0.0,
+                                 apply_missingness=False)
+        )
+        for a, b in _paired_profiles(clean):
+            assert abs(a.birth - b.birth) <= 0  # identical, no noise
+
+
+class TestImpostorFaces:
+    def test_impostor_flag_set(self):
+        world = generate_world(
+            _two_platform_config(impostor_face_probability=0.5,
+                                 apply_missingness=False)
+        )
+        impostors = sum(
+            1 for account in world.iter_accounts()
+            if not account.profile.face_is_real
+        )
+        assert impostors > 0
+
+    def test_no_impostors_when_disabled(self):
+        world = generate_world(
+            _two_platform_config(impostor_face_probability=0.0,
+                                 apply_missingness=False)
+        )
+        assert all(a.profile.face_is_real for a in world.iter_accounts())
+
+
+class TestPlatformDifference:
+    def test_divergence_knob_moves_content(self):
+        near = generate_world(WorldConfig(
+            num_persons=20, seed=72,
+            platforms=(PlatformSpec("x", "en", divergence=0.05),
+                       PlatformSpec("y", "en", divergence=0.1)),
+        ))
+        far = generate_world(WorldConfig(
+            num_persons=20, seed=72,
+            platforms=(PlatformSpec("x", "en", divergence=0.05),
+                       PlatformSpec("y", "en", divergence=0.85)),
+        ))
+        assert (divergence_summary(far, "x", "y")["median"]
+                > divergence_summary(near, "x", "y")["median"])
+
+
+class TestDataImbalance:
+    def test_activity_multiplier_scales_volume(self):
+        world = generate_world(WorldConfig(
+            num_persons=20, seed=73,
+            platforms=(PlatformSpec("big", "en", activity_multiplier=2.0),
+                       PlatformSpec("small", "en", activity_multiplier=0.25)),
+        ))
+        big_events = len(world.platforms["big"].events)
+        small_events = len(world.platforms["small"].events)
+        assert big_events > 3 * small_events
+
+
+class TestBehaviorAsynchrony:
+    def test_phase_offset_shifts_post_times(self):
+        world = generate_world(WorldConfig(
+            num_persons=20, seed=74, time_span_days=100.0,
+            platforms=(
+                PlatformSpec("early", "en", phase_offset_days=0.0),
+                PlatformSpec("late", "en", phase_offset_days=50.0),
+            ),
+        ))
+        # the phase shift wraps times modulo the span; the *distributions*
+        # of post times must differ measurably between the platforms
+        def post_times(platform_name):
+            platform = world.platforms[platform_name]
+            times = []
+            for account_id in platform.account_ids():
+                times.extend(platform.events.timestamps_for(account_id, "post"))
+            return np.asarray(times)
+
+        early = post_times("early")
+        late = post_times("late")
+        assert early.size and late.size
+        # Kolmogorov-Smirnov-style distance on empirical CDFs
+        grid = np.linspace(0, 100, 101)
+        cdf_early = np.searchsorted(np.sort(early), grid) / early.size
+        cdf_late = np.searchsorted(np.sort(late), grid) / late.size
+        assert np.abs(cdf_early - cdf_late).max() > 0.05
+
+    def test_media_reshare_lag(self):
+        """Re-shared items appear later on the second platform."""
+        world = generate_world(
+            _two_platform_config(media_reshare_probability=1.0,
+                                 media_reshare_lag_days=10.0)
+        )
+        from repro.datagen.media import item_of
+        fb = world.platforms["facebook"]
+        tw = world.platforms["twitter"]
+        lags = []
+        for fb_id, tw_id in world.true_pairs("facebook", "twitter"):
+            fb_events = {
+                item_of(int(p)): t
+                for t, p in zip(
+                    fb.events.timestamps_for(fb_id, "media"),
+                    fb.events.payloads_for(fb_id, "media"),
+                )
+            }
+            for t, p in zip(
+                tw.events.timestamps_for(tw_id, "media"),
+                tw.events.payloads_for(tw_id, "media"),
+            ):
+                item = item_of(int(p))
+                if item in fb_events:
+                    lags.append(abs(t - fb_events[item]))
+        assert lags, "no shared media items found"
+        # many shared items appear with a nonzero temporal lag
+        assert np.median(lags) > 0.5

@@ -1,0 +1,266 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.eigen import principal_eigenvector
+from repro.core.kernels import chi_square_kernel, rbf_kernel
+from repro.core.qp import solve_box_qp
+from repro.features.attributes import username_similarity
+from repro.features.temporal import lq_pool, stimulated_sigmoid
+from repro.features.topics import chi_square_similarity, histogram_intersection
+from repro.socialnet import EventStore, SocialGraph
+from repro.text.tokenizer import Tokenizer, normalize_word
+from repro.text.variational import digamma
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+_names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Nd"), max_codepoint=0x7F),
+    min_size=1,
+    max_size=12,
+)
+
+_distributions = hnp.arrays(
+    np.float64,
+    st.integers(2, 6),
+    elements=st.floats(0.01, 10.0, allow_nan=False),
+).map(lambda a: a / a.sum())
+
+
+@st.composite
+def _weighted_edges(draw):
+    n = draw(st.integers(2, 8))
+    nodes = [f"n{i}" for i in range(n)]
+    m = draw(st.integers(1, 12))
+    edges = []
+    for _ in range(m):
+        u = draw(st.sampled_from(nodes))
+        v = draw(st.sampled_from(nodes))
+        if u != v:
+            edges.append((u, v, draw(st.floats(0.1, 5.0))))
+    return nodes, edges
+
+
+# ---------------------------------------------------------------------------
+# text properties
+# ---------------------------------------------------------------------------
+
+class TestTextProperties:
+    @given(_names)
+    def test_normalize_idempotent(self, word):
+        once = normalize_word(word)
+        assert normalize_word(once) == once
+
+    @given(st.text(max_size=80))
+    def test_tokenizer_never_raises_and_normalizes(self, text):
+        tokens = Tokenizer().tokenize(text)
+        for token in tokens:
+            assert token == token.lower()
+            assert len(token) >= 2
+
+    @given(hnp.arrays(np.float64, st.integers(1, 5),
+                      elements=st.floats(0.01, 1e4)))
+    def test_digamma_monotone(self, x):
+        x = np.sort(x)
+        values = digamma(x)
+        assert (np.diff(values) >= -1e-9).all()
+
+
+# ---------------------------------------------------------------------------
+# kernel / similarity properties
+# ---------------------------------------------------------------------------
+
+class TestSimilarityProperties:
+    @given(_distributions, _distributions)
+    def test_chi_square_symmetric_bounded(self, p, q):
+        if p.shape != q.shape:
+            return
+        s_pq = chi_square_similarity(p, q)
+        s_qp = chi_square_similarity(q, p)
+        assert abs(s_pq - s_qp) < 1e-9
+        assert -1e-9 <= s_pq <= 1.0 + 1e-9
+
+    @given(_distributions)
+    def test_chi_square_self_is_one(self, p):
+        assert abs(chi_square_similarity(p, p) - 1.0) < 1e-9
+
+    @given(_distributions, _distributions)
+    def test_histogram_intersection_bounded_by_chi_square_bound(self, p, q):
+        if p.shape != q.shape:
+            return
+        hi = histogram_intersection(p, q)
+        assert -1e-9 <= hi <= 1.0 + 1e-9
+
+    @given(_names, _names)
+    def test_username_similarity_symmetric_bounded(self, a, b):
+        s = username_similarity(a, b)
+        assert abs(s - username_similarity(b, a)) < 1e-12
+        assert 0.0 <= s <= 1.0
+
+    @given(_names)
+    def test_username_self_similarity_is_one(self, name):
+        assert username_similarity(name, name) == 1.0
+
+    @given(hnp.arrays(np.float64, st.tuples(st.integers(1, 6), st.integers(1, 4)),
+                      elements=st.floats(-3, 3)))
+    @settings(max_examples=30)
+    def test_rbf_gram_psd(self, x):
+        k = rbf_kernel(x, x, gamma=0.5)
+        eigvals = np.linalg.eigvalsh(0.5 * (k + k.T))
+        assert eigvals.min() > -1e-7
+
+    @given(hnp.arrays(np.float64, st.tuples(st.integers(1, 5), st.integers(1, 4)),
+                      elements=st.floats(0, 2)))
+    @settings(max_examples=30)
+    def test_chi_square_kernel_symmetric(self, x):
+        k = chi_square_kernel(x, x)
+        np.testing.assert_allclose(k, k.T, atol=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# pooling properties
+# ---------------------------------------------------------------------------
+
+class TestPoolingProperties:
+    @given(hnp.arrays(np.float64, st.integers(1, 20),
+                      elements=st.floats(0.0, 1.0)),
+           st.floats(1.0, 16.0))
+    def test_lq_pool_between_mean_and_max(self, stimuli, q):
+        pooled = lq_pool(stimuli, q)
+        assert stimuli.mean() - 1e-9 <= pooled <= stimuli.max() + 1e-9
+
+    @given(hnp.arrays(np.float64, st.integers(1, 10),
+                      elements=st.floats(0.0, 1.0)))
+    def test_lq_pool_q1_is_mean(self, stimuli):
+        assert abs(lq_pool(stimuli, 1.0) - stimuli.mean()) < 1e-9
+
+    @given(st.floats(0.0, 5.0), st.floats(0.1, 20.0))
+    def test_sigmoid_in_upper_half_interval(self, value, lam):
+        out = stimulated_sigmoid(value, lam)
+        # non-negative stimuli map to [0.5, 1]; 1.0 reachable in float arithmetic
+        assert 0.5 <= out <= 1.0
+
+
+# ---------------------------------------------------------------------------
+# graph properties
+# ---------------------------------------------------------------------------
+
+class TestGraphProperties:
+    @given(_weighted_edges())
+    @settings(max_examples=40)
+    def test_weight_symmetry(self, nodes_edges):
+        nodes, edges = nodes_edges
+        g = SocialGraph()
+        for node in nodes:
+            g.add_node(node)
+        for u, v, w in edges:
+            g.add_interaction(u, v, w)
+        for u in nodes:
+            for v in nodes:
+                assert g.weight(u, v) == g.weight(v, u)
+
+    @given(_weighted_edges())
+    @settings(max_examples=40)
+    def test_hop_count_triangle_inequality(self, nodes_edges):
+        nodes, edges = nodes_edges
+        g = SocialGraph()
+        for node in nodes:
+            g.add_node(node)
+        for u, v, w in edges:
+            g.add_interaction(u, v, w)
+        a, b, c = nodes[0], nodes[len(nodes) // 2], nodes[-1]
+        ab = g.hop_count(a, b)
+        bc = g.hop_count(b, c)
+        ac = g.hop_count(a, c)
+        if ab is not None and bc is not None:
+            assert ac is not None
+            assert ac <= ab + bc
+
+    @given(_weighted_edges())
+    @settings(max_examples=40)
+    def test_components_partition_nodes(self, nodes_edges):
+        nodes, edges = nodes_edges
+        g = SocialGraph()
+        for node in nodes:
+            g.add_node(node)
+        for u, v, w in edges:
+            g.add_interaction(u, v, w)
+        comps = g.connected_components()
+        union = set().union(*comps) if comps else set()
+        assert union == set(g.nodes())
+        assert sum(len(c) for c in comps) == len(g)
+
+
+# ---------------------------------------------------------------------------
+# event store properties
+# ---------------------------------------------------------------------------
+
+class TestEventStoreProperties:
+    @given(st.lists(
+        st.tuples(
+            st.sampled_from(["u1", "u2", "u3"]),
+            st.sampled_from(["post", "media"]),
+            st.floats(0.0, 100.0, allow_nan=False),
+        ),
+        max_size=40,
+    ))
+    @settings(max_examples=40)
+    def test_timestamps_always_sorted(self, rows):
+        store = EventStore()
+        for account, kind, ts in rows:
+            store.add(account, kind, ts, "payload")
+        store.finalize()
+        for account in ("u1", "u2", "u3"):
+            for kind in ("post", "media"):
+                ts = store.timestamps_for(account, kind)
+                assert (np.diff(ts) >= 0).all()
+
+    @given(st.lists(st.floats(0.0, 50.0, allow_nan=False), max_size=30),
+           st.floats(0.0, 25.0), st.floats(25.0, 50.0))
+    @settings(max_examples=40)
+    def test_range_queries_complete(self, times, t0, t1):
+        store = EventStore()
+        for ts in times:
+            store.add("u", "post", ts, ts)
+        store.finalize()
+        inside = store.payloads_for("u", "post", t0=t0, t1=t1)
+        expected = sorted(ts for ts in times if t0 <= ts < t1)
+        assert sorted(inside) == expected
+
+
+# ---------------------------------------------------------------------------
+# solver properties
+# ---------------------------------------------------------------------------
+
+class TestSolverProperties:
+    @given(st.integers(2, 8), st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_qp_solution_feasible(self, n, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(n, n))
+        q = a @ a.T / n
+        y = rng.choice([-1.0, 1.0], size=n)
+        if np.unique(y).size < 2:
+            y[0] = -y[0]
+        c = 1.0 / n
+        result = solve_box_qp(q, y, c)
+        assert (result.beta >= -1e-10).all()
+        assert (result.beta <= c + 1e-10).all()
+        assert abs(result.beta @ y) < 1e-8
+        assert result.objective >= -1e-9  # beta = 0 is feasible with value 0
+
+    @given(st.integers(2, 7), st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_power_iteration_eigenvalue_dominant(self, n, seed):
+        rng = np.random.default_rng(seed)
+        m = rng.random((n, n))
+        m = 0.5 * (m + m.T)
+        vec, val = principal_eigenvector(m)
+        reference = np.abs(np.linalg.eigvalsh(m)).max()
+        assert val <= reference + 1e-6
+        assert val >= reference - 1e-4

@@ -1,0 +1,71 @@
+"""Unit tests for label-propagation community detection."""
+
+import pytest
+
+from repro.socialnet import SocialGraph, label_propagation_communities
+
+
+def _clique(graph, members, weight=5.0):
+    for i, u in enumerate(members):
+        for v in members[i + 1 :]:
+            graph.add_interaction(u, v, weight)
+
+
+class TestLabelPropagation:
+    def test_two_cliques_found(self):
+        g = SocialGraph()
+        _clique(g, ["a1", "a2", "a3", "a4"])
+        _clique(g, ["b1", "b2", "b3", "b4"])
+        g.add_interaction("a1", "b1", 0.1)  # weak bridge
+        communities = label_propagation_communities(g, seed=0)
+        sets = [frozenset(c) for c in communities]
+        assert frozenset({"a1", "a2", "a3", "a4"}) in sets
+        assert frozenset({"b1", "b2", "b3", "b4"}) in sets
+
+    def test_largest_first(self):
+        g = SocialGraph()
+        _clique(g, [f"x{i}" for i in range(6)])
+        _clique(g, ["y1", "y2", "y3"])
+        communities = label_propagation_communities(g, seed=0)
+        assert len(communities[0]) >= len(communities[-1])
+        assert len(communities[0]) == 6
+
+    def test_partition_covers_all_nodes(self):
+        g = SocialGraph()
+        _clique(g, ["a", "b", "c"])
+        g.add_node("isolated")
+        communities = label_propagation_communities(g, seed=1)
+        covered = set().union(*communities)
+        assert covered == set(g.nodes())
+
+    def test_partition_is_disjoint(self):
+        g = SocialGraph()
+        _clique(g, ["a", "b", "c"])
+        _clique(g, ["d", "e", "f"])
+        communities = label_propagation_communities(g, seed=2)
+        total = sum(len(c) for c in communities)
+        assert total == len(set().union(*communities))
+
+    def test_empty_graph(self):
+        assert label_propagation_communities(SocialGraph()) == []
+
+    def test_deterministic_for_seed(self):
+        g = SocialGraph()
+        _clique(g, ["a", "b", "c", "d"])
+        _clique(g, ["e", "f", "g"])
+        g.add_interaction("a", "e", 0.2)
+        first = label_propagation_communities(g, seed=5)
+        second = label_propagation_communities(g, seed=5)
+        assert first == second
+
+    def test_weighted_assignment(self):
+        # node pulled by weight, not neighbor count: two weak vs one strong
+        g = SocialGraph()
+        _clique(g, ["s1", "s2", "s3"], weight=10.0)
+        _clique(g, ["w1", "w2", "w3"], weight=10.0)
+        g.add_interaction("m", "s1", 10.0)
+        g.add_interaction("m", "w1", 1.0)
+        g.add_interaction("m", "w2", 1.0)
+        communities = label_propagation_communities(g, seed=3)
+        strong = next(c for c in communities if "s1" in c)
+        assert "m" in strong

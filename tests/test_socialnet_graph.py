@@ -1,0 +1,132 @@
+"""Unit tests for the interaction-weighted social graph."""
+
+import pytest
+
+from repro.socialnet import SocialGraph
+
+
+@pytest.fixture
+def path_graph():
+    """a - b - c - d chain with distinctive weights."""
+    g = SocialGraph()
+    g.add_interaction("a", "b", 3.0)
+    g.add_interaction("b", "c", 2.0)
+    g.add_interaction("c", "d", 1.0)
+    return g
+
+
+class TestConstruction:
+    def test_add_interaction_accumulates(self):
+        g = SocialGraph()
+        g.add_interaction("x", "y", 1.0)
+        g.add_interaction("x", "y", 2.5)
+        assert g.weight("x", "y") == pytest.approx(3.5)
+        assert g.weight("y", "x") == pytest.approx(3.5)
+
+    def test_self_loop_rejected(self):
+        g = SocialGraph()
+        with pytest.raises(ValueError):
+            g.add_interaction("x", "x")
+
+    def test_negative_weight_rejected(self):
+        g = SocialGraph()
+        with pytest.raises(ValueError):
+            g.add_interaction("x", "y", -1.0)
+
+    def test_isolated_node(self):
+        g = SocialGraph()
+        g.add_node("lonely")
+        assert "lonely" in g
+        assert g.neighbors("lonely") == []
+        assert g.degree("lonely") == 0
+
+    def test_counts(self, path_graph):
+        assert len(path_graph) == 4
+        assert path_graph.num_edges() == 3
+
+    def test_edges_iteration(self, path_graph):
+        edges = list(path_graph.edges())
+        assert ("a", "b", 3.0) in edges
+        assert len(edges) == 3
+        # each edge appears once, with u < v
+        assert all(u < v for u, v, _ in edges)
+
+
+class TestQueries:
+    def test_strength(self, path_graph):
+        assert path_graph.strength("b") == pytest.approx(5.0)
+
+    def test_top_friends_by_weight(self, path_graph):
+        assert path_graph.top_friends("b", 1) == ["a"]
+        assert path_graph.top_friends("b", 2) == ["a", "c"]
+
+    def test_top_friends_fewer_than_k(self, path_graph):
+        assert path_graph.top_friends("a", 5) == ["b"]
+
+    def test_top_friends_k_validation(self, path_graph):
+        with pytest.raises(ValueError):
+            path_graph.top_friends("a", 0)
+
+    def test_top_friends_tie_break_by_id(self):
+        g = SocialGraph()
+        g.add_interaction("x", "b", 1.0)
+        g.add_interaction("x", "a", 1.0)
+        assert g.top_friends("x", 2) == ["a", "b"]
+
+
+class TestDistances:
+    def test_hop_count_adjacent(self, path_graph):
+        assert path_graph.hop_count("a", "b") == 1
+
+    def test_hop_count_path(self, path_graph):
+        assert path_graph.hop_count("a", "d") == 3
+
+    def test_hop_count_self(self, path_graph):
+        assert path_graph.hop_count("a", "a") == 0
+
+    def test_hop_count_disconnected(self):
+        g = SocialGraph()
+        g.add_node("u")
+        g.add_node("v")
+        assert g.hop_count("u", "v") is None
+
+    def test_hop_count_max_hops(self, path_graph):
+        assert path_graph.hop_count("a", "d", max_hops=2) is None
+        assert path_graph.hop_count("a", "c", max_hops=2) == 2
+
+    def test_hop_count_unknown_node(self, path_graph):
+        assert path_graph.hop_count("a", "zz") is None
+
+    def test_closeness_distance_paper_formula(self, path_graph):
+        # adjacent: k=0 intermediate users -> d = (0+1)^2 = 1
+        assert path_graph.closeness_distance("a", "b") == 1.0
+        # one intermediate -> d = (1+1)^2 = 4
+        assert path_graph.closeness_distance("a", "c") == 4.0
+        # two intermediates -> 9 (requires max_hops >= 3)
+        assert path_graph.closeness_distance("a", "d", max_hops=3) == 9.0
+
+    def test_closeness_distance_out_of_range(self, path_graph):
+        assert path_graph.closeness_distance("a", "d", max_hops=2) is None
+
+    def test_hop_counts_from(self, path_graph):
+        hops = path_graph.hop_counts_from("a", max_hops=2)
+        assert hops == {"a": 0, "b": 1, "c": 2}
+
+
+class TestComponentsAndSubgraph:
+    def test_connected_components(self):
+        g = SocialGraph()
+        g.add_interaction("a", "b")
+        g.add_interaction("c", "d")
+        g.add_interaction("c", "e")
+        g.add_node("f")
+        comps = g.connected_components()
+        assert [len(c) for c in comps] == [3, 2, 1]
+        assert comps[0] == {"c", "d", "e"}
+
+    def test_subgraph_preserves_weights(self, path_graph):
+        sub = path_graph.subgraph(["a", "b", "c"])
+        assert sub.weight("a", "b") == 3.0
+        assert sub.weight("b", "c") == 2.0
+        assert "d" not in sub
+        assert sub.num_edges() == 2

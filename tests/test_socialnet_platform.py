@@ -1,0 +1,110 @@
+"""Unit tests for the platform / profile / world data model."""
+
+import pytest
+
+from repro.socialnet import (
+    Account,
+    PROFILE_ATTRIBUTES,
+    PlatformData,
+    Profile,
+    SocialWorld,
+)
+
+
+def _profile(**kwargs):
+    defaults = dict(username="user")
+    defaults.update(kwargs)
+    return Profile(**defaults)
+
+
+class TestProfile:
+    def test_attributes_inventory(self):
+        assert PROFILE_ATTRIBUTES == ("gender", "birth", "bio", "tag", "edu", "job")
+
+    def test_missing_attributes(self):
+        prof = _profile(gender="f", birth=1990)
+        missing = prof.missing_attributes()
+        assert "gender" not in missing
+        assert "bio" in missing
+        assert prof.num_missing() == 4
+
+    def test_complete_profile(self):
+        prof = _profile(
+            gender="m", birth=1985, bio="hi", tag=("music",), edu="phd", job="chef"
+        )
+        assert prof.num_missing() == 0
+
+    def test_attribute_accessor(self):
+        prof = _profile(edu="phd")
+        assert prof.attribute("edu") == "phd"
+        with pytest.raises(KeyError):
+            prof.attribute("username")  # not a tracked attribute
+
+
+class TestPlatformData:
+    def test_add_account(self):
+        platform = PlatformData(name="tw", language="en")
+        platform.add_account(Account("a1", "tw", _profile()))
+        assert len(platform) == 1
+        assert "a1" in platform.graph  # node registered
+
+    def test_duplicate_account_rejected(self):
+        platform = PlatformData(name="tw", language="en")
+        platform.add_account(Account("a1", "tw", _profile()))
+        with pytest.raises(ValueError):
+            platform.add_account(Account("a1", "tw", _profile()))
+
+    def test_platform_mismatch_rejected(self):
+        platform = PlatformData(name="tw", language="en")
+        with pytest.raises(ValueError):
+            platform.add_account(Account("a1", "fb", _profile()))
+
+    def test_account_ids_sorted(self):
+        platform = PlatformData(name="tw", language="en")
+        platform.add_account(Account("b", "tw", _profile()))
+        platform.add_account(Account("a", "tw", _profile()))
+        assert platform.account_ids() == ["a", "b"]
+
+
+class TestSocialWorld:
+    def _world(self):
+        world = SocialWorld()
+        for name in ("tw", "fb"):
+            platform = PlatformData(name=name, language="en")
+            for i in range(3):
+                platform.add_account(Account(f"{name}{i}", name, _profile()))
+            world.add_platform(platform)
+        # persons 0, 1, 2 on both; person indices shuffled on fb
+        for i in range(3):
+            world.identity[("tw", f"tw{i}")] = i
+            world.identity[("fb", f"fb{i}")] = (i + 1) % 3
+        return world
+
+    def test_duplicate_platform_rejected(self):
+        world = self._world()
+        with pytest.raises(ValueError):
+            world.add_platform(PlatformData(name="tw", language="en"))
+
+    def test_person_of(self):
+        world = self._world()
+        assert world.person_of("tw", "tw1") == 1
+
+    def test_true_pairs(self):
+        world = self._world()
+        pairs = world.true_pairs("tw", "fb")
+        assert ("tw1", "fb0") in pairs  # both person 1
+        assert len(pairs) == 3
+
+    def test_true_pairs_orientation(self):
+        world = self._world()
+        pairs = world.true_pairs("fb", "tw")
+        assert ("fb0", "tw1") in pairs
+
+    def test_iter_accounts_sorted(self):
+        world = self._world()
+        accounts = list(world.iter_accounts())
+        assert len(accounts) == 6
+        assert accounts[0].platform == "fb"  # sorted platform order
+
+    def test_platform_names(self):
+        assert self._world().platform_names() == ["fb", "tw"]

@@ -1,0 +1,101 @@
+"""Unit tests for the columnar behavior event store."""
+
+import numpy as np
+import pytest
+
+from repro.socialnet import BehaviorEvent, EventStore
+
+
+@pytest.fixture
+def store():
+    s = EventStore()
+    s.add("u1", "post", 5.0, "hello world")
+    s.add("u1", "post", 1.0, "first post")
+    s.add("u1", "checkin", 2.0, (40.0, -74.0))
+    s.add("u2", "post", 3.0, "other user")
+    s.add("u1", "media", 4.0, 12345)
+    s.finalize()
+    return s
+
+
+class TestAppendPhase:
+    def test_add_unknown_kind_rejected(self):
+        s = EventStore()
+        with pytest.raises(ValueError):
+            s.add("u", "bogus", 0.0, None)
+
+    def test_append_after_finalize_rejected(self, store):
+        with pytest.raises(RuntimeError):
+            store.add("u1", "post", 9.0, "too late")
+
+    def test_query_before_finalize_rejected(self):
+        s = EventStore()
+        s.add("u", "post", 0.0, "x")
+        with pytest.raises(RuntimeError):
+            s.texts_of("u")
+
+    def test_add_event_object(self):
+        s = EventStore()
+        s.add_event(BehaviorEvent("u", "post", 1.0, "via object"))
+        s.finalize()
+        assert s.texts_of("u") == ["via object"]
+
+    def test_finalize_idempotent(self, store):
+        assert store.finalize() is store
+
+
+class TestQueries:
+    def test_time_sorted(self, store):
+        texts = store.texts_of("u1")
+        assert texts == ["first post", "hello world"]
+
+    def test_timestamps_sorted(self, store):
+        ts = store.timestamps_for("u1", "post")
+        assert ts.tolist() == [1.0, 5.0]
+
+    def test_time_range_filter(self, store):
+        events = store.events_for("u1", "post", t0=0.0, t1=2.0)
+        assert [e.payload for e in events] == ["first post"]
+        # boundary: t1 is exclusive
+        events = store.events_for("u1", "post", t0=1.0, t1=5.0)
+        assert [e.payload for e in events] == ["first post"]
+
+    def test_payloads_for(self, store):
+        assert store.payloads_for("u1", "media") == [12345]
+
+    def test_missing_account(self, store):
+        assert store.events_for("ghost", "post") == []
+        assert store.timestamps_for("ghost", "post").size == 0
+        assert store.count("ghost", "post") == 0
+
+    def test_missing_kind(self, store):
+        assert store.payloads_for("u2", "media") == []
+
+    def test_count(self, store):
+        assert store.count("u1", "post") == 2
+        assert store.count("u2", "post") == 1
+
+    def test_accounts(self, store):
+        assert store.accounts() == ["u1", "u2"]
+
+    def test_time_range(self, store):
+        assert store.time_range() == (1.0, 5.0)
+
+    def test_time_range_empty(self):
+        s = EventStore().finalize()
+        assert s.time_range() == (0.0, 0.0)
+
+    def test_len(self, store):
+        assert len(store) == 5
+
+    def test_iter_all_insertion_order(self, store):
+        events = list(store.iter_all())
+        assert events[0].payload == "hello world"
+        assert len(events) == 5
+
+    def test_event_fields(self, store):
+        event = store.events_for("u1", "checkin")[0]
+        assert event.account_id == "u1"
+        assert event.kind == "checkin"
+        assert event.timestamp == 2.0
+        assert event.payload == (40.0, -74.0)

@@ -1,0 +1,132 @@
+"""Tests for both LDA implementations (collapsed Gibbs and variational)."""
+
+import numpy as np
+import pytest
+
+from repro.text import LatentDirichletAllocation, VariationalLDA, digamma
+
+
+def _two_topic_corpus(rng, docs_per_topic=25, doc_len=20):
+    """Planted corpus: topic 0 uses words 0-4, topic 1 uses words 5-9."""
+    docs = []
+    for topic in (0, 1):
+        lo = 0 if topic == 0 else 5
+        for _ in range(docs_per_topic):
+            docs.append(list(rng.integers(lo, lo + 5, size=doc_len)))
+    return docs
+
+
+class TestDigamma:
+    def test_matches_scipy(self):
+        scipy_special = pytest.importorskip("scipy.special")
+        x = np.array([0.1, 0.5, 1.0, 2.5, 7.0, 100.0, 1e4])
+        np.testing.assert_allclose(digamma(x), scipy_special.digamma(x), rtol=1e-7)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            digamma(np.array([0.0]))
+
+    def test_scalar_input(self):
+        assert digamma(1.0) == pytest.approx(-0.5772156649, abs=1e-8)
+
+
+class TestGibbsLda:
+    def test_fit_shapes(self):
+        docs = [[0, 1], [2, 3], [0, 2]]
+        lda = LatentDirichletAllocation(2, vocab_size=4, iterations=5, seed=0).fit(docs)
+        assert lda.topic_word_.shape == (2, 4)
+        assert lda.doc_topic_.shape == (3, 2)
+
+    def test_distributions_normalized(self):
+        docs = [[0, 1, 2]] * 4
+        lda = LatentDirichletAllocation(3, vocab_size=3, iterations=5, seed=0).fit(docs)
+        np.testing.assert_allclose(lda.topic_word_.sum(axis=1), 1.0)
+        np.testing.assert_allclose(lda.doc_topic_.sum(axis=1), 1.0)
+
+    def test_recovers_planted_topics(self):
+        rng = np.random.default_rng(0)
+        docs = _two_topic_corpus(rng)
+        lda = LatentDirichletAllocation(
+            2, vocab_size=10, iterations=60, seed=1
+        ).fit(docs)
+        # each learned topic should concentrate on one planted word block
+        block_mass = lda.topic_word_[:, :5].sum(axis=1)
+        assert (block_mass > 0.9).any() and (block_mass < 0.1).any()
+
+    def test_transform_empty_doc_uniform(self):
+        docs = [[0, 1], [2, 3]]
+        lda = LatentDirichletAllocation(2, vocab_size=4, iterations=5, seed=0).fit(docs)
+        theta = lda.transform([[]])
+        np.testing.assert_allclose(theta[0], 0.5)
+
+    def test_transform_before_fit_raises(self):
+        lda = LatentDirichletAllocation(2, vocab_size=4)
+        with pytest.raises(RuntimeError):
+            lda.transform([[0]])
+
+    def test_out_of_vocab_raises(self):
+        lda = LatentDirichletAllocation(2, vocab_size=4)
+        with pytest.raises(ValueError):
+            lda.fit([[99]])
+
+    def test_perplexity_finite(self):
+        docs = [[0, 1, 0], [1, 0, 1]]
+        lda = LatentDirichletAllocation(2, vocab_size=2, iterations=10, seed=0).fit(docs)
+        assert np.isfinite(lda.perplexity(docs))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LatentDirichletAllocation(0, vocab_size=4)
+        with pytest.raises(ValueError):
+            LatentDirichletAllocation(2, vocab_size=0)
+
+
+class TestVariationalLda:
+    def test_fit_shapes_and_normalization(self):
+        docs = [[0, 1], [2, 3], [0, 2], [1, 3]]
+        lda = VariationalLDA(2, vocab_size=4, em_iterations=10, seed=0).fit(docs)
+        assert lda.topic_word_.shape == (2, 4)
+        np.testing.assert_allclose(lda.topic_word_.sum(axis=1), 1.0)
+        np.testing.assert_allclose(lda.doc_topic_.sum(axis=1), 1.0, rtol=1e-6)
+
+    def test_recovers_planted_topics(self):
+        rng = np.random.default_rng(3)
+        docs = _two_topic_corpus(rng)
+        lda = VariationalLDA(2, vocab_size=10, em_iterations=25, seed=4).fit(docs)
+        block_mass = lda.topic_word_[:, :5].sum(axis=1)
+        assert (block_mass > 0.9).any() and (block_mass < 0.1).any()
+
+    def test_transform_assigns_planted_topic(self):
+        rng = np.random.default_rng(5)
+        docs = _two_topic_corpus(rng)
+        lda = VariationalLDA(2, vocab_size=10, em_iterations=25, seed=6).fit(docs)
+        theta = lda.transform([[0, 1, 2, 0], [7, 8, 9, 7]])
+        # the two test docs use disjoint planted blocks: opposite argmax
+        assert theta[0].argmax() != theta[1].argmax()
+
+    def test_transform_batching_consistent(self):
+        rng = np.random.default_rng(8)
+        docs = _two_topic_corpus(rng, docs_per_topic=10)
+        lda = VariationalLDA(2, vocab_size=10, em_iterations=15, seed=9).fit(docs)
+        # batching must not change results beyond sampler-init noise scale
+        full = lda.transform(docs, batch_size=1000)
+        assert full.shape == (len(docs), 2)
+        np.testing.assert_allclose(full.sum(axis=1), 1.0, rtol=1e-6)
+
+    def test_empty_doc_is_uniform(self):
+        docs = [[0, 1], [2, 3]]
+        lda = VariationalLDA(2, vocab_size=4, em_iterations=5, seed=0).fit(docs)
+        theta = lda.transform([[], [0]])
+        np.testing.assert_allclose(theta[0], 0.5)
+
+    def test_count_matrix(self):
+        counts = VariationalLDA.count_matrix([[0, 0, 2]], 3)
+        assert counts.tolist() == [[2.0, 0.0, 1.0]]
+
+    def test_count_matrix_rejects_out_of_vocab(self):
+        with pytest.raises(ValueError):
+            VariationalLDA.count_matrix([[5]], 3)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            VariationalLDA(2, vocab_size=3).transform([[0]])

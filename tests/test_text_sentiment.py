@@ -1,0 +1,80 @@
+"""Unit tests for the sentiment pattern model."""
+
+import numpy as np
+import pytest
+
+from repro.text import SENTIMENT_CATEGORIES, SentimentModel
+
+
+class TestSentimentModel:
+    def test_categories(self):
+        assert SENTIMENT_CATEGORIES == ("happy", "fear", "sad", "neutral")
+
+    def test_happy_message_leans_happy(self):
+        model = SentimentModel()
+        dist = model.message_distribution(["love", "joy", "great", "day"])
+        assert dist.argmax() == 0  # happy
+
+    def test_fear_message(self):
+        model = SentimentModel()
+        dist = model.message_distribution(["scared", "panic"])
+        assert dist.argmax() == 1  # fear
+
+    def test_no_keywords_is_neutral(self):
+        model = SentimentModel()
+        dist = model.message_distribution(["table", "chair"])
+        assert dist.argmax() == 3  # neutral
+
+    def test_distribution_sums_to_one(self):
+        model = SentimentModel()
+        dist = model.message_distribution(["sad", "cry", "random"])
+        assert dist.sum() == pytest.approx(1.0)
+        assert (dist > 0).all()  # smoothing keeps support full
+
+    def test_corpus_distributions_shape(self):
+        model = SentimentModel()
+        out = model.corpus_distributions([["happy"], ["sad"], []])
+        assert out.shape == (3, 4)
+
+    def test_corpus_empty(self):
+        assert SentimentModel().corpus_distributions([]).shape == (0, 4)
+
+    def test_fit_lexicon_learns_new_words(self):
+        model = SentimentModel(lexicon={})
+        docs = [["wombat", "day"], ["wombat", "night"], ["calm", "tea"]]
+        labels = ["happy", "happy", "neutral"]
+        model.fit_lexicon(docs, labels, min_count=2)
+        assert model.lexicon.get("wombat") == "happy"
+        assert "calm" not in model.lexicon  # neutral words are not added
+
+    def test_fit_lexicon_validates_lengths(self):
+        with pytest.raises(ValueError):
+            SentimentModel().fit_lexicon([["a"]], ["happy", "sad"])
+
+    def test_fit_lexicon_validates_labels(self):
+        with pytest.raises(ValueError):
+            SentimentModel().fit_lexicon([["a"]], ["angry"])
+
+    def test_arousal_valence_happy_positive(self):
+        model = SentimentModel()
+        valence, arousal = model.arousal_valence(np.array([1.0, 0.0, 0.0, 0.0]))
+        assert valence > 0
+        assert arousal > 0
+
+    def test_arousal_valence_sad_negative(self):
+        model = SentimentModel()
+        valence, arousal = model.arousal_valence(np.array([0.0, 0.0, 1.0, 0.0]))
+        assert valence < 0
+        assert arousal < 0
+
+    def test_arousal_valence_shape_check(self):
+        with pytest.raises(ValueError):
+            SentimentModel().arousal_valence(np.array([1.0, 0.0]))
+
+    def test_invalid_smoothing(self):
+        with pytest.raises(ValueError):
+            SentimentModel(smoothing=0.0)
+
+    def test_invalid_lexicon_category(self):
+        with pytest.raises(ValueError):
+            SentimentModel(lexicon={"word": "bogus"})

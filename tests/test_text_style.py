@@ -1,0 +1,74 @@
+"""Unit tests for unique-word style extraction."""
+
+import pytest
+
+from repro.text import StyleExtractor
+from repro.text.style import UserStyle
+
+
+@pytest.fixture
+def corpora():
+    """Shared filler words repeat corpus-wide; quirkyword/zanyterm are unique."""
+    return {
+        "alice": [
+            "shared words here today",
+            "quirkyword shared words",
+            "shared words here today",
+        ],
+        "bob": ["shared words here today", "shared words here today"],
+        "carol": ["zanyterm shared words", "shared words here today"],
+    }
+
+
+class TestStyleExtractor:
+    def test_signature_sizes(self, corpora):
+        extractor = StyleExtractor(ks=(1, 3, 5))
+        styles = extractor.extract_all(corpora)
+        sig = styles["alice"].signatures
+        assert set(sig) == {1, 3, 5}
+        assert len(sig[1]) <= 1
+        assert len(sig[3]) <= 3
+        assert len(sig[5]) <= 5
+
+    def test_rare_personal_word_selected(self, corpora):
+        extractor = StyleExtractor(ks=(1, 3))
+        styles = extractor.extract_all(corpora)
+        # quirkyword appears twice but only for alice; most corpus words are
+        # shared, so it must rank among alice's most unique words
+        assert "quirkyword" in styles["alice"].signatures[3]
+        assert "zanyterm" in styles["carol"].signatures[3]
+
+    def test_signatures_nested(self, corpora):
+        extractor = StyleExtractor(ks=(1, 3, 5))
+        style = extractor.extract_all(corpora)["alice"]
+        assert set(style.signatures[1]) <= set(style.signatures[3])
+        assert set(style.signatures[3]) <= set(style.signatures[5])
+
+    def test_empty_user(self):
+        extractor = StyleExtractor(ks=(1, 3))
+        styles = extractor.extract_all({"mute": []})
+        assert styles["mute"].signatures[1] == ()
+
+    def test_words_at_unknown_level(self, corpora):
+        extractor = StyleExtractor(ks=(1,))
+        style = extractor.extract_all(corpora)["alice"]
+        with pytest.raises(KeyError):
+            style.words_at(7)
+
+    def test_shared_vocabulary_reused(self, corpora):
+        extractor = StyleExtractor(ks=(1, 3))
+        vocab = extractor.build_vocabulary(corpora)
+        direct = extractor.extract(corpora["alice"], vocab)
+        via_all = extractor.extract_all(corpora, vocab)["alice"]
+        assert direct.signatures == via_all.signatures
+
+    def test_invalid_ks(self):
+        with pytest.raises(ValueError):
+            StyleExtractor(ks=())
+        with pytest.raises(ValueError):
+            StyleExtractor(ks=(0, 3))
+
+    def test_user_style_is_frozen(self):
+        style = UserStyle(signatures={1: ("a",)})
+        with pytest.raises(AttributeError):
+            style.signatures = {}

