@@ -1,0 +1,57 @@
+"""Serving-layer throughput: batched scoring in pairs/sec.
+
+Not a paper figure — this benchmarks the PR's query path: fit once, persist
+the artifact, reload it through :class:`repro.serving.LinkageService`, and
+measure `score_pairs` throughput at several featurization batch sizes.
+
+Smoke mode (the default, and what CI runs) uses a small world so the whole
+benchmark stays under a minute; set ``SERVE_BENCH_PERSONS`` to scale the
+workload up for real capacity measurements.
+"""
+
+import os
+
+from conftest import write_table
+
+from repro.core import HydraLinker
+from repro.datagen import WorldConfig, generate_world
+from repro.eval.harness import make_label_split
+from repro.persist import load_linker, save_linker
+from repro.serving import LinkageService, run_throughput_benchmark
+
+PERSONS = int(os.environ.get("SERVE_BENCH_PERSONS", "18"))
+BATCH_SIZES = (16, 64, 256)
+
+
+def _run(tmp_dir):
+    world = generate_world(WorldConfig(num_persons=PERSONS, seed=90))
+    pairs = [("facebook", "twitter")]
+    split = make_label_split(world, pairs, seed=90)
+    linker = HydraLinker(seed=90, num_topics=8, max_lda_docs=1500)
+    linker.fit(world, split.labeled_positive, split.labeled_negative, pairs)
+
+    # serve from a reloaded artifact — the production path, not the fit object
+    save_linker(linker, tmp_dir)
+    service = LinkageService(load_linker(tmp_dir))
+    results = run_throughput_benchmark(
+        service, batch_sizes=BATCH_SIZES, repeats=3
+    )
+    return [
+        [r.batch_size, r.num_pairs, r.best_seconds, r.pairs_per_sec]
+        for r in results
+    ]
+
+
+def test_serving_throughput(once, tmp_path):
+    rows = once(_run, str(tmp_path / "artifact"))
+    write_table(
+        "serving_throughput",
+        f"Serving throughput — batched artifact scoring ({PERSONS}-person world)",
+        ["batch_size", "pairs", "best_seconds", "pairs_per_sec"],
+        rows,
+    )
+    assert len(rows) >= 2  # at least two batch sizes, per the service contract
+    for _, num_pairs, seconds, pairs_per_sec in rows:
+        assert num_pairs > 0
+        assert seconds > 0
+        assert pairs_per_sec > 0

@@ -24,9 +24,11 @@ Subpackages
 ``repro.datagen``    — the synthetic multi-platform world generator.
 ``repro.features``   — the Section 5 heterogeneous behavior model.
 ``repro.core``       — candidates, structure consistency, the multi-objective
-                       learner, the HYDRA estimator, distributed ADMM.
+                       learner, the staged HYDRA estimator, distributed ADMM.
 ``repro.baselines``  — MOBIUS, Alias-Disamb, SMaSh, SVM-B.
 ``repro.eval``       — metrics, harness, per-figure experiment configs.
+``repro.persist``    — versioned on-disk artifacts for fitted linkers.
+``repro.serving``    — the batch-scoring query service over artifacts.
 """
 
 from repro.core.hydra import HydraLinker, LinkageResult
@@ -42,10 +44,16 @@ from repro.eval.metrics import precision_recall_f1
 from repro.features.pipeline import FeaturePipeline
 from repro.socialnet.platform import SocialWorld
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+from repro.persist import load_linker, save_linker  # noqa: E402  (needs __version__)
+from repro.serving import LinkageService  # noqa: E402
 
 __all__ = [
     "HydraLinker",
+    "LinkageService",
+    "load_linker",
+    "save_linker",
     "LinkageResult",
     "PlatformSpec",
     "WorldConfig",

@@ -1,12 +1,19 @@
 """Command-line interface: ``python -m repro.cli <command>``.
 
-Three commands cover the common workflows without writing any code:
+Six commands cover the common workflows without writing any code:
 
-* ``generate`` — build a synthetic world and print its statistics;
-* ``link``     — fit HYDRA on a world and print the resolved linkage with
+* ``generate``   — build a synthetic world and print its statistics;
+* ``link``       — fit HYDRA on a world and print the resolved linkage with
   held-out precision/recall;
-* ``compare``  — run the method suite on one world and print the comparison
-  table (the Fig 9-style protocol).
+* ``compare``    — run the method suite on one world and print the
+  comparison table (the Fig 9-style protocol);
+* ``fit``        — fit HYDRA and persist the fitted linker to an on-disk
+  artifact (:mod:`repro.persist`), printing per-stage timings;
+* ``score``      — load an artifact and answer linkage queries through the
+  :class:`~repro.serving.LinkageService` (platform-pair top-k or
+  single-account resolution) — no refit;
+* ``serve-bench`` — load (or fit) an artifact and report batched scoring
+  throughput in pairs/sec at several batch sizes.
 """
 
 from __future__ import annotations
@@ -72,18 +79,7 @@ def cmd_generate(args) -> int:
 
 def cmd_link(args) -> int:
     """Fit HYDRA and print the linkage for the first platform pair."""
-    world = _make_world(args)
-    pairs = _platform_pairs(args) or [
-        tuple(world.platform_names()[:2])  # type: ignore[list-item]
-    ]
-    split = make_label_split(
-        world, pairs, label_fraction=args.label_fraction, seed=args.seed
-    )
-    linker = HydraLinker(
-        missing_strategy=args.missing, seed=args.seed,
-        num_topics=10, max_lda_docs=2500,
-    )
-    linker.fit(world, split.labeled_positive, split.labeled_negative, pairs)
+    linker, split, pairs = _fit_linker(args)
     pa, pb = pairs[0]
     result = linker.linkage(pa, pb)
     metrics = precision_recall_f1(
@@ -100,6 +96,89 @@ def cmd_link(args) -> int:
             zip(result.linked, result.linked_scores)
         )[: args.show]:
             print(f"  {ref_a[1]} <-> {ref_b[1]}  score={score:.2f}")
+    return 0
+
+
+def _fit_linker(args):
+    """Shared world/split/fit path for link, fit, and serve-bench."""
+    world = _make_world(args)
+    pairs = _platform_pairs(args) or [
+        tuple(world.platform_names()[:2])  # type: ignore[list-item]
+    ]
+    split = make_label_split(
+        world, pairs, label_fraction=args.label_fraction, seed=args.seed
+    )
+    linker = HydraLinker(
+        missing_strategy=args.missing, seed=args.seed,
+        num_topics=10, max_lda_docs=2500,
+    )
+    linker.fit(world, split.labeled_positive, split.labeled_negative, pairs)
+    return linker, split, pairs
+
+
+def cmd_fit(args) -> int:
+    """Fit HYDRA and save the fitted linker as an on-disk artifact."""
+    linker, _, _ = _fit_linker(args)
+    path = linker.save(args.out)
+    rows = [
+        [stage, seconds]
+        for stage, seconds in linker.stage_timings_.items()
+    ]
+    print(format_table(["stage", "seconds"], rows))
+    print(f"\nartifact: {path}")
+    print(f"candidates: {len(linker.global_pairs_)} "
+          f"(labeled {linker.num_labeled_})")
+    return 0
+
+
+def cmd_score(args) -> int:
+    """Serve queries from an artifact: platform-pair top-k or one account."""
+    from repro.serving import LinkageService
+
+    service = LinkageService.from_artifact(args.artifact)
+    linker = service.linker
+    print(
+        f"artifact {args.artifact} ({service.num_candidates()} candidates, "
+        f"kernel={linker.moo_config.kernel}, missing={linker.missing_strategy})"
+    )
+    if args.account is not None:
+        platform, account_id = args.account
+        links = service.link_account(platform, account_id, top=args.top)
+        header = f"{platform}/{account_id}"
+    else:
+        pair = service.platform_pairs()[0] if args.pair is None else tuple(args.pair)
+        links = service.top_k(pair[0], pair[1], k=args.top)
+        header = f"{pair[0]} <-> {pair[1]}"
+    print(f"\ntop {len(links)} links for {header}:")
+    rows = [
+        [link.pair[0][1], link.pair[1][1], link.score,
+         ",".join(sorted(link.evidence)) or "-", link.behavior_distance]
+        for link in links
+    ]
+    print(format_table(["left", "right", "score", "evidence", "behavior_dist"],
+                       rows))
+    return 0
+
+
+def cmd_serve_bench(args) -> int:
+    """Measure batched scoring throughput (pairs/sec) per batch size."""
+    from repro.serving import LinkageService, run_throughput_benchmark, throughput_table
+
+    if args.artifact is not None:
+        service = LinkageService.from_artifact(args.artifact)
+    else:
+        service = LinkageService(_fit_linker(args)[0])
+    batch_sizes = tuple(int(b) for b in args.batch_sizes.split(","))
+    results = run_throughput_benchmark(
+        service,
+        batch_sizes=batch_sizes,
+        repeats=args.repeats,
+        max_pairs=args.max_pairs,
+    )
+    print(format_table(
+        ["batch_size", "pairs", "best_seconds", "pairs_per_sec"],
+        throughput_table(results),
+    ))
     return 0
 
 
@@ -134,16 +213,19 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--dataset", choices=sorted(_DATASETS), default="english",
                        help="platform preset (default english)")
 
+    def fit_opts(p):
+        p.add_argument("--label-fraction", type=float, default=1.0 / 6.0,
+                       dest="label_fraction")
+        p.add_argument("--missing", choices=("core", "zero"), default="core",
+                       help="missing-data strategy (HYDRA-M / HYDRA-Z)")
+
     p_gen = sub.add_parser("generate", help="generate a world, print stats")
     common(p_gen)
     p_gen.set_defaults(func=cmd_generate)
 
     p_link = sub.add_parser("link", help="fit HYDRA and print the linkage")
     common(p_link)
-    p_link.add_argument("--label-fraction", type=float, default=1.0 / 6.0,
-                        dest="label_fraction")
-    p_link.add_argument("--missing", choices=("core", "zero"), default="core",
-                        help="missing-data strategy (HYDRA-M / HYDRA-Z)")
+    fit_opts(p_link)
     p_link.add_argument("--show", type=int, default=5,
                         help="print the strongest N links")
     p_link.set_defaults(func=cmd_link)
@@ -158,6 +240,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated method list",
     )
     p_cmp.set_defaults(func=cmd_compare)
+
+    p_fit = sub.add_parser(
+        "fit", help="fit HYDRA and save a servable artifact"
+    )
+    common(p_fit)
+    fit_opts(p_fit)
+    p_fit.add_argument("--out", required=True,
+                       help="artifact directory to write")
+    p_fit.set_defaults(func=cmd_fit)
+
+    p_score = sub.add_parser(
+        "score", help="serve linkage queries from a saved artifact"
+    )
+    p_score.add_argument("--artifact", required=True,
+                         help="artifact directory from `fit`")
+    query = p_score.add_mutually_exclusive_group()
+    query.add_argument("--pair", nargs=2, metavar=("PLATFORM_A", "PLATFORM_B"),
+                       help="platform pair to rank (default: first fitted)")
+    query.add_argument("--account", nargs=2, metavar=("PLATFORM", "ACCOUNT_ID"),
+                       help="resolve one account instead of a platform pair")
+    p_score.add_argument("--top", type=int, default=5,
+                         help="number of links to print")
+    p_score.set_defaults(func=cmd_score)
+
+    p_bench = sub.add_parser(
+        "serve-bench", help="measure batched scoring throughput (pairs/sec)"
+    )
+    common(p_bench)
+    fit_opts(p_bench)
+    p_bench.add_argument("--artifact", default=None,
+                         help="serve this artifact instead of fitting")
+    p_bench.add_argument("--batch-sizes", default="16,256", dest="batch_sizes",
+                         help="comma-separated featurization batch sizes")
+    p_bench.add_argument("--repeats", type=int, default=3,
+                         help="timed passes per batch size (best counts)")
+    p_bench.add_argument("--max-pairs", type=int, default=None, dest="max_pairs",
+                         help="truncate the workload (smoke runs)")
+    p_bench.set_defaults(func=cmd_serve_bench)
     return parser
 
 

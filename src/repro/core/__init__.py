@@ -11,6 +11,16 @@ from repro.core.svm import LinearSVM
 from repro.core.candidates import CandidateGenerator, CandidateSet
 from repro.core.consistency import ConsistencyBlock, StructureConsistencyBuilder
 from repro.core.moo import MooConfig, MultiObjectiveModel
+from repro.core.stages import (
+    CandidateStage,
+    ConsistencyStage,
+    FeaturizeStage,
+    LabelStage,
+    LinkageContext,
+    LinkageStage,
+    OptimizeStage,
+    run_stages,
+)
 from repro.core.hydra import HydraLinker, LinkageResult
 from repro.core.spectral import SpectralLinker
 from repro.core.distributed import DistributedLinearHydra
@@ -30,6 +40,14 @@ __all__ = [
     "StructureConsistencyBuilder",
     "MooConfig",
     "MultiObjectiveModel",
+    "LinkageContext",
+    "LinkageStage",
+    "CandidateStage",
+    "LabelStage",
+    "FeaturizeStage",
+    "ConsistencyStage",
+    "OptimizeStage",
+    "run_stages",
     "HydraLinker",
     "LinkageResult",
     "SpectralLinker",

@@ -92,12 +92,15 @@ class DistributedLinearHydra:
         num_labeled: int,
         blocks: list[ConsistencyBlock],
     ) -> list[_Shard]:
-        """Shard rows contiguously; structure blocks restrict to within-shard."""
+        """Shard rows contiguously; structure blocks restrict to within-shard.
+
+        Each shard's ``theta`` is assembled directly from the blocks' own
+        restrictions: per block, only the rows whose global index falls in
+        the shard contribute, scattered at their shard-local offsets.  The
+        global Laplacian is block-sparse, so this stays O(sum of block
+        sizes) per shard instead of materializing the dense n x n matrix.
+        """
         n = x_all.shape[0]
-        theta_global = np.zeros((n, n))
-        for block in blocks:
-            idx = block.indices
-            theta_global[np.ix_(idx, idx)] += block.weight * block.laplacian
         boundaries = np.linspace(0, n, self.num_workers + 1, dtype=int)
         shards: list[_Shard] = []
         for s in range(self.num_workers):
@@ -106,12 +109,20 @@ class DistributedLinearHydra:
                 continue
             rows = np.arange(lo, hi)
             labeled_rows = rows[rows < num_labeled] - lo
+            theta = np.zeros((hi - lo, hi - lo))
+            for block in blocks:
+                inside = np.nonzero((block.indices >= lo) & (block.indices < hi))[0]
+                if inside.size:
+                    local = block.indices[inside] - lo
+                    theta[np.ix_(local, local)] += (
+                        block.weight * block.laplacian[np.ix_(inside, inside)]
+                    )
             shards.append(
                 _Shard(
                     x=x_all[lo:hi],
                     labeled_rows=labeled_rows,
                     y=y[rows[rows < num_labeled]],
-                    theta=theta_global[np.ix_(rows, rows)],
+                    theta=theta,
                 )
             )
         return shards

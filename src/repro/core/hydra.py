@@ -1,17 +1,25 @@
 """HYDRA: the end-to-end social identity linkage estimator (Algorithm 1).
 
-:class:`HydraLinker` wires the whole paper together:
+:class:`HydraLinker` is a thin orchestrator over the staged fit pipeline of
+:mod:`repro.core.stages`:
 
 1. candidate pair selection by rule-based filtering
-   (:mod:`repro.core.candidates` — Algorithm 1 step 1);
-2. heterogeneous behavior featurization
-   (:mod:`repro.features.pipeline`) with missing-information handling —
-   HYDRA-M fills from the core social structure (Eqn 18), HYDRA-Z fills
-   zeros;
-3. structure consistency graph construction per platform pair
-   (:mod:`repro.core.consistency` — Algorithm 1 step 2);
-4. multi-objective dual optimization
-   (:mod:`repro.core.moo` — Algorithm 1 steps 3-6).
+   (:class:`~repro.core.stages.CandidateStage` — Algorithm 1 step 1);
+2. label merging and the global row layout
+   (:class:`~repro.core.stages.LabelStage` — Eqn 13);
+3. heterogeneous behavior featurization
+   (:class:`~repro.core.stages.FeaturizeStage`) with missing-information
+   handling — HYDRA-M fills from the core social structure (Eqn 18),
+   HYDRA-Z fills zeros;
+4. structure consistency graph construction per platform pair
+   (:class:`~repro.core.stages.ConsistencyStage` — Algorithm 1 step 2);
+5. multi-objective dual optimization
+   (:class:`~repro.core.stages.OptimizeStage` — Algorithm 1 steps 3-6).
+
+Per-stage wall times land in ``stage_timings_`` after :meth:`HydraLinker.fit`.
+A fitted linker round-trips through :meth:`HydraLinker.save` /
+:meth:`HydraLinker.load` (see :mod:`repro.persist`) so query serving
+(:mod:`repro.serving`) never refits.
 
 Typical use::
 
@@ -22,6 +30,7 @@ Typical use::
     result = linker.linkage("twitter", "facebook")
     for (ref_a, ref_b), score in zip(result.linked, result.linked_scores):
         ...
+    linker.save("artifacts/linker")
 """
 
 from __future__ import annotations
@@ -33,7 +42,16 @@ import numpy as np
 from repro.core.candidates import CandidateGenerator, CandidateSet
 from repro.core.consistency import ConsistencyBlock, StructureConsistencyBuilder
 from repro.core.moo import MooConfig, MultiObjectiveModel
-from repro.features.missing import CoreStructureFiller, ZeroFiller
+from repro.core.stages import (
+    CandidateStage,
+    ConsistencyStage,
+    FeaturizeStage,
+    LabelStage,
+    LinkageContext,
+    LinkageStage,
+    OptimizeStage,
+    run_stages,
+)
 from repro.features.pipeline import AccountRef, FeaturePipeline
 from repro.socialnet.platform import SocialWorld
 
@@ -139,8 +157,22 @@ class HydraLinker:
         self.blocks_: list[ConsistencyBlock] = []
         self.global_pairs_: list[Pair] = []
         self.num_labeled_: int = 0
+        self.stage_timings_: dict[str, float] = {}
         self._filler = None
         self._world: SocialWorld | None = None
+
+    # ------------------------------------------------------------------
+    # pipeline assembly
+    # ------------------------------------------------------------------
+    def build_stages(self) -> list[LinkageStage]:
+        """The default fit pipeline; override or swap entries to customize."""
+        return [
+            CandidateStage(self.candidate_generator),
+            LabelStage(use_prematched=self.use_prematched),
+            FeaturizeStage(self.pipeline, missing_strategy=self.missing_strategy),
+            ConsistencyStage(self.consistency_builder),
+            OptimizeStage(self.moo_config),
+        ]
 
     # ------------------------------------------------------------------
     # fitting
@@ -173,89 +205,22 @@ class HydraLinker:
             ]
         self.platform_pairs_ = platform_pairs
 
-        # ---- Algorithm 1 step 1: candidate selection ----------------------
-        if candidates is not None:
-            self.candidates_ = dict(candidates)
-        else:
-            self.candidates_ = {
-                (pa, pb): self.candidate_generator.generate(world, pa, pb)
-                for pa, pb in platform_pairs
-            }
-
-        # ---- labels --------------------------------------------------------
-        labels: dict[Pair, float] = {}
-        for pair in labeled_positive:
-            labels[pair] = 1.0
-        for pair in labeled_negative:
-            if pair in labels:
-                raise ValueError(f"pair labeled both positive and negative: {pair}")
-            labels[pair] = -1.0
-        if self.use_prematched:
-            for cand in self.candidates_.values():
-                for idx in cand.prematched:
-                    labels.setdefault(cand.pairs[idx], 1.0)
-
-        # ---- global row layout: labeled first, then unlabeled --------------
-        labeled_pairs = sorted(labels, key=lambda p: (p[0], p[1]))
-        labeled_set = set(labeled_pairs)
-        unlabeled_pairs: list[Pair] = []
-        seen = set(labeled_set)
-        for key in sorted(self.candidates_):
-            for pair in self.candidates_[key].pairs:
-                if pair not in seen:
-                    seen.add(pair)
-                    unlabeled_pairs.append(pair)
-        self.global_pairs_ = labeled_pairs + unlabeled_pairs
-        self.num_labeled_ = len(labeled_pairs)
-        y = np.array([labels[p] for p in labeled_pairs])
-        if self.num_labeled_ == 0:
-            raise ValueError("no labeled pairs available (labels and pre-matches empty)")
-        if np.unique(y).size < 2:
-            raise ValueError("labeled pairs must include both classes")
-
-        # ---- featurization with missing handling ---------------------------
-        self.pipeline.fit(
-            world,
-            [p for p in labeled_pairs if labels[p] > 0],
-            [p for p in labeled_pairs if labels[p] < 0],
+        context = LinkageContext(
+            world=world,
+            labeled_positive=list(labeled_positive),
+            labeled_negative=list(labeled_negative),
+            platform_pairs=platform_pairs,
+            injected_candidates=candidates,
         )
-        x_raw = self.pipeline.matrix(self.global_pairs_)
-        if self.missing_strategy == "core":
-            self._filler = CoreStructureFiller(world, self.pipeline)
-        else:
-            self._filler = ZeroFiller()
-        x_all = self._filler.fill_matrix(self.global_pairs_, x_raw)
+        run_stages(self.build_stages(), context)
 
-        # ---- Algorithm 1 step 2: structure consistency graphs --------------
-        row_of = {pair: i for i, pair in enumerate(self.global_pairs_)}
-        behavior = {
-            ref: self.pipeline.behavior_summary(ref)
-            for pair in self.global_pairs_
-            for ref in pair
-        }
-        self.blocks_ = []
-        for pa, pb in platform_pairs:
-            block_pairs = [
-                pair for pair in self.global_pairs_
-                if pair[0][0] == pa and pair[1][0] == pb
-            ]
-            if len(block_pairs) < 2:
-                continue
-            indices = np.array([row_of[p] for p in block_pairs], dtype=np.int64)
-            self.blocks_.append(
-                self.consistency_builder.build(
-                    world, block_pairs, behavior, indices=indices
-                )
-            )
-
-        # ---- Algorithm 1 steps 3-6: multi-objective optimization -----------
-        self.model_ = MultiObjectiveModel(self.moo_config)
-        self.model_.fit(
-            x_all[: self.num_labeled_],
-            y,
-            x_all[self.num_labeled_ :],
-            self.blocks_,
-        )
+        self.candidates_ = context.candidates
+        self.global_pairs_ = context.global_pairs
+        self.num_labeled_ = context.num_labeled
+        self.blocks_ = context.blocks
+        self._filler = context.filler
+        self.model_ = context.model
+        self.stage_timings_ = dict(context.timings)
         return self
 
     # ------------------------------------------------------------------
@@ -322,9 +287,21 @@ class HydraLinker:
     # diagnostics
     # ------------------------------------------------------------------
     def sparsity_report(self) -> dict[str, float]:
-        """The Section 7.5 sparsity statistics of the fitted model."""
-        if self.model_ is None or self.model_.qp_result_ is None:
+        """The Section 7.5 sparsity statistics of the fitted model.
+
+        Kernel-QP fits report the solver's support fraction directly; models
+        without a QP result (e.g. a swapped-in linear/primal optimizer or a
+        loaded artifact that dropped solver state) fall back to the support
+        of whatever coefficient vector the model exposes — dual ``beta_`` /
+        ``alpha_`` expansions or a primal weight vector ``w_``.
+        """
+        if self.model_ is None:
             raise RuntimeError("linker is not fitted; call fit() first")
+        qp_result = getattr(self.model_, "qp_result_", None)
+        if qp_result is not None:
+            support = float(qp_result.support_fraction)
+        else:
+            support = self._coefficient_support(self.model_)
         m_nonzero = (
             float(np.mean([b.nonzero_fraction() for b in self.blocks_]))
             if self.blocks_
@@ -332,7 +309,39 @@ class HydraLinker:
         )
         return {
             "consistency_nonzero_fraction": m_nonzero,
-            "beta_support_fraction": self.model_.qp_result_.support_fraction,
+            "beta_support_fraction": support,
             "num_candidates": float(len(self.global_pairs_)),
             "num_labeled": float(self.num_labeled_),
         }
+
+    @staticmethod
+    def _coefficient_support(model, tol: float = 1e-8) -> float:
+        """Fraction of non-negligible coefficients in the fitted model."""
+        for attr in ("beta_", "alpha_", "w_"):
+            coef = getattr(model, attr, None)
+            if coef is not None and np.size(coef):
+                return float(np.mean(np.abs(np.asarray(coef, dtype=float)) > tol))
+        raise RuntimeError("fitted model exposes no coefficient vector")
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path) -> "str":
+        """Serialize this fitted linker to an on-disk artifact directory.
+
+        See :mod:`repro.persist` for the artifact layout and versioning.
+        """
+        from repro.persist import save_linker
+
+        return str(save_linker(self, path))
+
+    @classmethod
+    def load(cls, path) -> "HydraLinker":
+        """Load a fitted linker from a :meth:`save` artifact (no refit).
+
+        Called on a subclass, the artifact reloads as that subclass, so
+        overridden stages or query behavior survive the round trip.
+        """
+        from repro.persist import load_linker
+
+        return load_linker(path, linker_cls=cls)

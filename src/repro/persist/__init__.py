@@ -1,0 +1,29 @@
+"""Persistable linkage artifacts: fit once, serve anywhere.
+
+A fitted :class:`~repro.core.hydra.HydraLinker` serializes to an on-disk
+artifact directory (``manifest.json`` + ``arrays.npz``) and reloads in a
+fresh process with bit-identical decision values — the offline-training /
+online-serving split that production identity-linkage deployments require.
+
+Entry points: :func:`save_linker`, :func:`load_linker`, or the
+:meth:`~repro.core.hydra.HydraLinker.save` /
+:meth:`~repro.core.hydra.HydraLinker.load` convenience methods.
+"""
+
+from repro.persist.artifact import (
+    ARTIFACT_FORMAT,
+    ARTIFACT_VERSION,
+    ArtifactError,
+    artifact_summary,
+    load_linker,
+    save_linker,
+)
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "ARTIFACT_VERSION",
+    "ArtifactError",
+    "artifact_summary",
+    "load_linker",
+    "save_linker",
+]

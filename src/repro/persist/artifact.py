@@ -1,0 +1,346 @@
+"""On-disk artifact format for fitted linkers.
+
+An artifact is a directory with exactly two files:
+
+``manifest.json``
+    Format tag + version, the linker's hyper-parameter config, the candidate
+    index (every candidate set with its rule evidence and pre-matches), the
+    global row layout, per-block metadata, scalar model state, and feature
+    names — everything human-inspectable.
+
+``arrays.npz``
+    The numeric state: the dual model's training matrix / expansion
+    coefficients, each consistency block's ``M`` / ``D`` / index arrays, and
+    one opaque ``state`` blob (a pickled ``{world, pipeline, filler}`` dict
+    stored as a ``uint8`` array) carrying the fitted feature-pipeline caches
+    and the social world they refer to.  The blob is pickled as a single
+    object graph so the pipeline, the missing-value filler, and the world
+    keep their shared references on reload.
+
+Versioning is strict: :func:`load_linker` refuses artifacts whose ``format``
+or ``version`` it does not understand, so stale artifacts fail loudly
+instead of mis-scoring.  The ``state`` blob additionally records the
+``repro`` release that wrote it; a release mismatch on load raises a
+:class:`UserWarning` because pickled object layouts track the library code,
+not the artifact format number.
+
+.. warning::
+   The ``state`` blob is a pickle: only load artifacts you (or your
+   pipeline) wrote.  Unpickling an untrusted artifact can execute
+   arbitrary code.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import warnings
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.candidates import CandidateSet
+from repro.core.consistency import ConsistencyBlock
+from repro.core.hydra import HydraLinker
+from repro.core.moo import MooConfig, MultiObjectiveModel
+from repro.core.qp import QPResult
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "ARTIFACT_VERSION",
+    "ArtifactError",
+    "artifact_summary",
+    "load_linker",
+    "save_linker",
+]
+
+ARTIFACT_FORMAT = "hydra-linker"
+ARTIFACT_VERSION = 1
+
+_MANIFEST = "manifest.json"
+_ARRAYS = "arrays.npz"
+
+
+class ArtifactError(RuntimeError):
+    """Raised for unreadable, incomplete, or incompatible artifacts."""
+
+
+# ----------------------------------------------------------------------
+# json helpers: pairs are ((platform, id), (platform, id)) tuples
+# ----------------------------------------------------------------------
+def _pair_to_json(pair) -> list:
+    return [list(pair[0]), list(pair[1])]
+
+
+def _pair_from_json(data) -> tuple:
+    return (tuple(data[0]), tuple(data[1]))
+
+
+def _candidates_to_json(candidates: dict) -> list[dict]:
+    out = []
+    for key in sorted(candidates):
+        cand = candidates[key]
+        out.append(
+            {
+                "platform_a": cand.platform_a,
+                "platform_b": cand.platform_b,
+                "pairs": [_pair_to_json(p) for p in cand.pairs],
+                "evidence": [sorted(rules) for rules in cand.evidence],
+                "prematched": list(cand.prematched),
+            }
+        )
+    return out
+
+
+def _candidates_from_json(data: list[dict]) -> dict:
+    out = {}
+    for entry in data:
+        cand = CandidateSet(
+            platform_a=entry["platform_a"],
+            platform_b=entry["platform_b"],
+            pairs=[_pair_from_json(p) for p in entry["pairs"]],
+            evidence=[frozenset(rules) for rules in entry["evidence"]],
+            prematched=list(entry["prematched"]),
+        )
+        out[(cand.platform_a, cand.platform_b)] = cand
+    return out
+
+
+# ----------------------------------------------------------------------
+# save
+# ----------------------------------------------------------------------
+def save_linker(linker: HydraLinker, path) -> Path:
+    """Write a fitted linker to the artifact directory ``path``.
+
+    The directory is created if needed; existing artifact files are
+    overwritten.  Returns the artifact path.
+    """
+    if linker.model_ is None or linker._filler is None or linker._world is None:
+        raise ArtifactError("linker is not fitted; fit() before save()")
+    model = linker.model_
+    if model.x_train_ is None or model.alpha_ is None:
+        raise ArtifactError("fitted model is missing its dual expansion state")
+
+    from repro import __version__  # lazy: repro.__init__ re-exports this module
+
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+
+    builder = linker.consistency_builder
+    qp = model.qp_result_
+    manifest = {
+        "format": ARTIFACT_FORMAT,
+        "version": ARTIFACT_VERSION,
+        "repro_version": __version__,
+        "config": {
+            "moo": {
+                "gamma_l": model.config.gamma_l,
+                "gamma_m": model.config.gamma_m,
+                "p": model.config.p,
+                "kernel": model.config.kernel,
+                "kernel_params": dict(model.config.kernel_params),
+                "max_smo_iterations": model.config.max_smo_iterations,
+                "smo_tol": model.config.smo_tol,
+                "reweight_iterations": model.config.reweight_iterations,
+                "jitter": model.config.jitter,
+            },
+            "consistency": {
+                "sigma1": builder.sigma1,
+                "sigma1_scale": builder.sigma1_scale,
+                "sigma2": builder.sigma2,
+                "max_hops": builder.max_hops,
+            },
+            "missing_strategy": linker.missing_strategy,
+            "threshold": linker.threshold,
+            "one_to_one": linker.one_to_one,
+            "use_prematched": linker.use_prematched,
+            "seed": linker.seed,
+        },
+        "platform_pairs": [list(p) for p in linker.platform_pairs_],
+        "num_labeled": linker.num_labeled_,
+        "global_pairs": [_pair_to_json(p) for p in linker.global_pairs_],
+        "candidates": _candidates_to_json(linker.candidates_),
+        "blocks": [
+            {
+                "platform_a": block.platform_a,
+                "platform_b": block.platform_b,
+                "weight": block.weight,
+            }
+            for block in linker.blocks_
+        ],
+        "model": {
+            "bias": model.bias_,
+            "objective_values": list(model.objective_values_),
+            "qp": (
+                {
+                    "objective": qp.objective,
+                    "iterations": qp.iterations,
+                    "support_fraction": qp.support_fraction,
+                }
+                if qp is not None
+                else None
+            ),
+        },
+        "feature_names": list(linker.pipeline.feature_names),
+        "stage_timings": dict(linker.stage_timings_),
+    }
+    (path / _MANIFEST).write_text(json.dumps(manifest, indent=2, sort_keys=True))
+
+    arrays: dict[str, np.ndarray] = {
+        "model_x_train": model.x_train_,
+        "model_alpha": model.alpha_,
+        "model_beta": model.beta_ if model.beta_ is not None else np.zeros(0),
+    }
+    for i, block in enumerate(linker.blocks_):
+        arrays[f"block_{i}_m"] = block.m
+        arrays[f"block_{i}_d"] = block.d
+        arrays[f"block_{i}_indices"] = block.indices
+    state_blob = pickle.dumps(
+        {
+            "world": linker._world,
+            "pipeline": linker.pipeline,
+            "filler": linker._filler,
+        },
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    arrays["state"] = np.frombuffer(state_blob, dtype=np.uint8)
+    np.savez_compressed(path / _ARRAYS, **arrays)
+    return path
+
+
+# ----------------------------------------------------------------------
+# load
+# ----------------------------------------------------------------------
+def _read_manifest(path: Path) -> dict:
+    manifest_path = path / _MANIFEST
+    if not manifest_path.is_file():
+        raise ArtifactError(f"no artifact manifest at {manifest_path}")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ArtifactError(f"corrupt artifact manifest at {manifest_path}: {exc}")
+    if manifest.get("format") != ARTIFACT_FORMAT:
+        raise ArtifactError(
+            f"unknown artifact format {manifest.get('format')!r} "
+            f"(expected {ARTIFACT_FORMAT!r})"
+        )
+    if manifest.get("version") != ARTIFACT_VERSION:
+        raise ArtifactError(
+            f"unsupported artifact version {manifest.get('version')!r} "
+            f"(this build reads version {ARTIFACT_VERSION})"
+        )
+    return manifest
+
+
+def load_linker(path, *, linker_cls: type[HydraLinker] = HydraLinker) -> HydraLinker:
+    """Reconstruct a fitted :class:`HydraLinker` from an artifact directory.
+
+    The loaded linker serves :meth:`~repro.core.hydra.HydraLinker.score_pairs`
+    and :meth:`~repro.core.hydra.HydraLinker.linkage` with decision values
+    bit-identical to the linker that was saved — no refitting happens.
+    ``linker_cls`` lets :class:`HydraLinker` subclasses (custom stages or
+    query behavior) reload as themselves; it must accept the base
+    constructor keywords.
+    """
+    from repro import __version__
+
+    path = Path(path)
+    manifest = _read_manifest(path)
+    saved_version = manifest.get("repro_version")
+    if saved_version != __version__:
+        # the format number guards the manifest/array layout; the pickled
+        # state blob tracks library code, so a release skew deserves a
+        # loud warning even when the artifact version still matches
+        warnings.warn(
+            f"artifact at {path} was written by repro {saved_version}; "
+            f"this is repro {__version__} — pickled pipeline state may be "
+            "incompatible; refit and re-save if scoring misbehaves",
+            UserWarning,
+            stacklevel=2,
+        )
+    arrays_path = path / _ARRAYS
+    if not arrays_path.is_file():
+        raise ArtifactError(f"artifact arrays missing at {arrays_path}")
+
+    with np.load(arrays_path) as arrays:
+        state = pickle.loads(arrays["state"].tobytes())
+        model_x_train = arrays["model_x_train"]
+        model_alpha = arrays["model_alpha"]
+        model_beta = arrays["model_beta"]
+        block_arrays = [
+            (
+                arrays[f"block_{i}_m"],
+                arrays[f"block_{i}_d"],
+                arrays[f"block_{i}_indices"],
+            )
+            for i in range(len(manifest["blocks"]))
+        ]
+
+    config = manifest["config"]
+    linker = linker_cls(
+        missing_strategy=config["missing_strategy"],
+        threshold=config["threshold"],
+        one_to_one=config["one_to_one"],
+        use_prematched=config["use_prematched"],
+        sigma1=config["consistency"]["sigma1"],
+        sigma1_scale=config["consistency"]["sigma1_scale"],
+        sigma2=config["consistency"]["sigma2"],
+        max_hops=config["consistency"]["max_hops"],
+        seed=config["seed"],
+    )
+    linker.moo_config = MooConfig(**config["moo"])
+    linker.pipeline = state["pipeline"]
+    linker._world = state["world"]
+    linker._filler = state["filler"]
+
+    model = MultiObjectiveModel(linker.moo_config)
+    model.x_train_ = model_x_train
+    model.alpha_ = model_alpha
+    model.beta_ = model_beta if model_beta.size else None
+    model.bias_ = float(manifest["model"]["bias"])
+    model.objective_values_ = list(manifest["model"]["objective_values"])
+    qp = manifest["model"]["qp"]
+    if qp is not None:
+        model.qp_result_ = QPResult(
+            beta=model_beta,
+            objective=float(qp["objective"]),
+            iterations=int(qp["iterations"]),
+            support_fraction=float(qp["support_fraction"]),
+        )
+    linker.model_ = model
+
+    linker.platform_pairs_ = [tuple(p) for p in manifest["platform_pairs"]]
+    linker.num_labeled_ = int(manifest["num_labeled"])
+    linker.global_pairs_ = [_pair_from_json(p) for p in manifest["global_pairs"]]
+    linker.candidates_ = _candidates_from_json(manifest["candidates"])
+    linker.blocks_ = [
+        ConsistencyBlock(
+            platform_a=meta["platform_a"],
+            platform_b=meta["platform_b"],
+            indices=indices,
+            m=m,
+            d=d,
+            weight=meta["weight"],
+        )
+        for meta, (m, d, indices) in zip(manifest["blocks"], block_arrays)
+    ]
+    linker.stage_timings_ = dict(manifest.get("stage_timings", {}))
+    return linker
+
+
+def artifact_summary(path) -> dict:
+    """Cheap artifact inspection: manifest facts without loading arrays."""
+    path = Path(path)
+    manifest = _read_manifest(path)
+    return {
+        "path": str(path),
+        "format": manifest["format"],
+        "version": manifest["version"],
+        "repro_version": manifest.get("repro_version"),
+        "platform_pairs": [tuple(p) for p in manifest["platform_pairs"]],
+        "num_candidates": len(manifest["global_pairs"]),
+        "num_labeled": manifest["num_labeled"],
+        "missing_strategy": manifest["config"]["missing_strategy"],
+        "kernel": manifest["config"]["moo"]["kernel"],
+        "feature_dim": len(manifest["feature_names"]),
+    }

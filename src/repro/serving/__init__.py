@@ -1,0 +1,22 @@
+"""Online query serving over fitted linkage artifacts.
+
+:class:`LinkageService` loads a fitted linker (in memory or from a
+:mod:`repro.persist` artifact) and answers linkage queries — batch pair
+scoring, per-account candidate resolution, platform-pair top-k — against a
+pre-built per-platform candidate index, without ever refitting.  The
+:mod:`repro.serving.bench` microbenchmark measures the batched scoring
+throughput in pairs/sec.
+"""
+
+from repro.serving.bench import BenchResult, run_throughput_benchmark, throughput_table
+from repro.serving.service import LinkageService, LruCache, ScoredLink, ServiceStats
+
+__all__ = [
+    "BenchResult",
+    "LinkageService",
+    "LruCache",
+    "ScoredLink",
+    "ServiceStats",
+    "run_throughput_benchmark",
+    "throughput_table",
+]

@@ -1,0 +1,84 @@
+"""Serving throughput microbenchmark: batched scoring in pairs/sec.
+
+:func:`run_throughput_benchmark` drives
+:meth:`~repro.serving.service.LinkageService.score_pairs` over a fixed pair
+workload at several batch sizes and reports the best-of-``repeats``
+throughput per batch size — the number that capacity planning for the
+query path actually needs.  Used by the ``serve-bench`` CLI subcommand and
+the ``benchmarks/test_serving_throughput.py`` suite.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.serving.service import LinkageService, Pair
+
+__all__ = ["BenchResult", "run_throughput_benchmark", "throughput_table"]
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """Throughput measurement for one batch size."""
+
+    batch_size: int
+    num_pairs: int
+    repeats: int
+    best_seconds: float
+    pairs_per_sec: float
+
+
+def run_throughput_benchmark(
+    service: LinkageService,
+    *,
+    pairs: list[Pair] | None = None,
+    batch_sizes: tuple[int, ...] = (16, 256),
+    repeats: int = 3,
+    max_pairs: int | None = None,
+) -> list[BenchResult]:
+    """Measure batched scoring throughput at each batch size.
+
+    ``pairs`` defaults to every indexed candidate pair; ``max_pairs``
+    truncates the workload for smoke runs.  Each batch size is timed
+    ``repeats`` times end-to-end (featurize + missing-fill + kernel
+    scoring); the best pass counts, minimizing scheduler noise.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if pairs is None:
+        pairs = [
+            pair
+            for key in service.platform_pairs()
+            for pair in service.linker.candidates_[key].pairs
+        ]
+    if max_pairs is not None:
+        pairs = pairs[:max_pairs]
+    if not pairs:
+        raise ValueError("no pairs to benchmark")
+
+    results: list[BenchResult] = []
+    for batch_size in batch_sizes:
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            service.score_pairs(pairs, batch_size=batch_size)
+            best = min(best, time.perf_counter() - start)
+        results.append(
+            BenchResult(
+                batch_size=batch_size,
+                num_pairs=len(pairs),
+                repeats=repeats,
+                best_seconds=best,
+                pairs_per_sec=len(pairs) / best if best > 0 else float("inf"),
+            )
+        )
+    return results
+
+
+def throughput_table(results: list[BenchResult]) -> list[list]:
+    """Rows for tabular reporting: batch size, pairs, seconds, pairs/sec."""
+    return [
+        [r.batch_size, r.num_pairs, r.best_seconds, r.pairs_per_sec]
+        for r in results
+    ]

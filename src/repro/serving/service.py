@@ -1,0 +1,284 @@
+"""The batch-scoring service: linkage queries without refitting.
+
+:class:`LinkageService` wraps a *fitted* :class:`~repro.core.hydra.HydraLinker`
+(constructed in memory or loaded from a :mod:`repro.persist` artifact) and
+serves three query shapes:
+
+* :meth:`LinkageService.score_pairs` — decision values for arbitrary pair
+  batches, featurized in fixed-size batches so memory stays bounded while
+  each kernel evaluation is vectorized;
+* :meth:`LinkageService.link_account` — resolve one account against every
+  indexed candidate on the other platforms (the "who is this user
+  elsewhere?" query);
+* :meth:`LinkageService.top_k` — the strongest candidate links of a platform
+  pair.
+
+Candidate lookups go through a per-platform inverted index built once at
+construction; per-platform-pair candidate scores are computed lazily on
+first touch and memoized; per-account behavior summaries flow through a
+bounded :class:`LruCache`.  :meth:`LinkageService.stats` exposes the running
+counters (queries, pairs scored, cache hit rates) for capacity monitoring.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.hydra import HydraLinker
+from repro.features.pipeline import AccountRef
+
+__all__ = ["LinkageService", "LruCache", "ScoredLink", "ServiceStats"]
+
+Pair = tuple[AccountRef, AccountRef]
+
+
+class LruCache:
+    """A small least-recently-used cache with hit/miss counters."""
+
+    def __init__(self, maxsize: int = 4096):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._data: OrderedDict = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get_or_compute(self, key, compute):
+        """Return the cached value for ``key``, computing and inserting on miss."""
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            value = compute()
+            self._data[key] = value
+            if len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+            return value
+        self.hits += 1
+        self._data.move_to_end(key)
+        return value
+
+
+@dataclass(frozen=True)
+class ScoredLink:
+    """One served candidate link: the pair, its decision value, and context."""
+
+    pair: Pair
+    score: float
+    evidence: frozenset[str]
+    behavior_distance: float
+
+
+@dataclass
+class ServiceStats:
+    """Running counters of one service instance."""
+
+    queries: int = 0
+    pairs_scored: int = 0
+    batches: int = 0
+    summary_cache_hits: int = 0
+    summary_cache_misses: int = 0
+    score_cache_entries: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+
+@dataclass
+class _PairIndex:
+    """Inverted candidate index for one fitted platform pair."""
+
+    pairs: list[Pair]
+    evidence: list[frozenset[str]]
+    by_left: dict[str, list[int]] = field(default_factory=dict)
+    by_right: dict[str, list[int]] = field(default_factory=dict)
+
+
+class LinkageService:
+    """Serve linkage queries from a fitted linker — no refitting, ever.
+
+    Parameters
+    ----------
+    linker:
+        A fitted :class:`~repro.core.hydra.HydraLinker`.
+    batch_size:
+        Featurization batch size for :meth:`score_pairs`.
+    summary_cache_size:
+        Capacity of the per-account behavior-summary LRU.
+    """
+
+    def __init__(
+        self,
+        linker: HydraLinker,
+        *,
+        batch_size: int = 256,
+        summary_cache_size: int = 4096,
+    ):
+        if linker.model_ is None or linker._filler is None:
+            raise RuntimeError("linker is not fitted; fit() or load() first")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.linker = linker
+        self.batch_size = batch_size
+        self._summaries = LruCache(summary_cache_size)
+        self._score_cache: dict[tuple[str, str], np.ndarray] = {}
+        self._queries = 0
+        self._pairs_scored = 0
+        self._batches = 0
+
+        self._index: dict[tuple[str, str], _PairIndex] = {}
+        for key, cand in linker.candidates_.items():
+            index = _PairIndex(pairs=list(cand.pairs), evidence=list(cand.evidence))
+            for row, (ref_a, ref_b) in enumerate(cand.pairs):
+                index.by_left.setdefault(ref_a[1], []).append(row)
+                index.by_right.setdefault(ref_b[1], []).append(row)
+            self._index[key] = index
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_artifact(cls, path, **kwargs) -> "LinkageService":
+        """Load a :mod:`repro.persist` artifact and serve it."""
+        return cls(HydraLinker.load(path), **kwargs)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def platform_pairs(self) -> list[tuple[str, str]]:
+        """The platform pairs this service can answer for."""
+        return sorted(self._index)
+
+    def num_candidates(self) -> int:
+        """Total indexed candidate pairs across all platform pairs."""
+        return sum(len(index.pairs) for index in self._index.values())
+
+    def score_pairs(
+        self, pairs: list[Pair], *, batch_size: int | None = None
+    ) -> np.ndarray:
+        """Decision values for arbitrary pairs, featurized batch by batch."""
+        self._queries += 1
+        if not pairs:
+            return np.zeros(0)
+        batch = batch_size if batch_size is not None else self.batch_size
+        out = self._score(pairs, batch)
+        self._pairs_scored += len(pairs)
+        self._batches += -(-len(pairs) // batch)  # ceil division
+        return out
+
+    def _score(self, pairs: list[Pair], batch: int) -> np.ndarray:
+        """Batched scoring through the linker's own pipeline; counters stay
+        untouched so internal cache fills don't masquerade as workload."""
+        if batch < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch}")
+        out = np.empty(len(pairs))
+        for start in range(0, len(pairs), batch):
+            chunk = pairs[start : start + batch]
+            out[start : start + len(chunk)] = self.linker.score_pairs(chunk)
+        return out
+
+    def top_k(self, platform_a: str, platform_b: str, k: int = 10) -> list[ScoredLink]:
+        """The ``k`` strongest candidate links for one platform pair.
+
+        Either orientation is accepted; returned pairs follow the requested
+        orientation.
+        """
+        self._queries += 1
+        key, flipped = self._resolve(platform_a, platform_b)
+        index = self._index[key]
+        scores = self._cached_scores(key)
+        order = np.argsort(-scores, kind="stable")[: max(k, 0)]
+        return [self._link(index, int(row), scores, flipped) for row in order]
+
+    def link_account(
+        self,
+        platform: str,
+        account_id: str,
+        *,
+        other_platform: str | None = None,
+        top: int = 5,
+    ) -> list[ScoredLink]:
+        """Resolve one account against its indexed candidates.
+
+        Searches every fitted platform pair that involves ``platform``
+        (restricted to ``other_platform`` when given) and returns the
+        strongest ``top`` links, oriented with the queried account first.
+        """
+        self._queries += 1
+        results: list[ScoredLink] = []
+        for key, index in self._index.items():
+            if key[0] == platform and (other_platform in (None, key[1])):
+                rows, flipped = index.by_left.get(account_id, []), False
+            elif key[1] == platform and (other_platform in (None, key[0])):
+                rows, flipped = index.by_right.get(account_id, []), True
+            else:
+                continue
+            scores = self._cached_scores(key)
+            results.extend(self._link(index, row, scores, flipped) for row in rows)
+        results.sort(key=lambda link: -link.score)
+        return results[: max(top, 0)]
+
+    def account_summary(self, ref: AccountRef) -> np.ndarray:
+        """Behavior summary of one account, via the bounded LRU cache."""
+        return self._summaries.get_or_compute(
+            ref, lambda: self.linker.pipeline.behavior_summary(ref)
+        )
+
+    def behavior_distance(self, ref_a: AccountRef, ref_b: AccountRef) -> float:
+        """Euclidean distance between two accounts' behavior summaries."""
+        va = np.nan_to_num(self.account_summary(ref_a), nan=0.0)
+        vb = np.nan_to_num(self.account_summary(ref_b), nan=0.0)
+        return float(np.linalg.norm(va - vb))
+
+    def stats(self) -> ServiceStats:
+        """Snapshot of the service counters."""
+        return ServiceStats(
+            queries=self._queries,
+            pairs_scored=self._pairs_scored,
+            batches=self._batches,
+            summary_cache_hits=self._summaries.hits,
+            summary_cache_misses=self._summaries.misses,
+            score_cache_entries=len(self._score_cache),
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _resolve(self, platform_a: str, platform_b: str) -> tuple[tuple[str, str], bool]:
+        key = (platform_a, platform_b)
+        if key in self._index:
+            return key, False
+        key = (platform_b, platform_a)
+        if key in self._index:
+            return key, True
+        raise KeyError(f"platform pair ({platform_a}, {platform_b}) was not fitted")
+
+    def _cached_scores(self, key: tuple[str, str]) -> np.ndarray:
+        """Candidate scores for one platform pair, computed once.
+
+        Goes through :meth:`_score` directly: the lazy index fill is not
+        served workload and must not skew the stats counters.
+        """
+        scores = self._score_cache.get(key)
+        if scores is None:
+            scores = self._score(self._index[key].pairs, self.batch_size)
+            self._score_cache[key] = scores
+        return scores
+
+    def _link(
+        self, index: _PairIndex, row: int, scores: np.ndarray, flipped: bool
+    ) -> ScoredLink:
+        ref_a, ref_b = index.pairs[row]
+        pair = (ref_b, ref_a) if flipped else (ref_a, ref_b)
+        return ScoredLink(
+            pair=pair,
+            score=float(scores[row]),
+            evidence=index.evidence[row],
+            behavior_distance=self.behavior_distance(ref_a, ref_b),
+        )

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import DistributedLinearHydra, LinearSVM
+from repro.core import ConsistencyBlock, DistributedLinearHydra, LinearSVM
 
 
 def _blobs(rng, n=20, sep=1.5):
@@ -74,6 +74,32 @@ class TestDistributedLinearHydra:
     def test_unfitted_raises(self):
         with pytest.raises(RuntimeError):
             DistributedLinearHydra().decision_function(np.zeros((1, 3)))
+
+    def test_shard_theta_matches_dense_restriction(self):
+        """Block-wise shard assembly equals restricting the dense Laplacian."""
+        rng = np.random.default_rng(6)
+        n, d = 23, 4
+        x_all = rng.normal(size=(n, d + 1))
+        blocks = []
+        for indices in (np.array([0, 3, 7, 8, 12, 19]),
+                        np.array([2, 5, 9, 14, 20, 21, 22])):
+            m = rng.uniform(0, 1, (indices.size, indices.size))
+            m = 0.5 * (m + m.T)
+            blocks.append(ConsistencyBlock(
+                platform_a="a", platform_b="b", indices=indices,
+                m=m, d=np.diag(m.sum(axis=1)), weight=rng.uniform(0.5, 2.0),
+            ))
+        dense = np.zeros((n, n))
+        for block in blocks:
+            dense[np.ix_(block.indices, block.indices)] += (
+                block.weight * block.laplacian
+            )
+        model = DistributedLinearHydra(num_workers=4)
+        shards = model._make_shards(x_all, np.array([1.0, -1.0]), 2, blocks)
+        boundaries = np.linspace(0, n, 5, dtype=int)
+        assert len(shards) == 4
+        for shard, lo, hi in zip(shards, boundaries[:-1], boundaries[1:]):
+            np.testing.assert_allclose(shard.theta, dense[lo:hi, lo:hi])
 
     def test_param_validation(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,158 @@
+"""Tests for the staged fit pipeline (LinkageContext + stage objects)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CandidateGenerator,
+    CandidateStage,
+    ConsistencyStage,
+    FeaturizeStage,
+    HydraLinker,
+    LabelStage,
+    LinkageContext,
+    MooConfig,
+    OptimizeStage,
+    StructureConsistencyBuilder,
+    run_stages,
+)
+from repro.features import FeaturePipeline
+
+
+def _context(world, positives, negatives, **kwargs):
+    return LinkageContext(
+        world=world,
+        labeled_positive=positives,
+        labeled_negative=negatives,
+        platform_pairs=[("facebook", "twitter")],
+        **kwargs,
+    )
+
+
+class TestStages:
+    @pytest.fixture(scope="class")
+    def run_context(self, small_world, labeled_split):
+        positives, negatives = labeled_split
+        context = _context(small_world, positives, negatives)
+        pipeline = FeaturePipeline(num_topics=6, max_lda_docs=800, seed=5)
+        stages = [
+            CandidateStage(CandidateGenerator()),
+            LabelStage(use_prematched=True),
+            FeaturizeStage(pipeline, missing_strategy="core"),
+            ConsistencyStage(StructureConsistencyBuilder()),
+            OptimizeStage(MooConfig(gamma_l=0.01, gamma_m=100.0)),
+        ]
+        return run_stages(stages, context)
+
+    def test_candidate_stage_populates(self, run_context):
+        assert ("facebook", "twitter") in run_context.candidates
+        assert len(run_context.candidates[("facebook", "twitter")]) > 0
+
+    def test_label_stage_layout(self, run_context):
+        # labeled prefix, both classes, no duplicates in the global layout
+        assert run_context.num_labeled == len(run_context.y)
+        assert set(np.unique(run_context.y)) == {-1.0, 1.0}
+        assert len(set(run_context.global_pairs)) == len(run_context.global_pairs)
+        assert run_context.labeled_pairs == run_context.global_pairs[
+            : run_context.num_labeled
+        ]
+
+    def test_featurize_stage_resolves_missing(self, run_context):
+        assert run_context.x_all is not None
+        assert run_context.x_all.shape[0] == len(run_context.global_pairs)
+        assert not np.isnan(run_context.x_all).any()
+        assert run_context.filler is not None
+
+    def test_consistency_stage_blocks(self, run_context):
+        assert run_context.blocks
+        n = len(run_context.global_pairs)
+        for block in run_context.blocks:
+            assert block.indices.max() < n
+
+    def test_optimize_stage_model(self, run_context):
+        assert run_context.model is not None
+        scores = run_context.model.decision_function(run_context.x_all[:3])
+        assert scores.shape == (3,)
+
+    def test_timings_cover_all_stages(self, run_context):
+        assert set(run_context.timings) == {
+            "candidates", "labels", "featurize", "consistency", "optimize",
+        }
+        assert all(t >= 0.0 for t in run_context.timings.values())
+
+
+class TestStageValidation:
+    def test_featurize_rejects_bad_strategy(self):
+        with pytest.raises(ValueError):
+            FeaturizeStage(FeaturePipeline(), missing_strategy="bogus")
+
+    def test_optimize_requires_featurize(self, small_world, labeled_split):
+        positives, negatives = labeled_split
+        context = _context(small_world, positives, negatives)
+        with pytest.raises(RuntimeError):
+            OptimizeStage(MooConfig()).run(context)
+
+    def test_label_stage_conflict(self, small_world, labeled_split):
+        positives, _ = labeled_split
+        context = _context(small_world, positives, [positives[0]])
+        with pytest.raises(ValueError):
+            LabelStage().run(context)
+
+    def test_injected_candidates_bypass_generation(self, small_world, labeled_split):
+        positives, negatives = labeled_split
+        generated = CandidateGenerator().generate(small_world, "facebook", "twitter")
+        context = _context(
+            small_world, positives, negatives,
+            injected_candidates={("facebook", "twitter"): generated},
+        )
+
+        class ExplodingGenerator:
+            def generate(self, *args):  # pragma: no cover - must not run
+                raise AssertionError("generation should have been bypassed")
+
+        CandidateStage(ExplodingGenerator()).run(context)
+        assert context.candidates == {("facebook", "twitter"): generated}
+
+
+class TestLinkerOrchestration:
+    def test_fit_records_stage_timings(self, small_world, labeled_split):
+        positives, negatives = labeled_split
+        linker = HydraLinker(seed=2, num_topics=6, max_lda_docs=600)
+        linker.fit(small_world, positives, negatives, [("facebook", "twitter")])
+        assert set(linker.stage_timings_) == {
+            "candidates", "labels", "featurize", "consistency", "optimize",
+        }
+
+    def test_custom_stage_list_is_honored(self, small_world, labeled_split):
+        """A subclass can swap stages — the orchestrator runs what it's given."""
+        positives, negatives = labeled_split
+
+        class ZeroFillLinker(HydraLinker):
+            def build_stages(self):
+                stages = super().build_stages()
+                stages[2] = FeaturizeStage(self.pipeline, missing_strategy="zero")
+                return stages
+
+        linker = ZeroFillLinker(seed=2, num_topics=6, max_lda_docs=600)
+        linker.fit(small_world, positives, negatives, [("facebook", "twitter")])
+        assert linker.score_pairs(positives[:2]).shape == (2,)
+
+    def test_sparsity_report_without_qp_result(self, small_world, labeled_split):
+        """Linear-path models (no kernel QP) still report weight support."""
+        positives, negatives = labeled_split
+        linker = HydraLinker(seed=2, num_topics=6, max_lda_docs=600)
+        linker.fit(small_world, positives, negatives, [("facebook", "twitter")])
+        linker.model_.qp_result_ = None
+        report = linker.sparsity_report()
+        assert 0.0 < report["beta_support_fraction"] <= 1.0
+
+        class LinearModel:
+            w_ = np.array([0.0, 1.5, 0.0, -0.2])
+
+        linker.model_ = LinearModel()
+        report = linker.sparsity_report()
+        assert report["beta_support_fraction"] == 0.5
+
+    def test_sparsity_report_unfitted_still_raises(self):
+        with pytest.raises(RuntimeError):
+            HydraLinker().sparsity_report()

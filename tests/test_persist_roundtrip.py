@@ -1,0 +1,171 @@
+"""Artifact round-tripping: save() -> load() -> identical decision values."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import HydraLinker
+from repro.persist import (
+    ARTIFACT_FORMAT,
+    ARTIFACT_VERSION,
+    ArtifactError,
+    artifact_summary,
+    load_linker,
+    save_linker,
+)
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+@pytest.fixture(scope="module", params=["core", "zero"])
+def saved(request, small_world, labeled_split, tmp_path_factory):
+    """A fitted linker per missing strategy plus its saved artifact."""
+    positives, negatives = labeled_split
+    linker = HydraLinker(
+        missing_strategy=request.param, seed=17, num_topics=8, max_lda_docs=1500
+    )
+    linker.fit(small_world, positives, negatives)
+    path = tmp_path_factory.mktemp(f"artifact-{request.param}") / "linker"
+    save_linker(linker, path)
+    return linker, path
+
+
+class TestRoundTrip:
+    def test_layout(self, saved):
+        _, path = saved
+        assert sorted(p.name for p in path.iterdir()) == [
+            "arrays.npz", "manifest.json",
+        ]
+        manifest = json.loads((path / "manifest.json").read_text())
+        assert manifest["format"] == ARTIFACT_FORMAT
+        assert manifest["version"] == ARTIFACT_VERSION
+
+    def test_scores_bit_identical(self, saved, true_refs):
+        linker, path = saved
+        loaded = load_linker(path)
+        original = linker.score_pairs(true_refs)
+        reloaded = loaded.score_pairs(true_refs)
+        assert np.array_equal(original, reloaded)  # bit-for-bit, not allclose
+
+    def test_candidate_scores_bit_identical(self, saved):
+        linker, path = saved
+        loaded = HydraLinker.load(path)
+        pairs = linker.candidates_[("facebook", "twitter")].pairs
+        assert np.array_equal(
+            linker.score_pairs(pairs), loaded.score_pairs(pairs)
+        )
+
+    def test_linkage_decisions_identical(self, saved):
+        linker, path = saved
+        loaded = load_linker(path)
+        original = linker.linkage("facebook", "twitter")
+        reloaded = loaded.linkage("facebook", "twitter")
+        assert original.linked == reloaded.linked
+        assert np.array_equal(original.linked_scores, reloaded.linked_scores)
+
+    def test_fitted_state_restored(self, saved):
+        linker, path = saved
+        loaded = load_linker(path)
+        assert loaded.missing_strategy == linker.missing_strategy
+        assert loaded.num_labeled_ == linker.num_labeled_
+        assert loaded.global_pairs_ == linker.global_pairs_
+        assert loaded.platform_pairs_ == linker.platform_pairs_
+        assert len(loaded.blocks_) == len(linker.blocks_)
+        for original, reloaded in zip(linker.blocks_, loaded.blocks_):
+            assert np.array_equal(original.m, reloaded.m)
+            assert np.array_equal(original.indices, reloaded.indices)
+        assert loaded.sparsity_report() == linker.sparsity_report()
+
+    def test_fresh_process_serves_identical_scores(self, saved, true_refs, tmp_path):
+        """The acceptance-criterion path: reload in a *fresh* interpreter."""
+        linker, path = saved
+        expected = linker.score_pairs(true_refs[:6])
+        out_path = tmp_path / "scores.npy"
+        script = (
+            "import sys, json, numpy as np\n"
+            "from repro.core import HydraLinker\n"
+            "linker = HydraLinker.load(sys.argv[1])\n"
+            "pairs = [tuple(map(tuple, p)) for p in json.loads(sys.argv[3])]\n"
+            "np.save(sys.argv[2], linker.score_pairs(pairs))\n"
+        )
+        pairs_json = json.dumps([[list(a), list(b)] for a, b in true_refs[:6]])
+        subprocess.run(
+            [sys.executable, "-c", script, str(path), str(out_path), pairs_json],
+            check=True,
+            env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"},
+        )
+        assert np.array_equal(expected, np.load(out_path))
+
+
+class TestArtifactValidation:
+    def test_unfitted_linker_rejected(self, tmp_path):
+        with pytest.raises(ArtifactError):
+            save_linker(HydraLinker(), tmp_path / "nope")
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(ArtifactError):
+            load_linker(tmp_path)
+
+    def test_wrong_format_rejected(self, saved, tmp_path):
+        _, path = saved
+        bad = tmp_path / "bad-format"
+        bad.mkdir()
+        manifest = json.loads((path / "manifest.json").read_text())
+        manifest["format"] = "mystery-model"
+        (bad / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ArtifactError, match="format"):
+            load_linker(bad)
+
+    def test_future_version_rejected(self, saved, tmp_path):
+        _, path = saved
+        bad = tmp_path / "bad-version"
+        bad.mkdir()
+        manifest = json.loads((path / "manifest.json").read_text())
+        manifest["version"] = ARTIFACT_VERSION + 1
+        (bad / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ArtifactError, match="version"):
+            load_linker(bad)
+
+    def test_missing_arrays_rejected(self, saved, tmp_path):
+        _, path = saved
+        partial = tmp_path / "partial"
+        partial.mkdir()
+        (partial / "manifest.json").write_text(
+            (path / "manifest.json").read_text()
+        )
+        with pytest.raises(ArtifactError, match="arrays"):
+            load_linker(partial)
+
+    def test_subclass_load_preserves_class(self, saved):
+        _, path = saved
+
+        class CustomLinker(HydraLinker):
+            pass
+
+        loaded = CustomLinker.load(path)
+        assert type(loaded) is CustomLinker
+        assert type(HydraLinker.load(path)) is HydraLinker
+
+    def test_release_skew_warns(self, saved, tmp_path):
+        """Pickled state tracks library code — loading across releases warns."""
+        import shutil
+
+        _, path = saved
+        skewed = tmp_path / "skewed"
+        shutil.copytree(path, skewed)
+        manifest = json.loads((skewed / "manifest.json").read_text())
+        manifest["repro_version"] = "0.0.1"
+        (skewed / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.warns(UserWarning, match="written by repro 0.0.1"):
+            load_linker(skewed)
+
+    def test_summary_reads_without_arrays(self, saved):
+        linker, path = saved
+        summary = artifact_summary(path)
+        assert summary["num_candidates"] == len(linker.global_pairs_)
+        assert summary["missing_strategy"] == linker.missing_strategy
+        assert summary["platform_pairs"] == [("facebook", "twitter")]

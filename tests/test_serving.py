@@ -1,0 +1,174 @@
+"""Tests for the batch-scoring service layer."""
+
+import numpy as np
+import pytest
+
+from repro.core import HydraLinker
+from repro.serving import (
+    LinkageService,
+    LruCache,
+    run_throughput_benchmark,
+    throughput_table,
+)
+
+
+@pytest.fixture(scope="module")
+def service_and_linker(small_world, labeled_split, tmp_path_factory):
+    """A service loaded from an artifact, plus the in-memory linker it mirrors."""
+    positives, negatives = labeled_split
+    linker = HydraLinker(seed=17, num_topics=8, max_lda_docs=1500)
+    linker.fit(small_world, positives, negatives)
+    path = tmp_path_factory.mktemp("serving") / "artifact"
+    linker.save(path)
+    return LinkageService.from_artifact(path, batch_size=32), linker
+
+
+class TestLruCache:
+    def test_hit_miss_accounting(self):
+        cache = LruCache(maxsize=2)
+        calls = []
+        for key in ("a", "b", "a"):
+            cache.get_or_compute(key, lambda k=key: calls.append(k) or k.upper())
+        assert calls == ["a", "b"]
+        assert cache.hits == 1
+        assert cache.misses == 2
+
+    def test_eviction_is_lru(self):
+        cache = LruCache(maxsize=2)
+        cache.get_or_compute("a", lambda: 1)
+        cache.get_or_compute("b", lambda: 2)
+        cache.get_or_compute("a", lambda: 1)  # refresh a; b is now oldest
+        cache.get_or_compute("c", lambda: 3)  # evicts b
+        cache.get_or_compute("a", lambda: pytest.fail("a was evicted"))
+        assert len(cache) == 2
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            LruCache(maxsize=0)
+
+
+class TestLinkageService:
+    def test_scores_match_linker_exactly(self, service_and_linker, true_refs):
+        service, linker = service_and_linker
+        assert np.array_equal(
+            service.score_pairs(true_refs), linker.score_pairs(true_refs)
+        )
+
+    def test_batch_size_does_not_change_scores(self, service_and_linker, true_refs):
+        service, _ = service_and_linker
+        full = service.score_pairs(true_refs, batch_size=len(true_refs))
+        tiny = service.score_pairs(true_refs, batch_size=3)
+        # different batch shapes take different BLAS summation orders, so
+        # agreement is to rounding, not bit-for-bit (that holds per-batching)
+        np.testing.assert_allclose(full, tiny, rtol=0, atol=1e-9)
+
+    def test_empty_batch(self, service_and_linker):
+        service, _ = service_and_linker
+        assert service.score_pairs([]).shape == (0,)
+
+    def test_top_k_sorted_and_oriented(self, service_and_linker):
+        service, _ = service_and_linker
+        links = service.top_k("facebook", "twitter", k=5)
+        assert len(links) == 5
+        scores = [link.score for link in links]
+        assert scores == sorted(scores, reverse=True)
+        assert all(link.pair[0][0] == "facebook" for link in links)
+        flipped = service.top_k("twitter", "facebook", k=5)
+        assert all(link.pair[0][0] == "twitter" for link in flipped)
+        assert {tuple(reversed(l.pair)) for l in flipped} == {
+            l.pair for l in links
+        }
+
+    def test_link_account_matches_candidate_index(self, service_and_linker):
+        service, linker = service_and_linker
+        cand = linker.candidates_[("facebook", "twitter")]
+        account = cand.pairs[0][0]
+        links = service.link_account(account[0], account[1], top=100)
+        expected = {p for p in cand.pairs if p[0] == account}
+        assert {link.pair for link in links} == expected
+        # the queried account leads each returned pair
+        assert all(link.pair[0] == account for link in links)
+
+    def test_link_account_right_side_orientation(self, service_and_linker):
+        service, linker = service_and_linker
+        cand = linker.candidates_[("facebook", "twitter")]
+        account = cand.pairs[0][1]  # a twitter account
+        links = service.link_account(account[0], account[1], top=100)
+        assert links
+        assert all(link.pair[0] == account for link in links)
+
+    def test_link_account_unknown_returns_empty(self, service_and_linker):
+        service, _ = service_and_linker
+        assert service.link_account("facebook", "no_such_account") == []
+
+    def test_unknown_platform_pair(self, service_and_linker):
+        service, _ = service_and_linker
+        with pytest.raises(KeyError):
+            service.top_k("facebook", "nonexistent")
+
+    def test_evidence_and_behavior_distance_populated(self, service_and_linker):
+        service, _ = service_and_linker
+        links = service.top_k("facebook", "twitter", k=3)
+        for link in links:
+            assert isinstance(link.evidence, frozenset)
+            assert link.behavior_distance >= 0.0
+
+    def test_stats_accumulate(self, service_and_linker, true_refs):
+        service, _ = service_and_linker
+        before = service.stats()
+        service.score_pairs(true_refs[:4])
+        after = service.stats()
+        assert after.queries == before.queries + 1
+        assert after.pairs_scored == before.pairs_scored + 4
+        assert after.batches == before.batches + 1
+        assert after.summary_cache_misses + after.summary_cache_hits > 0
+
+    def test_internal_cache_fill_not_counted_as_workload(
+        self, small_world, labeled_split, tmp_path
+    ):
+        linker = HydraLinker(seed=17, num_topics=8, max_lda_docs=1500)
+        positives, negatives = labeled_split
+        linker.fit(small_world, positives, negatives)
+        service = LinkageService(linker)
+        service.top_k("facebook", "twitter", k=3)
+        stats = service.stats()
+        # the lazy candidate-score fill must not masquerade as served pairs
+        assert stats.queries == 1
+        assert stats.pairs_scored == 0
+        assert stats.batches == 0
+        assert stats.score_cache_entries == 1
+
+    def test_unfitted_linker_rejected(self):
+        with pytest.raises(RuntimeError):
+            LinkageService(HydraLinker())
+
+    def test_invalid_batch_size(self, service_and_linker):
+        service, linker = service_and_linker
+        with pytest.raises(ValueError):
+            LinkageService(linker, batch_size=0)
+        with pytest.raises(ValueError):
+            service.score_pairs([(("a", "1"), ("b", "2"))], batch_size=0)
+
+
+class TestThroughputBenchmark:
+    def test_reports_two_batch_sizes(self, service_and_linker):
+        service, _ = service_and_linker
+        results = run_throughput_benchmark(
+            service, batch_sizes=(8, 32), repeats=1, max_pairs=40
+        )
+        assert [r.batch_size for r in results] == [8, 32]
+        for result in results:
+            assert result.pairs_per_sec > 0
+            assert result.num_pairs <= 40
+        rows = throughput_table(results)
+        assert len(rows) == 2 and len(rows[0]) == 4
+
+    def test_rejects_empty_workload(self, service_and_linker):
+        service, _ = service_and_linker
+        with pytest.raises(ValueError):
+            run_throughput_benchmark(service, pairs=[], repeats=1)
+
+    def test_rejects_bad_repeats(self, service_and_linker):
+        service, _ = service_and_linker
+        with pytest.raises(ValueError):
+            run_throughput_benchmark(service, repeats=0)

@@ -122,3 +122,53 @@ class TestCli:
     def test_unknown_dataset_rejected(self):
         with pytest.raises(SystemExit):
             main(["generate", "--dataset", "martian"])
+
+
+class TestServiceCli:
+    @pytest.fixture(scope="class")
+    def artifact(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli") / "artifact"
+        code = main([
+            "fit", "--persons", "10", "--seed", "4",
+            "--label-fraction", "0.3", "--out", str(path),
+        ])
+        assert code == 0
+        return path
+
+    def test_fit_writes_artifact(self, artifact, capsys):
+        assert (artifact / "manifest.json").is_file()
+        assert (artifact / "arrays.npz").is_file()
+
+    def test_score_pair_runs(self, artifact, capsys):
+        code = main(["score", "--artifact", str(artifact), "--top", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "facebook <-> twitter" in out
+        assert "score" in out
+
+    def test_score_account_runs(self, artifact, capsys):
+        code = main([
+            "score", "--artifact", str(artifact),
+            "--account", "facebook", "fa000001", "--top", "2",
+        ])
+        assert code == 0
+        assert "facebook/fa000001" in capsys.readouterr().out
+
+    def test_pair_and_account_mutually_exclusive(self, artifact):
+        with pytest.raises(SystemExit):
+            main([
+                "score", "--artifact", str(artifact),
+                "--pair", "facebook", "twitter",
+                "--account", "facebook", "fa000001",
+            ])
+
+    def test_serve_bench_runs(self, artifact, capsys):
+        code = main([
+            "serve-bench", "--artifact", str(artifact),
+            "--batch-sizes", "4,16", "--repeats", "1", "--max-pairs", "20",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pairs_per_sec" in out
+        # one row per requested batch size
+        assert len([l for l in out.splitlines() if l.startswith(("4 ", "16 "))]) == 2
