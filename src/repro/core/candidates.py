@@ -19,10 +19,16 @@ by face recognition techniques".
 It also emits *pre-matched* pairs — candidates so strongly rule-supported
 that they may be used as clean positive labels (the paper reports >95 %
 precision for this paradigm) — keeping them separate from ground truth.
+
+Per-platform blocking signatures (token statistics, media items, home cells,
+username bigrams) are computed once per world and cached, so a C-platform
+world pays the tokenization cost C times rather than once per platform
+*pair*; only the joint rare-word ranking remains pair-specific.
 """
 
 from __future__ import annotations
 
+import weakref
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 
@@ -36,7 +42,6 @@ from repro.features.attributes import (
 from repro.features.face import FaceMatcher
 from repro.socialnet.platform import PlatformData, SocialWorld
 from repro.text.tokenizer import Tokenizer
-from repro.text.vocabulary import Vocabulary
 
 __all__ = ["CandidateSet", "CandidateGenerator"]
 
@@ -64,6 +69,25 @@ class CandidateSet:
     def pair_index(self) -> dict[tuple[AccountRef, AccountRef], int]:
         """Pair -> row index lookup."""
         return {pair: i for i, pair in enumerate(self.pairs)}
+
+
+@dataclass
+class _PlatformSignatures:
+    """Pair-independent per-platform blocking signatures, computed once.
+
+    Tokenizing every platform's whole corpus dominates candidate-generation
+    cost, and a C-platform world runs C(C-1)/2 platform pairs — so the
+    per-platform work (token sets, term frequencies, media items, home
+    cells, username bigrams) is cached and reused across platform pairs.
+    Only the *joint* rare-word selection stays per-pair, because word rarity
+    is judged against the union corpus of the two platforms.
+    """
+
+    term_freq: Counter
+    distinct_tokens: dict  # account -> sorted distinct token list
+    media_items: dict      # account -> frozenset[int]
+    home_cell: dict        # account -> (lat_cell, lon_cell) | None
+    bigrams: dict          # account -> frozenset[str]
 
 
 class CandidateGenerator:
@@ -105,6 +129,10 @@ class CandidateGenerator:
         self.max_per_account = max_per_account
         self.face = face_matcher if face_matcher is not None else FaceMatcher()
         self._tokenizer = Tokenizer()
+        # id(world) -> (weakref to world, {platform name -> signatures});
+        # weakrefs (worlds are unhashable dataclasses) so cached signature
+        # sets die with their world instead of accumulating
+        self._signature_cache: dict[int, tuple] = {}
 
     # ------------------------------------------------------------------
     # per-platform signatures
@@ -127,13 +155,74 @@ class CandidateGenerator:
         return (int(np.floor(lat / self.grid_degrees)),
                 int(np.floor(lon / self.grid_degrees)))
 
-    def _rare_words(
-        self, platform: PlatformData, account_id: str, vocabulary: Vocabulary
-    ) -> frozenset[str]:
-        tokens: list[str] = []
-        for text in platform.events.texts_of(account_id):
-            tokens.extend(self._tokenizer.tokenize(text))
-        return frozenset(vocabulary.rarest_words(tokens, self.rare_word_count))
+    def _platform_signatures(
+        self, world: SocialWorld, platform_name: str
+    ) -> _PlatformSignatures:
+        """Blocking signatures for one platform, cached per world."""
+        cache = self._signature_cache
+        entry = cache.get(id(world))
+        if entry is None or entry[0]() is not world:
+            # the weakref callback evicts the entry the moment its world
+            # dies, so dead worlds never pin their token statistics; it only
+            # pops its own entry, in case a new world reuses the same id
+            key = id(world)
+
+            def _evict(ref, key=key, cache=cache):
+                current = cache.get(key)
+                if current is not None and current[0] is ref:
+                    del cache[key]
+
+            entry = (weakref.ref(world, _evict), {})
+            cache[key] = entry
+        per_world = entry[1]
+        signatures = per_world.get(platform_name)
+        if signatures is not None:
+            return signatures
+        platform = world.platforms[platform_name]
+        term_freq: Counter[str] = Counter()
+        distinct_tokens: dict[str, list[str]] = {}
+        media_items: dict[str, frozenset[int]] = {}
+        home_cell: dict[str, tuple[int, int] | None] = {}
+        bigrams: dict[str, frozenset[str]] = {}
+        for account_id in platform.account_ids():
+            tokens: list[str] = []
+            for text in platform.events.texts_of(account_id):
+                tokens.extend(self._tokenizer.tokenize(text))
+            term_freq.update(tokens)
+            distinct_tokens[account_id] = sorted(set(tokens))
+            media_items[account_id] = self._media_items(platform, account_id)
+            home_cell[account_id] = self._home_cell(platform, account_id)
+            bigrams[account_id] = self._bigrams(
+                platform.accounts[account_id].profile.username
+            )
+        signatures = _PlatformSignatures(
+            term_freq=term_freq,
+            distinct_tokens=distinct_tokens,
+            media_items=media_items,
+            home_cell=home_cell,
+            bigrams=bigrams,
+        )
+        per_world[platform_name] = signatures
+        return signatures
+
+    def _rare_words_joint(
+        self,
+        own: _PlatformSignatures,
+        other: _PlatformSignatures,
+        account_id: str,
+    ) -> list[str]:
+        """The account's rarest words, rarity judged on the joint corpus.
+
+        Equivalent to building one vocabulary over both platforms and asking
+        for the account's least-frequent distinct tokens (ties alphabetical),
+        but reuses the cached per-platform term frequencies.
+        """
+        freq_own, freq_other = own.term_freq, other.term_freq
+        ranked = sorted(
+            own.distinct_tokens[account_id],
+            key=lambda w: (freq_own[w] + freq_other[w], w),
+        )
+        return ranked[: self.rare_word_count]
 
     # ------------------------------------------------------------------
     def generate(
@@ -145,13 +234,9 @@ class CandidateGenerator:
         pa = world.platforms[platform_a]
         pb = world.platforms[platform_b]
 
-        # shared corpus statistics for the rare-word rule
-        vocabulary = Vocabulary()
-        for platform in (pa, pb):
-            for account_id in platform.account_ids():
-                vocabulary.add_corpus(
-                    self._tokenizer.tokenize_many(platform.events.texts_of(account_id))
-                )
+        # pair-independent signatures, cached per platform across pairs
+        sig_a = self._platform_signatures(world, platform_a)
+        sig_b = self._platform_signatures(world, platform_b)
 
         ids_a = pa.account_ids()
         ids_b = pb.account_ids()
@@ -159,14 +244,12 @@ class CandidateGenerator:
 
         # --- username bigram index ---------------------------------------
         bigram_index: dict[str, list[str]] = defaultdict(list)
-        b_bigrams: dict[str, frozenset[str]] = {}
+        b_bigrams = sig_b.bigrams
         for bid in ids_b:
-            grams = self._bigrams(pb.accounts[bid].profile.username)
-            b_bigrams[bid] = grams
-            for gram in grams:
+            for gram in b_bigrams[bid]:
                 bigram_index[gram].append(bid)
         for aid in ids_a:
-            grams_a = self._bigrams(pa.accounts[aid].profile.username)
+            grams_a = sig_a.bigrams[aid]
             overlap_counts: Counter[str] = Counter()
             for gram in grams_a:
                 for bid in bigram_index.get(gram, ()):
@@ -190,14 +273,11 @@ class CandidateGenerator:
 
         # --- shared media items --------------------------------------------
         media_index: dict[int, list[str]] = defaultdict(list)
-        media_b: dict[str, frozenset[int]] = {}
         for bid in ids_b:
-            items = self._media_items(pb, bid)
-            media_b[bid] = items
-            for item in items:
+            for item in sig_b.media_items[bid]:
                 media_index[item].append(bid)
         for aid in ids_a:
-            items_a = self._media_items(pa, aid)
+            items_a = sig_a.media_items[aid]
             shared: Counter[str] = Counter()
             for item in items_a:
                 for bid in media_index.get(item, ()):
@@ -206,14 +286,14 @@ class CandidateGenerator:
                 if count >= self.min_shared_media:
                     rules_hit[(aid, bid)].add("media")
 
-        # --- shared rare words ----------------------------------------------
+        # --- shared rare words (rarity is judged on the joint corpus) -------
         word_index: dict[str, list[str]] = defaultdict(list)
         for bid in ids_b:
-            for word in self._rare_words(pb, bid, vocabulary):
+            for word in self._rare_words_joint(sig_b, sig_a, bid):
                 word_index[word].append(bid)
         for aid in ids_a:
             shared_words: Counter[str] = Counter()
-            for word in self._rare_words(pa, aid, vocabulary):
+            for word in self._rare_words_joint(sig_a, sig_b, aid):
                 for bid in word_index.get(word, ()):
                     shared_words[bid] += 1
             for bid, count in shared_words.items():
@@ -223,11 +303,11 @@ class CandidateGenerator:
         # --- home grid cells --------------------------------------------------
         cell_index: dict[tuple[int, int], list[str]] = defaultdict(list)
         for bid in ids_b:
-            cell = self._home_cell(pb, bid)
+            cell = sig_b.home_cell[bid]
             if cell is not None:
                 cell_index[cell].append(bid)
         for aid in ids_a:
-            cell = self._home_cell(pa, aid)
+            cell = sig_a.home_cell[aid]
             if cell is None:
                 continue
             # same cell or any of the 8 neighbours (homes near cell borders)

@@ -227,7 +227,13 @@ class HydraLinker:
     # prediction
     # ------------------------------------------------------------------
     def score_pairs(self, pairs: list[Pair]) -> np.ndarray:
-        """Decision values ``f(x)`` for arbitrary cross-platform pairs."""
+        """Decision values ``f(x)`` for arbitrary cross-platform pairs.
+
+        Featurization runs on the pipeline's batch engine (packed account
+        store + array-at-a-time kernels, see :mod:`repro.features.batch`);
+        missing dimensions resolve through the fitted filler, whose Eqn 18
+        friend-pair vectors are batch-computed and memoized as well.
+        """
         if self.model_ is None or self._filler is None:
             raise RuntimeError("linker is not fitted; call fit() first")
         if not pairs:

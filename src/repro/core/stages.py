@@ -178,18 +178,32 @@ class FeaturizeStage(LinkageStage):
     """Fit the feature pipeline, resolve missing values, cache behavior.
 
     ``missing_strategy`` selects HYDRA-M (``"core"``, Eqn 18 fill from the
-    core social structure) or HYDRA-Z (``"zero"``).
+    core social structure) or HYDRA-Z (``"zero"``).  ``engine`` picks the
+    featurization path (``None`` = the pipeline's default, i.e. the batch
+    engine; ``"reference"`` forces the per-pair path — useful for profiling
+    or verifying batch/reference parity on a full fit).
     """
 
     name = "featurize"
 
-    def __init__(self, pipeline: FeaturePipeline, *, missing_strategy: str = "core"):
+    def __init__(
+        self,
+        pipeline: FeaturePipeline,
+        *,
+        missing_strategy: str = "core",
+        engine: str | None = None,
+    ):
         if missing_strategy not in ("core", "zero"):
             raise ValueError(
                 f"missing_strategy must be 'core' or 'zero', got {missing_strategy!r}"
             )
+        if engine not in (None, "batch", "reference"):
+            raise ValueError(
+                f"engine must be None, 'batch' or 'reference', got {engine!r}"
+            )
         self.pipeline = pipeline
         self.missing_strategy = missing_strategy
+        self.engine = engine
 
     def run(self, context: LinkageContext) -> None:
         labeled = context.labeled_pairs
@@ -198,9 +212,13 @@ class FeaturizeStage(LinkageStage):
             [p for p in labeled if context.labels[p] > 0],
             [p for p in labeled if context.labels[p] < 0],
         )
-        x_raw = self.pipeline.matrix(context.global_pairs)
+        x_raw = self.pipeline.matrix(context.global_pairs, engine=self.engine)
         if self.missing_strategy == "core":
-            context.filler = CoreStructureFiller(context.world, self.pipeline)
+            # the engine choice must cover Eqn 18 friend-pair vectors too,
+            # or a forced reference fit would still featurize through batch
+            context.filler = CoreStructureFiller(
+                context.world, self.pipeline, engine=self.engine
+            )
         else:
             context.filler = ZeroFiller()
         context.x_all = context.filler.fill_matrix(context.global_pairs, x_raw)

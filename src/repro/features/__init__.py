@@ -16,6 +16,7 @@ from repro.features.attributes import (
     attribute_match_vector,
     username_similarity,
 )
+from repro.features.batch import BatchFeaturizer, PackedAccountStore, segment_means
 from repro.features.face import FaceMatcher
 from repro.features.topics import MultiScaleTopicSimilarity, TOPIC_SCALES_DAYS
 from repro.features.style_sim import style_similarity
@@ -29,6 +30,9 @@ __all__ = [
     "AttributeImportanceModel",
     "attribute_match_vector",
     "username_similarity",
+    "BatchFeaturizer",
+    "PackedAccountStore",
+    "segment_means",
     "FaceMatcher",
     "MultiScaleTopicSimilarity",
     "TOPIC_SCALES_DAYS",

@@ -1,0 +1,761 @@
+"""Vectorized batch featurization: packed account stores + array-at-a-time
+pair scoring.
+
+The reference path (:meth:`repro.features.pipeline.FeaturePipeline.pair_vector`)
+featurizes one pair at a time in pure Python — per-pair dict lookups, per-pair
+kernel evaluations, per-pair sigmoid calls.  That is fine for inspecting a
+single pair but dominates wall-clock when fitting or serving thousands of
+candidate pairs (HYDRA's Section 7 efficiency claim is about exactly this
+regime).  This module computes the same D-dimensional similarity vectors for a
+whole *batch* of pairs with NumPy array operations:
+
+:class:`PackedAccountStore`
+    Built once per fitted pipeline.  Stacks every account's per-scale
+    topic/sentiment bucket profiles, style signatures, face embeddings,
+    attribute codes and behavior summaries into contiguous ndarrays indexed
+    by an ``AccountRef -> row`` map, and encodes each account's sensor
+    buckets in a CSR-style layout (per-``(kind, scale)`` window-id arrays
+    with an account indptr, plus window extents into one contiguous payload
+    array per modality).  The store is plain arrays + small Python maps, so
+    it pickles into a persisted artifact and reloads without re-packing.
+
+:class:`BatchFeaturizer`
+    Evaluates :meth:`BatchFeaturizer.matrix` over a pair batch: row indices
+    are gathered once, then every feature block — chi-square / histogram-
+    intersection bucket kernels, lq-pooled sensor matching (Eqn 5), style
+    ``S_lea``, importance-weighted attribute matches, username bigram
+    Jaccard, face confidence — is computed array-at-a-time.
+
+The engine is **bit-identical** to the reference path.  Floating-point
+reductions are kept order-compatible: every per-pair reduction (bucket-kernel
+means, lq pooling) runs over the same operands in the same order as the
+per-pair code, using row-wise reductions over the contiguous last axis of
+same-length segment groups (see :func:`segment_means`), which NumPy reduces
+exactly like the equivalent 1-D array.  Elementwise ufuncs (``exp``, ``cos``,
+``sqrt``, ``power``) are shape-independent, and the remaining feature values
+are ratios of small integers, which float division reproduces exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datagen.media import item_of
+from repro.features.attributes import _char_ngrams, _jaccard
+from repro.features.face import FaceMatcher
+from repro.features.sensors import (
+    _KM_PER_DEG,
+    LocationMatchingSensor,
+    NearDuplicateMediaSensor,
+    PatternSensor,
+)
+from repro.features.topics import row_kernel
+
+__all__ = ["PackedAccountStore", "BatchFeaturizer", "segment_means"]
+
+AccountRef = tuple[str, str]
+
+#: Equality-matched profile attributes packed as integer codes; the remaining
+#: matchers (birth tolerance, bio/tag Jaccard) keep their own layouts.
+_EQ_ATTRIBUTES: tuple[str, ...] = ("gender", "edu", "job", "email")
+
+#: Feature order of the attribute block (must mirror ``ATTRIBUTE_MATCHERS``).
+_ATTRIBUTE_ORDER: tuple[str, ...] = (
+    "gender", "birth", "bio", "tag", "edu", "job", "email",
+)
+
+
+# ----------------------------------------------------------------------
+# exact segment reductions
+# ----------------------------------------------------------------------
+def segment_means(values: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Per-segment means of a flat value array, bit-identical to per-segment
+    ``np.mean``.
+
+    ``values`` concatenates variable-length segments; ``lengths[i]`` is the
+    size of segment ``i``.  Segments of equal length are stacked into one
+    ``(group, L)`` matrix and reduced along the contiguous last axis — NumPy
+    applies the same pairwise summation per row as it does for a 1-D array of
+    length ``L``, so the result matches a per-segment ``values[o:o+L].mean()``
+    loop exactly.  Empty segments yield NaN.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    out = np.full(lengths.shape[0], np.nan)
+    if lengths.shape[0] == 0:
+        return out
+    values = np.ascontiguousarray(values, dtype=float)
+    offsets = np.concatenate([[0], np.cumsum(lengths)[:-1]])
+    for length in np.unique(lengths):
+        if length == 0:
+            continue
+        sel = np.flatnonzero(lengths == length)
+        idx = offsets[sel][:, None] + np.arange(length)[None, :]
+        out[sel] = values[idx].mean(axis=1)
+    return out
+
+
+# ----------------------------------------------------------------------
+# packed per-(kind, scale) sensor windows
+# ----------------------------------------------------------------------
+@dataclass
+class _WindowCSR:
+    """CSR-style window layout for one ``(kind, scale)``.
+
+    ``acct_ptr`` (n_accounts + 1) slices the flat window arrays per account;
+    ``win_ids`` holds each account's occupied window indices (ascending);
+    ``win_start`` / ``win_end`` are extents into the modality's contiguous
+    payload array.
+    """
+
+    acct_ptr: np.ndarray
+    win_ids: np.ndarray
+    win_start: np.ndarray
+    win_end: np.ndarray
+    num_windows: int  # global window-axis length for this scale
+
+
+@dataclass
+class PackedAccountStore:
+    """Contiguous per-account feature state for the batch engine.
+
+    Everything is indexed by ``row_of[ref]``; build with :meth:`pack` from a
+    fitted pipeline's caches.  All members are ndarrays or small Python
+    containers, so the store round-trips through pickle (and therefore
+    through :mod:`repro.persist` artifacts) unchanged.
+    """
+
+    refs: list[AccountRef]
+    row_of: dict[AccountRef, int]
+    # --- profile attributes ------------------------------------------------
+    eq_codes: np.ndarray          # (n, len(_EQ_ATTRIBUTES)) int64; -1 missing
+    birth: np.ndarray             # (n,) float64; NaN missing
+    bio_words: list               # frozenset[str] | None per account
+    tag_sets: list                # frozenset[str] | None per account
+    username_bigrams: list        # frozenset[str] per account
+    username_nonempty: np.ndarray  # (n,) bool
+    # --- face --------------------------------------------------------------
+    face_emb: np.ndarray          # (n, d) float64 (zero rows where absent)
+    face_present: np.ndarray      # (n,) bool — an embedding was uploaded
+    face_detected: np.ndarray     # (n,) bool — present and detector fired
+    face_norm: np.ndarray         # (n,) float64
+    # --- multi-scale distribution profiles ---------------------------------
+    topic_scales: tuple           # scale ladder (days), genre block
+    topic_means: list             # per scale: (n, B_s, K) float64
+    topic_has: list               # per scale: (n, B_s) bool
+    senti_means: list             # per scale: (n, B_s, 4) float64
+    senti_has: list               # per scale: (n, B_s) bool
+    # --- style signatures ---------------------------------------------------
+    style_ks: tuple               # ascending k ladder
+    style_ids: dict               # k -> (n, k) int64, padded with -1
+    style_len: dict               # k -> (n,) int64 signature sizes
+    # --- sensor buckets (CSR) ----------------------------------------------
+    sensor_kinds: tuple           # modality per sensor, in sensor order
+    sensor_scales: tuple          # scale ladder (days)
+    has_kind: dict                # kind -> (n,) bool (any event of modality)
+    payloads: dict                # kind -> contiguous payload array
+    windows: dict                 # (kind, scale) -> _WindowCSR
+    # --- behavior summaries -------------------------------------------------
+    summaries: np.ndarray         # (n, S) float64
+
+    @property
+    def num_accounts(self) -> int:
+        return len(self.refs)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def pack(
+        cls,
+        world,
+        refs: list[AccountRef],
+        caches: dict,
+        *,
+        face: FaceMatcher,
+        sensors: list[PatternSensor],
+        sensor_scales: tuple,
+        topic_scales: tuple,
+        time_range: tuple,
+        style_ks: tuple,
+        topic_dim: int,
+        senti_dim: int,
+    ) -> "PackedAccountStore":
+        """Stack every account's cached behavior state into arrays.
+
+        ``caches`` maps each ref to an object exposing ``topic_profile``,
+        ``sentiment_profile``, ``style`` and ``behavior_summary`` (the
+        pipeline's per-account cache entries).
+        """
+        refs = list(refs)
+        n = len(refs)
+        row_of = {ref: row for row, ref in enumerate(refs)}
+        profiles = [
+            world.platforms[ref[0]].accounts[ref[1]].profile for ref in refs
+        ]
+
+        # --- profile attributes ---------------------------------------
+        eq_codes = np.full((n, len(_EQ_ATTRIBUTES)), -1, dtype=np.int64)
+        for col, attr in enumerate(_EQ_ATTRIBUTES):
+            code_of: dict = {}
+            for row, prof in enumerate(profiles):
+                value = getattr(prof, attr)
+                if value is None:
+                    continue
+                eq_codes[row, col] = code_of.setdefault(value, len(code_of))
+        birth = np.array(
+            [np.nan if p.birth is None else float(p.birth) for p in profiles]
+        )
+        bio_words = [
+            None if p.bio is None else frozenset(p.bio.split()) for p in profiles
+        ]
+        tag_sets = [
+            None if p.tag is None else frozenset(p.tag) for p in profiles
+        ]
+        username_bigrams = [
+            _char_ngrams(p.username.lower()) if p.username else frozenset()
+            for p in profiles
+        ]
+        username_nonempty = np.array([bool(p.username) for p in profiles])
+
+        # --- face ------------------------------------------------------
+        face_dim = 1
+        for prof in profiles:
+            if prof.face_embedding is not None:
+                face_dim = int(np.asarray(prof.face_embedding).shape[0])
+                break
+        face_emb = np.zeros((n, face_dim))
+        face_present = np.zeros(n, dtype=bool)
+        face_detected = np.zeros(n, dtype=bool)
+        face_norm = np.zeros(n)
+        for row, prof in enumerate(profiles):
+            emb = prof.face_embedding
+            if emb is None:
+                continue
+            arr = np.asarray(emb, dtype=float)
+            if arr.shape != (face_dim,):
+                raise ValueError(
+                    f"face embeddings disagree in shape: {arr.shape} vs ({face_dim},)"
+                )
+            face_emb[row] = arr
+            face_present[row] = True
+            face_detected[row] = face.detects_face(emb)
+            face_norm[row] = float(np.linalg.norm(arr))
+
+        # --- multi-scale distribution profiles -------------------------
+        topic_means, topic_has = cls._stack_profiles(
+            [caches[ref].topic_profile for ref in refs], topic_dim
+        )
+        senti_means, senti_has = cls._stack_profiles(
+            [caches[ref].sentiment_profile for ref in refs], senti_dim
+        )
+
+        # --- style signatures -------------------------------------------
+        ks = tuple(sorted(style_ks))
+        word_ids: dict[str, int] = {}
+        style_ids = {k: np.full((n, k), -1, dtype=np.int64) for k in ks}
+        style_len = {k: np.zeros(n, dtype=np.int64) for k in ks}
+        for row, ref in enumerate(refs):
+            signatures = caches[ref].style.signatures
+            for k in ks:
+                words = signatures[k]
+                style_len[k][row] = len(words)
+                for j, word in enumerate(words):
+                    style_ids[k][row, j] = word_ids.setdefault(word, len(word_ids))
+
+        # --- sensor buckets (CSR per (kind, scale)) ---------------------
+        kinds = tuple(sensor.kind for sensor in sensors)
+        scales = tuple(float(s) for s in sensor_scales)
+        t0, t1 = time_range
+        has_kind: dict = {}
+        payloads: dict = {}
+        windows: dict = {}
+        for kind in kinds:
+            if kind not in ("checkin", "media"):
+                raise ValueError(
+                    f"batch engine cannot pack sensor modality {kind!r}"
+                )
+            times_per_acct = []
+            payload_parts = []
+            has = np.zeros(n, dtype=bool)
+            for row, ref in enumerate(refs):
+                store = world.platforms[ref[0]].events
+                times = store.timestamps_for(ref[1], kind)
+                raw = store.payloads_for(ref[1], kind)
+                times_per_acct.append(times)
+                has[row] = times.size > 0
+                if kind == "checkin":
+                    payload_parts.append(
+                        np.asarray(raw, dtype=float).reshape(len(raw), 2)
+                    )
+                else:  # media fingerprints
+                    payload_parts.append(
+                        np.asarray([int(f) for f in raw], dtype=np.int64)
+                    )
+            has_kind[kind] = has
+            payloads[kind] = (
+                np.concatenate(payload_parts)
+                if payload_parts
+                else np.zeros((0, 2) if kind == "checkin" else 0)
+            )
+            acct_offsets = np.concatenate(
+                [[0], np.cumsum([len(t) for t in times_per_acct])]
+            ).astype(np.int64)
+            for scale in scales:
+                acct_ptr = np.zeros(n + 1, dtype=np.int64)
+                ids_parts, start_parts, end_parts = [], [], []
+                for row, times in enumerate(times_per_acct):
+                    if times.size:
+                        # same windowing arithmetic as the reference bucketizer
+                        idx = np.floor((times - t0) / scale).astype(int)
+                        bounds = np.flatnonzero(idx[1:] != idx[:-1]) + 1
+                        starts = np.concatenate([[0], bounds])
+                        ends = np.concatenate([bounds, [times.size]])
+                        ids_parts.append(idx[starts].astype(np.int64))
+                        start_parts.append(acct_offsets[row] + starts)
+                        end_parts.append(acct_offsets[row] + ends)
+                        acct_ptr[row + 1] = acct_ptr[row] + starts.size
+                    else:
+                        acct_ptr[row + 1] = acct_ptr[row]
+                windows[(kind, scale)] = _WindowCSR(
+                    acct_ptr=acct_ptr,
+                    win_ids=(
+                        np.concatenate(ids_parts)
+                        if ids_parts
+                        else np.zeros(0, dtype=np.int64)
+                    ),
+                    win_start=(
+                        np.concatenate(start_parts).astype(np.int64)
+                        if start_parts
+                        else np.zeros(0, dtype=np.int64)
+                    ),
+                    win_end=(
+                        np.concatenate(end_parts).astype(np.int64)
+                        if end_parts
+                        else np.zeros(0, dtype=np.int64)
+                    ),
+                    num_windows=int(np.floor((t1 - t0) / scale)) + 1,
+                )
+
+        summaries = (
+            np.stack([caches[ref].behavior_summary for ref in refs])
+            if refs
+            else np.zeros((0, 0))
+        )
+
+        return cls(
+            refs=refs,
+            row_of=row_of,
+            eq_codes=eq_codes,
+            birth=birth,
+            bio_words=bio_words,
+            tag_sets=tag_sets,
+            username_bigrams=username_bigrams,
+            username_nonempty=username_nonempty,
+            face_emb=face_emb,
+            face_present=face_present,
+            face_detected=face_detected,
+            face_norm=face_norm,
+            topic_scales=tuple(float(s) for s in topic_scales),
+            topic_means=topic_means,
+            topic_has=topic_has,
+            senti_means=senti_means,
+            senti_has=senti_has,
+            style_ks=ks,
+            style_ids=style_ids,
+            style_len=style_len,
+            sensor_kinds=kinds,
+            sensor_scales=scales,
+            has_kind=has_kind,
+            payloads=payloads,
+            windows=windows,
+            summaries=summaries,
+        )
+
+    @staticmethod
+    def _stack_profiles(profiles: list, dim: int) -> tuple[list, list]:
+        """Stack per-scale ``(bucket_means, has_data)`` profiles across accounts.
+
+        Accounts with no messages carry ``(B, 0)``-shaped means (the bucket
+        aggregator emits dim 0 for empty inputs); they are widened to zeros of
+        the model dimension — their ``has_data`` rows are all-False, so the
+        padding is never gathered.
+        """
+        if not profiles:
+            return [], []
+        num_scales = len(profiles[0])
+        means_out, has_out = [], []
+        for s in range(num_scales):
+            buckets = {p[s][0].shape[0] for p in profiles}
+            if len(buckets) != 1:
+                raise ValueError(
+                    f"bucket counts disagree across accounts at scale {s}: {buckets}"
+                )
+            num_buckets = buckets.pop()
+            means = np.zeros((len(profiles), num_buckets, dim))
+            has = np.zeros((len(profiles), num_buckets), dtype=bool)
+            for row, profile in enumerate(profiles):
+                bucket_means, bucket_has = profile[s]
+                if bucket_means.shape[1]:
+                    means[row] = bucket_means
+                has[row] = bucket_has
+            means_out.append(means)
+            has_out.append(has)
+        return means_out, has_out
+
+
+# ----------------------------------------------------------------------
+# the batch featurizer
+# ----------------------------------------------------------------------
+class BatchFeaturizer:
+    """Array-at-a-time pair featurization over a :class:`PackedAccountStore`.
+
+    Parameters
+    ----------
+    store:
+        The packed per-account state.
+    importance_scale:
+        The attribute-importance weights rescaled by their maximum (the
+        exact multiplier the reference ``weighted_matches`` applies).
+    face:
+        The fitted pipeline's face matcher (calibration parameters).
+    topic_kernel:
+        Bucket-kernel name shared by the genre and sentiment blocks.
+    sensors:
+        The pattern sensors, in feature order.
+    sensor_q / sensor_lam:
+        Eqn 5 pooling order and sigmoid steepness.
+    """
+
+    def __init__(
+        self,
+        store: PackedAccountStore,
+        *,
+        importance_scale: np.ndarray,
+        face: FaceMatcher,
+        topic_kernel: str,
+        sensors: list[PatternSensor],
+        sensor_q: float,
+        sensor_lam: float,
+    ):
+        self.store = store
+        self.importance_scale = np.asarray(importance_scale, dtype=float)
+        if self.importance_scale.shape[0] != len(_ATTRIBUTE_ORDER):
+            raise ValueError(
+                f"expected {len(_ATTRIBUTE_ORDER)} attribute weights, "
+                f"got {self.importance_scale.shape[0]}"
+            )
+        self.face = face
+        self.topic_kernel = topic_kernel
+        self._row_kernel = row_kernel(topic_kernel)
+        self.sensors = list(sensors)
+        if tuple(s.kind for s in self.sensors) != store.sensor_kinds:
+            raise ValueError("sensor order disagrees with the packed store")
+        self.sensor_q = float(sensor_q)
+        self.sensor_lam = float(sensor_lam)
+        self._build_derived()
+
+    # ------------------------------------------------------------------
+    def _build_derived(self) -> None:
+        """Dense presence/position grids and per-window media item sets.
+
+        Derived once from the CSR layout; excluded from pickling (rebuilt on
+        unpickle) so persisted artifacts carry only the canonical arrays.
+        """
+        store = self.store
+        n = store.num_accounts
+        self._pres: dict = {}
+        self._win_pos: dict = {}
+        self._media_sets: dict = {}
+        self._media_sizes: dict = {}
+        for (kind, scale), csr in store.windows.items():
+            pres = np.zeros((n, csr.num_windows), dtype=bool)
+            win_pos = np.zeros((n, csr.num_windows), dtype=np.int64)
+            for row in range(n):
+                lo, hi = csr.acct_ptr[row], csr.acct_ptr[row + 1]
+                ids = csr.win_ids[lo:hi]
+                pres[row, ids] = True
+                win_pos[row, ids] = np.arange(lo, hi)
+            self._pres[(kind, scale)] = pres
+            self._win_pos[(kind, scale)] = win_pos
+            if kind == "media":
+                payload = store.payloads[kind]
+                sets = [
+                    frozenset(
+                        item_of(int(v))
+                        for v in payload[csr.win_start[w]: csr.win_end[w]]
+                    )
+                    for w in range(csr.win_ids.shape[0])
+                ]
+                self._media_sets[scale] = sets
+                self._media_sizes[scale] = np.array(
+                    [len(s) for s in sets], dtype=np.int64
+                )
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        for key in ("_pres", "_win_pos", "_media_sets", "_media_sizes"):
+            state.pop(key, None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._build_derived()
+
+    # ------------------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        """Feature-vector dimensionality D (same layout as the pipeline)."""
+        store = self.store
+        return (
+            len(_ATTRIBUTE_ORDER)
+            + 2  # username similarity + face confidence
+            + 2 * len(store.topic_scales)
+            + len(store.style_ks)
+            + len(store.sensor_kinds) * len(store.sensor_scales)
+        )
+
+    def matrix(self, pairs: list) -> np.ndarray:
+        """Feature matrix ``(n_pairs, D)``; rows keep NaN for missing.
+
+        Raises :class:`KeyError` when a ref was not packed (i.e. was not part
+        of the fitted world), mirroring the reference path's cache miss.
+        """
+        n = len(pairs)
+        if n == 0:
+            return np.zeros((0, self.dim))
+        store = self.store
+        left = np.fromiter(
+            (store.row_of[a] for a, _ in pairs), dtype=np.int64, count=n
+        )
+        right = np.fromiter(
+            (store.row_of[b] for _, b in pairs), dtype=np.int64, count=n
+        )
+        out = np.empty((n, self.dim))
+        col = 0
+        col = self._fill_attributes(out, col, left, right)
+        col = self._fill_username(out, col, left, right)
+        col = self._fill_face(out, col, left, right)
+        col = self._fill_profile_block(
+            out, col, left, right, store.topic_means, store.topic_has
+        )
+        col = self._fill_profile_block(
+            out, col, left, right, store.senti_means, store.senti_has
+        )
+        col = self._fill_style(out, col, left, right)
+        col = self._fill_sensors(out, col, left, right)
+        assert col == self.dim
+        return out
+
+    # ------------------------------------------------------------------
+    # feature blocks
+    # ------------------------------------------------------------------
+    def _fill_attributes(self, out, col, left, right) -> int:
+        store = self.store
+        n = left.shape[0]
+        block = np.empty((n, len(_ATTRIBUTE_ORDER)))
+        eq_col = {attr: i for i, attr in enumerate(_EQ_ATTRIBUTES)}
+        for j, attr in enumerate(_ATTRIBUTE_ORDER):
+            if attr in eq_col:
+                codes = store.eq_codes[:, eq_col[attr]]
+                ca, cb = codes[left], codes[right]
+                present = (ca >= 0) & (cb >= 0)
+                block[:, j] = np.where(
+                    present, (ca == cb).astype(float), np.nan
+                )
+            elif attr == "birth":
+                ba, bb = store.birth[left], store.birth[right]
+                with np.errstate(invalid="ignore"):
+                    match = (np.abs(ba - bb) <= 1.0).astype(float)
+                block[:, j] = np.where(
+                    np.isfinite(ba) & np.isfinite(bb), match, np.nan
+                )
+            else:  # bio / tag: per-pair Jaccard over tiny precomputed sets
+                sets = store.bio_words if attr == "bio" else store.tag_sets
+                threshold = 0.5 if attr == "bio" else 1.0 / 3.0
+                column = block[:, j]
+                for i in range(n):
+                    sa, sb = sets[left[i]], sets[right[i]]
+                    if sa is None or sb is None:
+                        column[i] = np.nan
+                    else:
+                        column[i] = 1.0 if _jaccard(sa, sb) >= threshold else 0.0
+        out[:, col: col + block.shape[1]] = block * self.importance_scale[None, :]
+        return col + block.shape[1]
+
+    def _fill_username(self, out, col, left, right) -> int:
+        store = self.store
+        grams = store.username_bigrams
+        nonempty = store.username_nonempty
+        column = out[:, col]
+        for i in range(left.shape[0]):
+            l, r = left[i], right[i]
+            if nonempty[l] and nonempty[r]:
+                column[i] = _jaccard(grams[l], grams[r])
+            else:
+                column[i] = 0.0
+        return col + 1
+
+    def _fill_face(self, out, col, left, right) -> int:
+        store = self.store
+        denom = store.face_norm[left] * store.face_norm[right]
+        valid = (
+            store.face_present[left]
+            & store.face_present[right]
+            & store.face_detected[left]
+            & store.face_detected[right]
+            & (denom != 0.0)
+        )
+        column = np.full(left.shape[0], np.nan)
+        if valid.any():
+            a = store.face_emb[left[valid]]
+            b = store.face_emb[right[valid]]
+            cosine = (a * b).sum(axis=1) / denom[valid]
+            column[valid] = 1.0 / (
+                1.0
+                + np.exp(-self.face.steepness * (cosine - self.face.threshold))
+            )
+        out[:, col] = column
+        return col + 1
+
+    def _fill_profile_block(self, out, col, left, right, means_list, has_list) -> int:
+        # one segment_means pass over all scales: segment order is
+        # scale-major then pair-major, matching the concatenated kernel values
+        num_scales = len(means_list)
+        value_parts = []
+        lengths = np.empty((num_scales, left.shape[0]), dtype=np.int64)
+        for s, (means, has) in enumerate(zip(means_list, has_list)):
+            num_buckets, dim = means.shape[1], means.shape[2]
+            both = has[left] & has[right]
+            lengths[s] = both.sum(axis=1)
+            pair_idx, bucket_idx = np.nonzero(both)
+            flat = means.reshape(-1, dim)
+            p = flat[left[pair_idx] * num_buckets + bucket_idx]
+            q = flat[right[pair_idx] * num_buckets + bucket_idx]
+            value_parts.append(self._row_kernel(p, q))
+        means_flat = segment_means(
+            np.concatenate(value_parts) if value_parts else np.zeros(0),
+            lengths.ravel(),
+        )
+        out[:, col: col + num_scales] = means_flat.reshape(
+            num_scales, left.shape[0]
+        ).T
+        return col + num_scales
+
+    def _fill_style(self, out, col, left, right) -> int:
+        store = self.store
+        for k in store.style_ks:
+            ids = store.style_ids[k]
+            ids_a, ids_b = ids[left], ids[right]
+            overlap = (
+                (ids_a[:, :, None] == ids_b[:, None, :])
+                & (ids_a[:, :, None] >= 0)
+            ).sum(axis=(1, 2))
+            empty = (store.style_len[k][left] == 0) | (
+                store.style_len[k][right] == 0
+            )
+            out[:, col] = np.where(empty, np.nan, overlap / float(k))
+            col += 1
+        return col
+
+    def _fill_sensors(self, out, col, left, right) -> int:
+        # gather every (sensor, scale)'s stimuli first, run ONE segment_means
+        # pass over the concatenation, then pool/sigmoid per combination
+        pending = []  # (column, valid_mask, lengths)
+        powered_parts = []
+        for sensor in self.sensors:
+            has = self.store.has_kind[sensor.kind]
+            valid = has[left] & has[right]
+            any_valid = valid.any()
+            for scale in self.store.sensor_scales:
+                out[:, col] = np.nan
+                if any_valid:
+                    stimuli, lengths = self._sensor_scale_stimuli(
+                        sensor, scale, left[valid], right[valid]
+                    )
+                    powered_parts.append(stimuli ** self.sensor_q)
+                    pending.append((col, valid, lengths))
+                col += 1
+        if pending:
+            means_all = segment_means(
+                np.concatenate(powered_parts),
+                np.concatenate([lengths for _, _, lengths in pending]),
+            )
+            offset = 0
+            for column, valid, lengths in pending:
+                means = means_all[offset: offset + lengths.shape[0]]
+                offset += lengths.shape[0]
+                pooled = np.zeros(lengths.shape[0])
+                active = lengths > 0
+                pooled[active] = means[active] ** (1.0 / self.sensor_q)
+                out[valid, column] = 1.0 / (
+                    1.0 + np.exp(-self.sensor_lam * pooled)
+                )
+        return col
+
+    def _sensor_scale_stimuli(self, sensor, scale, left, right):
+        """Co-active-window stimuli (Eqn 5 input) for one (sensor, scale).
+
+        Returns the flat stimulus array (pair-major, windows ascending — the
+        reference iteration order) and the per-pair segment lengths.
+        """
+        key = (sensor.kind, scale)
+        pres = self._pres[key]
+        win_pos = self._win_pos[key]
+        both = pres[left] & pres[right]
+        lengths = both.sum(axis=1)
+        pair_idx, window_idx = np.nonzero(both)
+        wa = win_pos[left[pair_idx], window_idx]
+        wb = win_pos[right[pair_idx], window_idx]
+        if isinstance(sensor, NearDuplicateMediaSensor):
+            return self._media_stimuli(scale, wa, wb), lengths
+        if isinstance(sensor, LocationMatchingSensor):
+            return self._location_stimuli(sensor, scale, wa, wb), lengths
+        raise TypeError(
+            f"batch engine has no vectorized stimulus for {type(sensor)!r}"
+        )
+
+    def _media_stimuli(self, scale, wa, wb) -> np.ndarray:
+        """Per co-active window: shared down-sampled items over the sparser set."""
+        sets = self._media_sets[scale]
+        sizes = self._media_sizes[scale]
+        overlap = np.fromiter(
+            (len(sets[a] & sets[b]) for a, b in zip(wa, wb)),
+            dtype=np.int64,
+            count=wa.shape[0],
+        )
+        return overlap / np.minimum(sizes[wa], sizes[wb]).astype(float)
+
+    def _location_stimuli(self, sensor, scale, wa, wb) -> np.ndarray:
+        """Gaussian geo adjacency per co-active window, all windows at once.
+
+        Replicates :meth:`LocationMatchingSensor.stimulus` elementwise over
+        the concatenated coordinate cross-products; the per-window reduction
+        is a minimum, which is order-independent and exact.
+        """
+        if wa.shape[0] == 0:
+            return np.zeros(0)
+        csr = self.store.windows[("checkin", scale)]
+        coords = self.store.payloads["checkin"]
+        na = csr.win_end[wa] - csr.win_start[wa]
+        nb = csr.win_end[wb] - csr.win_start[wb]
+        sizes = na * nb
+        seg_offsets = np.concatenate([[0], np.cumsum(sizes)])
+        seg_id = np.repeat(np.arange(sizes.shape[0]), sizes)
+        local = np.arange(seg_offsets[-1]) - seg_offsets[seg_id]
+        ai = csr.win_start[wa][seg_id] + local // nb[seg_id]
+        bi = csr.win_start[wb][seg_id] + local % nb[seg_id]
+        lat_a, lon_a = coords[ai, 0], coords[ai, 1]
+        lat_b, lon_b = coords[bi, 0], coords[bi, 1]
+        mean_lat = np.deg2rad((lat_a + lat_b) / 2.0)
+        d_lat = (lat_a - lat_b) * _KM_PER_DEG
+        d_lon = (lon_a - lon_b) * _KM_PER_DEG * np.cos(mean_lat)
+        dist_km = np.sqrt(d_lat**2 + d_lon**2)
+        dist_km = np.where(dist_km <= sensor.max_range_km, dist_km, np.inf)
+        best = np.minimum.reduceat(dist_km, seg_offsets[:-1])
+        stimuli = np.zeros(wa.shape[0])
+        finite = np.isfinite(best)
+        best_f = best[finite]
+        stimuli[finite] = np.exp(
+            -(best_f * best_f) / (2.0 * sensor.bandwidth_km**2)
+        )
+        return stimuli

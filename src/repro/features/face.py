@@ -81,5 +81,7 @@ class FaceMatcher:
         denom = float(np.linalg.norm(a) * np.linalg.norm(b))
         if denom == 0.0:
             return float("nan")
-        cosine = float(a @ b) / denom
+        # elementwise product + pairwise-sum reduction (not BLAS dot), so the
+        # batch engine's row-wise (n, d) reduction is bit-identical to this
+        cosine = float((a * b).sum()) / denom
         return float(1.0 / (1.0 + np.exp(-self.steepness * (cosine - self.threshold))))

@@ -59,7 +59,24 @@ class CoreStructureFiller:
         batch of pairs shares work across pairs with common friends.
     top_k:
         Number of most-interacting friends per side (the paper uses 3).
+    pair_vector:
+        Override for the friend-pair featurizer (tests / custom fills).
+        When omitted, friend-pair vectors come from ``pipeline.matrix`` —
+        i.e. the batch engine — and :meth:`fill_matrix` prefetches every
+        friend pair a batch needs in one array-at-a-time call.
+    engine:
+        Featurization engine forwarded to ``pipeline.matrix`` for the
+        prefetch (``None`` = the pipeline default).  A fit that forces the
+        reference path should force it here too, so Eqn 18 vectors come
+        from the same code path as the rest of the matrix.
+    cache_limit:
+        Upper bound on each memo (friend-pair vectors, Eqn 18 averages);
+        oldest entries are evicted first so a long-running service scoring
+        a stream of novel pairs stays bounded.
     """
+
+    #: default bound for the per-pair memos (vectors are D floats each)
+    DEFAULT_CACHE_LIMIT = 131072
 
     def __init__(
         self,
@@ -68,24 +85,97 @@ class CoreStructureFiller:
         *,
         top_k: int = 3,
         pair_vector: Callable[[AccountRef, AccountRef], np.ndarray] | None = None,
+        engine: str | None = None,
+        cache_limit: int = DEFAULT_CACHE_LIMIT,
     ):
         if top_k < 1:
             raise ValueError(f"top_k must be >= 1, got {top_k}")
+        if cache_limit < 1:
+            raise ValueError(f"cache_limit must be >= 1, got {cache_limit}")
         self.world = world
         self.pipeline = pipeline
         self.top_k = top_k
-        self._pair_vector = (
-            pair_vector if pair_vector is not None else pipeline.pair_vector
-        )
+        self.engine = engine
+        self.cache_limit = cache_limit
+        if pair_vector is not None:
+            self._pair_vector = pair_vector
+            self._matrix = None
+        else:
+            self._pair_vector = pipeline.pair_vector
+            self._matrix = pipeline.matrix
         self._vector_cache: dict[tuple[AccountRef, AccountRef], np.ndarray] = {}
+        self._friend_cache: dict[AccountRef, list[str]] = {}
+        self._average_cache: dict[tuple[AccountRef, AccountRef], np.ndarray] = {}
+
+    def __setstate__(self, state: dict) -> None:
+        # fillers pickled by pre-batch-engine builds (the artifact layer
+        # explicitly supports their blobs) predate several attributes
+        self.__dict__.update(state)
+        self.__dict__.setdefault("engine", None)
+        self.__dict__.setdefault("cache_limit", self.DEFAULT_CACHE_LIMIT)
+        self.__dict__.setdefault("_friend_cache", {})
+        self.__dict__.setdefault("_average_cache", {})
+        if "_matrix" not in self.__dict__:
+            pair_vector = self.__dict__.get("_pair_vector")
+            pipeline = self.__dict__.get("pipeline")
+            self._matrix = (
+                pipeline.matrix
+                if pipeline is not None
+                and getattr(pair_vector, "__self__", None) is pipeline
+                else None
+            )
+
+    def _bounded_insert(self, cache: dict, key, value) -> None:
+        """Insert with FIFO eviction (dicts preserve insertion order)."""
+        cache[key] = value
+        if len(cache) > self.cache_limit:
+            del cache[next(iter(cache))]
 
     def _cached_vector(self, ref_a: AccountRef, ref_b: AccountRef) -> np.ndarray:
         key = (ref_a, ref_b)
         vec = self._vector_cache.get(key)
         if vec is None:
             vec = self._pair_vector(ref_a, ref_b)
-            self._vector_cache[key] = vec
+            self._bounded_insert(self._vector_cache, key, vec)
         return vec
+
+    def _top_friends(self, ref: AccountRef) -> list[str]:
+        friends = self._friend_cache.get(ref)
+        if friends is None:
+            friends = self.world.platforms[ref[0]].graph.top_friends(
+                ref[1], self.top_k
+            )
+            self._friend_cache[ref] = friends
+        return friends
+
+    def _prefetch_friend_vectors(
+        self, pairs: list[tuple[AccountRef, AccountRef]], matrix: np.ndarray
+    ) -> None:
+        """Batch-compute every friend-pair vector the fill will need.
+
+        Only rows carrying NaN trigger Eqn 18; their top-k x top-k friend
+        pairs are collected, deduplicated against the memo, and featurized in
+        one batched call so the fill loop below is pure cache hits.
+        """
+        if self._matrix is None:
+            return
+        needed: list[tuple[AccountRef, AccountRef]] = []
+        seen: set[tuple[AccountRef, AccountRef]] = set()
+        for row in np.flatnonzero(np.isnan(matrix).any(axis=1)):
+            ref_a, ref_b = pairs[row]
+            for fa in self._top_friends(ref_a):
+                for fb in self._top_friends(ref_b):
+                    key = ((ref_a[0], fa), (ref_b[0], fb))
+                    if key not in self._vector_cache and key not in seen:
+                        seen.add(key)
+                        needed.append(key)
+        if needed:
+            if self.engine is None:
+                vectors = self._matrix(needed)
+            else:
+                vectors = self._matrix(needed, engine=self.engine)
+            for key, vector in zip(needed, vectors):
+                self._bounded_insert(self._vector_cache, key, vector)
 
     def friend_pair_average(
         self, ref_a: AccountRef, ref_b: AccountRef
@@ -93,12 +183,23 @@ class CoreStructureFiller:
         """Eqn 18: dimension-wise mean over the top-k x top-k friend pairs.
 
         Dimensions missing on *every* friend pair stay NaN (the caller zeros
-        them, per the paper).
+        them, per the paper).  The average is query-independent, so it is
+        memoized per pair — repeat scoring of the same pairs (the serving
+        path) pays the friend-matrix reduction once.
         """
-        platform_a = self.world.platforms[ref_a[0]]
-        platform_b = self.world.platforms[ref_b[0]]
-        friends_a = platform_a.graph.top_friends(ref_a[1], self.top_k)
-        friends_b = platform_b.graph.top_friends(ref_b[1], self.top_k)
+        key = (ref_a, ref_b)
+        cached = self._average_cache.get(key)
+        if cached is not None:
+            return cached
+        average = self._friend_pair_average(ref_a, ref_b)
+        self._bounded_insert(self._average_cache, key, average)
+        return average
+
+    def _friend_pair_average(
+        self, ref_a: AccountRef, ref_b: AccountRef
+    ) -> np.ndarray:
+        friends_a = self._top_friends(ref_a)
+        friends_b = self._top_friends(ref_b)
         if not friends_a or not friends_b:
             return np.full(self.pipeline.dim, np.nan)
         vectors = [
@@ -137,7 +238,11 @@ class CoreStructureFiller:
             raise ValueError(
                 f"pairs ({len(pairs)}) and matrix rows ({matrix.shape[0]}) disagree"
             )
-        out = np.empty_like(matrix)
-        for row, (ref_a, ref_b) in enumerate(pairs):
-            out[row] = self.fill_vector(ref_a, ref_b, matrix[row])
-        return out
+        self._prefetch_friend_vectors(pairs, matrix)
+        out = matrix.copy()
+        for row in np.flatnonzero(np.isnan(matrix).any(axis=1)):
+            ref_a, ref_b = pairs[row]
+            fill = self.friend_pair_average(ref_a, ref_b)
+            mask = np.isnan(out[row])
+            out[row, mask] = fill[mask]
+        return np.nan_to_num(out, copy=False, nan=0.0)

@@ -22,6 +22,26 @@ sensor pooling              10  Eqn 5: {location, media} x 5 temporal scales
 
 Missing values stay NaN; resolve them with a strategy from
 :mod:`repro.features.missing` before model training.
+
+Two featurization paths
+-----------------------
+
+:meth:`FeaturePipeline.pair_vector` is the **reference path**: one pair at a
+time, straight through the per-feature modules.  It stays the readable,
+debuggable ground truth, and the core-structure missing filler's golden
+definition.
+
+:meth:`FeaturePipeline.matrix` runs the **batch path** by default: at the end
+of :meth:`FeaturePipeline.fit` every account's cached behavior state is packed
+into a :class:`~repro.features.batch.PackedAccountStore` — contiguous
+per-scale bucket-profile stacks, style-signature id grids, face-embedding
+rows, attribute codes, and CSR-encoded sensor windows, all indexed by an
+``AccountRef -> row`` map — and a
+:class:`~repro.features.batch.BatchFeaturizer` evaluates whole pair batches
+with array operations.  The batch path is bit-identical to stacking
+``pair_vector`` calls (the parity is covered by tests); pass
+``engine="reference"`` to force the per-pair path for debugging or
+verification.
 """
 
 from __future__ import annotations
@@ -35,6 +55,7 @@ from repro.features.attributes import (
     AttributeImportanceModel,
     username_similarity,
 )
+from repro.features.batch import BatchFeaturizer, PackedAccountStore
 from repro.features.face import FaceMatcher
 from repro.features.sensors import LocationMatchingSensor, NearDuplicateMediaSensor
 from repro.features.style_sim import style_similarity
@@ -134,6 +155,8 @@ class FeaturePipeline:
         self._world: SocialWorld | None = None
         self._cache: dict[AccountRef, _AccountCache] = {}
         self._names: tuple[str, ...] | None = None
+        self._packed: PackedAccountStore | None = None
+        self._batch: BatchFeaturizer | None = None
 
     # ------------------------------------------------------------------
     # fitting
@@ -232,9 +255,9 @@ class FeaturePipeline:
             topic_profile = self._topic_sim.account_profile(theta, times)
             sentiment_profile = self._sentiment_sim.account_profile(senti, times)
             buckets = self._matcher.account_buckets(platform.events, ref[1])
-            style = self.style_extractor.extract(
-                platform.events.texts_of(ref[1]), vocabulary
-            )
+            # the corpus pass already tokenized this account's posts — reuse
+            # the token docs instead of tokenizing a second time
+            style = self.style_extractor.extract_from_tokens(tokens, vocabulary)
             summary = self._behavior_summary(theta, senti, platform, ref[1])
             self._cache[ref] = _AccountCache(
                 topic_profile=topic_profile,
@@ -257,7 +280,60 @@ class FeaturePipeline:
         self.importance.fit(profiles(positive_pairs), profiles(negative_pairs))
 
         self._names = self._build_names()
+        self._build_batch_engine()
         return self
+
+    def _build_batch_engine(self) -> None:
+        """Pack the per-account caches and stand up the batch featurizer."""
+        self._packed = PackedAccountStore.pack(
+            self._world,
+            list(self._cache),
+            self._cache,
+            face=self.face,
+            sensors=self._matcher.sensors,
+            sensor_scales=self._matcher.scales_days,
+            topic_scales=self._topic_sim.scales_days,
+            time_range=self._matcher.time_range,
+            style_ks=self.style_ks,
+            topic_dim=self.num_topics,
+            senti_dim=self.sentiment.num_categories,
+        )
+        self._batch = BatchFeaturizer(
+            self._packed,
+            importance_scale=self.importance.weights_ / self.importance.weights_.max(),
+            face=self.face,
+            topic_kernel=self.topic_kernel,
+            sensors=self._matcher.sensors,
+            sensor_q=self.sensor_q,
+            sensor_lam=self.sensor_lam,
+        )
+
+    def ensure_packed(self) -> bool:
+        """Build the packed store/batch engine if absent; True when built.
+
+        A no-op on pipelines fitted by this code; used when unpickling
+        pipeline state written before the batch engine existed.
+        """
+        if getattr(self, "_batch", None) is not None:
+            return False
+        if self._world is None:
+            raise RuntimeError("pipeline is not fitted; call fit() first")
+        self._build_batch_engine()
+        return True
+
+    @property
+    def packed_store(self) -> PackedAccountStore:
+        """The packed per-account store behind the batch engine."""
+        if self._packed is None:
+            raise RuntimeError("pipeline is not fitted; call fit() first")
+        return self._packed
+
+    @property
+    def batch_featurizer(self) -> BatchFeaturizer:
+        """The array-at-a-time featurization engine."""
+        if self._batch is None:
+            raise RuntimeError("pipeline is not fitted; call fit() first")
+        return self._batch
 
     def _behavior_summary(
         self, theta: np.ndarray, senti: np.ndarray, platform, account_id: str
@@ -345,9 +421,29 @@ class FeaturePipeline:
         )
 
     def matrix(
-        self, pairs: list[tuple[AccountRef, AccountRef]]
+        self,
+        pairs: list[tuple[AccountRef, AccountRef]],
+        *,
+        engine: str | None = None,
     ) -> np.ndarray:
-        """Feature matrix (n_pairs, D) for a pair list; rows keep NaNs."""
+        """Feature matrix (n_pairs, D) for a pair list; rows keep NaNs.
+
+        ``engine`` selects the featurization path: ``None`` (default) uses
+        the batch engine when the pipeline has one (every pipeline fitted by
+        this code does), ``"batch"`` requires it, ``"reference"`` forces the
+        per-pair path.  Both paths return bit-identical matrices.
+        """
+        if engine not in (None, "batch", "reference"):
+            raise ValueError(
+                f"engine must be None, 'batch' or 'reference', got {engine!r}"
+            )
         if not pairs:
             return np.zeros((0, self.dim))
+        batch = getattr(self, "_batch", None)
+        if engine == "batch" and batch is None:
+            raise RuntimeError(
+                "no batch engine available; fit() the pipeline or call ensure_packed()"
+            )
+        if batch is not None and engine != "reference":
+            return batch.matrix(pairs)
         return np.vstack([self.pair_vector(a, b) for a, b in pairs])

@@ -82,7 +82,9 @@ class LocationMatchingSensor:
         best = float(dist_km.min())
         if not np.isfinite(best):
             return 0.0
-        return float(np.exp(-(best**2) / (2.0 * self.bandwidth_km**2)))
+        # best * best (not best**2): multiplication is bit-identical between
+        # the scalar and the batch engine's array path; C pow(x, 2) is not
+        return float(np.exp(-(best * best) / (2.0 * self.bandwidth_km**2)))
 
 
 class NearDuplicateMediaSensor:

@@ -38,7 +38,9 @@ def lq_pool(stimuli: np.ndarray, q: float) -> float:
         return 0.0
     if (s < 0).any():
         raise ValueError("stimuli must be non-negative")
-    return float((np.mean(s**q)) ** (1.0 / q))
+    # np.power (not np.float64.__pow__) so the scalar result is bit-identical
+    # to the batch engine's array-at-a-time pooling
+    return float(np.power(np.mean(s**q), 1.0 / q))
 
 
 def stimulated_sigmoid(value: float, lam: float) -> float:

@@ -24,6 +24,7 @@ __all__ = [
     "chi_square_similarity",
     "histogram_intersection",
     "bucket_aggregate",
+    "row_kernel",
     "MultiScaleTopicSimilarity",
 ]
 
@@ -67,6 +68,14 @@ _ROW_KERNELS = {
     "chi_square": _chi_square_rows,
     "histogram_intersection": _histogram_intersection_rows,
 }
+
+
+def row_kernel(name: str):
+    """The row-wise bucket kernel for ``name`` — shared by the per-pair path
+    and the batch featurization engine so both evaluate identical operations."""
+    if name not in _ROW_KERNELS:
+        raise ValueError(f"unknown kernel {name!r}; options: {sorted(_ROW_KERNELS)}")
+    return _ROW_KERNELS[name]
 
 
 def bucket_aggregate(

@@ -15,7 +15,12 @@ An artifact is a directory with exactly two files:
     stored as a ``uint8`` array) carrying the fitted feature-pipeline caches
     and the social world they refer to.  The blob is pickled as a single
     object graph so the pipeline, the missing-value filler, and the world
-    keep their shared references on reload.
+    keep their shared references on reload.  The pipeline's packed account
+    store (the batch featurization engine's array state, see
+    :mod:`repro.features.batch`) rides inside the blob, and the manifest's
+    ``packed_store`` section records its shape facts; :func:`load_linker`
+    verifies the store arrived (rebuilding it for pre-batch-engine blobs) so
+    a loaded service scores without re-packing.
 
 Versioning is strict: :func:`load_linker` refuses artifacts whose ``format``
 or ``version`` it does not understand, so stale artifacts fail loudly
@@ -106,6 +111,20 @@ def _candidates_from_json(data: list[dict]) -> dict:
     return out
 
 
+def _packed_store_summary(pipeline) -> dict | None:
+    """Manifest facts about the pipeline's packed account store."""
+    packed = getattr(pipeline, "_packed", None)
+    if packed is None:
+        return None
+    return {
+        "num_accounts": packed.num_accounts,
+        "topic_scales": list(packed.topic_scales),
+        "sensor_kinds": list(packed.sensor_kinds),
+        "sensor_scales": list(packed.sensor_scales),
+        "style_ks": list(packed.style_ks),
+    }
+
+
 # ----------------------------------------------------------------------
 # save
 # ----------------------------------------------------------------------
@@ -182,6 +201,7 @@ def save_linker(linker: HydraLinker, path) -> Path:
             ),
         },
         "feature_names": list(linker.pipeline.feature_names),
+        "packed_store": _packed_store_summary(linker.pipeline),
         "stage_timings": dict(linker.stage_timings_),
     }
     (path / _MANIFEST).write_text(json.dumps(manifest, indent=2, sort_keys=True))
@@ -308,6 +328,20 @@ def load_linker(path, *, linker_cls: type[HydraLinker] = HydraLinker) -> HydraLi
             support_fraction=float(qp["support_fraction"]),
         )
     linker.model_ = model
+
+    # the packed account store travels inside the state blob; artifacts from
+    # pre-batch-engine pipelines (or blobs that dropped it) are re-packed
+    # here, once, so serving never packs lazily — then cross-checked against
+    # the manifest facts recorded at save time
+    linker.pipeline.ensure_packed()
+    expected = manifest.get("packed_store")
+    if expected is not None:
+        packed = linker.pipeline.packed_store
+        if packed.num_accounts != expected["num_accounts"]:
+            raise ArtifactError(
+                f"packed store at {path} holds {packed.num_accounts} accounts; "
+                f"manifest recorded {expected['num_accounts']}"
+            )
 
     linker.platform_pairs_ = [tuple(p) for p in manifest["platform_pairs"]]
     linker.num_labeled_ = int(manifest["num_labeled"])

@@ -15,9 +15,12 @@ serves three query shapes:
 
 Candidate lookups go through a per-platform inverted index built once at
 construction; per-platform-pair candidate scores are computed lazily on
-first touch and memoized; per-account behavior summaries flow through a
-bounded :class:`LruCache`.  :meth:`LinkageService.stats` exposes the running
-counters (queries, pairs scored, cache hit rates) for capacity monitoring.
+first touch and memoized in a bounded :class:`LruCache`, as are per-account
+behavior summaries.  :meth:`LinkageService.stats` exposes the running
+counters (queries, pairs scored, cache hit/miss rates) for capacity
+monitoring.  Featurization inside :meth:`LinkageService.score_pairs` runs on
+the pipeline's batch engine (see :mod:`repro.features.batch`), so each
+fixed-size batch is scored array-at-a-time.
 """
 
 from __future__ import annotations
@@ -85,6 +88,8 @@ class ServiceStats:
     summary_cache_hits: int = 0
     summary_cache_misses: int = 0
     score_cache_entries: int = 0
+    score_cache_hits: int = 0
+    score_cache_misses: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return dict(self.__dict__)
@@ -111,6 +116,10 @@ class LinkageService:
         Featurization batch size for :meth:`score_pairs`.
     summary_cache_size:
         Capacity of the per-account behavior-summary LRU.
+    score_cache_size:
+        Capacity of the per-platform-pair candidate-score LRU; keeps the
+        memoized score arrays bounded when a service handles many platform
+        pairs.
     """
 
     def __init__(
@@ -119,6 +128,7 @@ class LinkageService:
         *,
         batch_size: int = 256,
         summary_cache_size: int = 4096,
+        score_cache_size: int = 64,
     ):
         if linker.model_ is None or linker._filler is None:
             raise RuntimeError("linker is not fitted; fit() or load() first")
@@ -127,7 +137,7 @@ class LinkageService:
         self.linker = linker
         self.batch_size = batch_size
         self._summaries = LruCache(summary_cache_size)
-        self._score_cache: dict[tuple[str, str], np.ndarray] = {}
+        self._score_cache = LruCache(score_cache_size)
         self._queries = 0
         self._pairs_scored = 0
         self._batches = 0
@@ -245,6 +255,8 @@ class LinkageService:
             summary_cache_hits=self._summaries.hits,
             summary_cache_misses=self._summaries.misses,
             score_cache_entries=len(self._score_cache),
+            score_cache_hits=self._score_cache.hits,
+            score_cache_misses=self._score_cache.misses,
         )
 
     # ------------------------------------------------------------------
@@ -260,16 +272,15 @@ class LinkageService:
         raise KeyError(f"platform pair ({platform_a}, {platform_b}) was not fitted")
 
     def _cached_scores(self, key: tuple[str, str]) -> np.ndarray:
-        """Candidate scores for one platform pair, computed once.
+        """Candidate scores for one platform pair, via the bounded LRU.
 
         Goes through :meth:`_score` directly: the lazy index fill is not
-        served workload and must not skew the stats counters.
+        served workload and must not skew the workload counters (cache
+        hit/miss counts are tracked separately in :class:`ServiceStats`).
         """
-        scores = self._score_cache.get(key)
-        if scores is None:
-            scores = self._score(self._index[key].pairs, self.batch_size)
-            self._score_cache[key] = scores
-        return scores
+        return self._score_cache.get_or_compute(
+            key, lambda: self._score(self._index[key].pairs, self.batch_size)
+        )
 
     def _link(
         self, index: _PairIndex, row: int, scores: np.ndarray, flipped: bool

@@ -64,9 +64,22 @@ class StyleExtractor:
 
     def extract(self, messages: list[str], vocabulary: Vocabulary) -> UserStyle:
         """Compute one user's :class:`UserStyle` against ``vocabulary``."""
+        return self.extract_from_tokens(
+            self.tokenizer.tokenize_many(messages), vocabulary
+        )
+
+    def extract_from_tokens(
+        self, token_docs: list[list[str]], vocabulary: Vocabulary
+    ) -> UserStyle:
+        """Like :meth:`extract`, but over already-tokenized documents.
+
+        Callers that tokenized the corpus once (e.g. the feature pipeline,
+        which needs the same documents for the LDA corpus) can reuse those
+        token lists instead of paying a second tokenization pass.
+        """
         tokens: list[str] = []
-        for message in messages:
-            tokens.extend(self.tokenizer.tokenize(message))
+        for doc in token_docs:
+            tokens.extend(doc)
         max_k = max(self.ks)
         rarest = vocabulary.rarest_words(tokens, max_k)
         signatures = {k: tuple(rarest[:k]) for k in self.ks}

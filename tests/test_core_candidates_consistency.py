@@ -62,6 +62,32 @@ class TestCandidateGenerator:
         with pytest.raises(ValueError):
             CandidateGenerator().generate(small_world, "twitter", "twitter")
 
+    def test_signature_cache_reused_and_deterministic(self, small_world, candidates):
+        generator = CandidateGenerator()
+        first = generator.generate(small_world, "facebook", "twitter")
+        assert len(generator._signature_cache) == 1
+        signatures = generator._signature_cache[id(small_world)][1]
+        assert set(signatures) == {"facebook", "twitter"}
+        # second call reuses the cached signatures and reproduces the set
+        second = generator.generate(small_world, "facebook", "twitter")
+        assert second.pairs == first.pairs
+        assert second.evidence == first.evidence
+        # a fresh generator (no cache) agrees too
+        assert candidates.pairs == first.pairs
+
+    def test_signature_cache_evicted_with_world(self):
+        import gc
+
+        from repro.datagen import WorldConfig, generate_world
+
+        generator = CandidateGenerator()
+        world = generate_world(WorldConfig(num_persons=10, seed=33))
+        generator.generate(world, "facebook", "twitter")
+        assert len(generator._signature_cache) == 1
+        del world
+        gc.collect()
+        assert len(generator._signature_cache) == 0
+
 
 def _toy_world_for_consistency():
     """Two platforms, 4 users each; friendships: 0-1, 2-3 on both platforms."""

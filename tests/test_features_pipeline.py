@@ -137,3 +137,32 @@ class TestCoreStructureFiller:
     def test_top_k_validation(self, small_world, fitted_pipeline):
         with pytest.raises(ValueError):
             CoreStructureFiller(small_world, fitted_pipeline, top_k=0)
+        with pytest.raises(ValueError):
+            CoreStructureFiller(small_world, fitted_pipeline, cache_limit=0)
+
+    def test_unpickles_pre_batch_engine_state(
+        self, small_world, fitted_pipeline, true_refs
+    ):
+        """Fillers pickled before the batch engine existed must still fill."""
+        filler = CoreStructureFiller(small_world, fitted_pipeline)
+        state = dict(filler.__dict__)
+        for attr in (
+            "_matrix", "_friend_cache", "_average_cache", "engine", "cache_limit",
+        ):
+            state.pop(attr, None)
+        old = CoreStructureFiller.__new__(CoreStructureFiller)
+        old.__setstate__(state)
+        assert old._matrix is not None  # re-derived from the pipeline
+        pairs = true_refs[:3]
+        matrix = fitted_pipeline.matrix(pairs)
+        expected = filler.fill_matrix(pairs, matrix)
+        np.testing.assert_array_equal(old.fill_matrix(pairs, matrix), expected)
+
+    def test_cache_limit_bounds_memos(self, small_world, fitted_pipeline, true_refs):
+        filler = CoreStructureFiller(
+            small_world, fitted_pipeline, cache_limit=4
+        )
+        matrix = fitted_pipeline.matrix(true_refs)
+        filler.fill_matrix(true_refs, matrix)
+        assert len(filler._vector_cache) <= 4
+        assert len(filler._average_cache) <= 4

@@ -80,6 +80,42 @@ class TestRoundTrip:
             assert np.array_equal(original.indices, reloaded.indices)
         assert loaded.sparsity_report() == linker.sparsity_report()
 
+    def test_packed_store_round_trips(self, saved):
+        """The batch engine's packed store reloads — no re-packing on load."""
+        linker, path = saved
+        manifest = json.loads((path / "manifest.json").read_text())
+        packed_meta = manifest["packed_store"]
+        original = linker.pipeline.packed_store
+        assert packed_meta["num_accounts"] == original.num_accounts
+
+        loaded = load_linker(path)
+        reloaded = loaded.pipeline.packed_store
+        assert reloaded is not original  # a genuine reload, not shared state
+        assert reloaded.refs == original.refs
+        assert reloaded.row_of == original.row_of
+        assert np.array_equal(reloaded.eq_codes, original.eq_codes)
+        assert np.array_equal(reloaded.summaries, original.summaries)
+        for got, expected in zip(reloaded.topic_means, original.topic_means):
+            assert np.array_equal(got, expected)
+        for key, csr in original.windows.items():
+            assert np.array_equal(reloaded.windows[key].win_ids, csr.win_ids)
+
+    def test_loaded_service_scores_without_repacking(
+        self, saved, true_refs, monkeypatch
+    ):
+        """Scoring from a loaded artifact never rebuilds the packed store."""
+        from repro.features.batch import PackedAccountStore
+
+        _, path = saved
+        loaded = load_linker(path)  # ensure_packed ran here (a no-op)
+
+        def _fail(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("packed store was rebuilt after load")
+
+        monkeypatch.setattr(PackedAccountStore, "pack", _fail)
+        scores = loaded.score_pairs(true_refs[:4])
+        assert scores.shape == (4,)
+
     def test_fresh_process_serves_identical_scores(self, saved, true_refs, tmp_path):
         """The acceptance-criterion path: reload in a *fresh* interpreter."""
         linker, path = saved
