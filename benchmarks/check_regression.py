@@ -1,0 +1,159 @@
+"""CI benchmark-regression gate: compare throughput tables against a baseline.
+
+The benchmark suite writes aligned text tables to ``benchmarks/results/``
+(see ``benchmarks/conftest.py``).  This script parses every table in a
+*baseline* directory that carries a ``pairs_per_sec`` column, finds the same
+table in the *current* directory, and compares the best (maximum) pairs/sec
+of each.  A current value more than ``--threshold`` below its baseline fails
+the run with exit code 1 — that is the gate that keeps the vectorization and
+sharding speedups from silently regressing.
+
+Throughput is compared as best-of-table because the tables sweep
+configurations (batch sizes, worker counts) and capacity planning cares
+about the best configuration; a generous default threshold (30%) absorbs
+runner-speed jitter at smoke sizes while still catching real slowdowns.
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        --baseline /tmp/bench-baseline --current benchmarks/results \
+        [--threshold 0.30]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["Comparison", "best_pairs_per_sec", "compare_dirs", "main"]
+
+METRIC_COLUMN = "pairs_per_sec"
+
+
+def parse_table(text: str) -> tuple[list[str], list[list[str]]]:
+    """Split a ``write_table`` text table into (headers, rows).
+
+    The format is: title line, ``=`` rule, header line, ``-`` rule, data
+    rows; columns are aligned with 2+ spaces between them.
+    """
+    lines = [line.rstrip() for line in text.splitlines() if line.strip()]
+    if len(lines) < 4 or not set(lines[1]) <= {"="} or "-" not in lines[3]:
+        raise ValueError("not a benchmark results table")
+    headers = lines[2].split()
+    rows = [line.split() for line in lines[4:]]
+    return headers, rows
+
+
+def best_pairs_per_sec(text: str) -> float | None:
+    """The table's best throughput, or None when it has no such column."""
+    try:
+        headers, rows = parse_table(text)
+    except ValueError:
+        return None
+    if METRIC_COLUMN not in headers or not rows:
+        return None
+    column = headers.index(METRIC_COLUMN)
+    values = []
+    for row in rows:
+        if len(row) <= column:
+            continue
+        try:
+            values.append(float(row[column]))
+        except ValueError:
+            continue
+    return max(values) if values else None
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One table's baseline-vs-current throughput verdict."""
+
+    name: str
+    baseline: float
+    current: float | None
+    threshold: float
+
+    @property
+    def ratio(self) -> float | None:
+        if self.current is None or self.baseline <= 0:
+            return None
+        return self.current / self.baseline
+
+    @property
+    def regressed(self) -> bool:
+        # a missing current table is a regression too: the benchmark that
+        # produced the committed baseline did not run or stopped reporting
+        if self.current is None:
+            return True
+        return self.current < self.baseline * (1.0 - self.threshold)
+
+
+def compare_dirs(
+    baseline_dir: Path, current_dir: Path, threshold: float
+) -> list[Comparison]:
+    """Compare every throughput-bearing baseline table against current."""
+    comparisons = []
+    for baseline_path in sorted(Path(baseline_dir).glob("*.txt")):
+        baseline = best_pairs_per_sec(baseline_path.read_text())
+        if baseline is None:
+            continue  # not a throughput table (figure reproductions etc.)
+        current_path = Path(current_dir) / baseline_path.name
+        current = (
+            best_pairs_per_sec(current_path.read_text())
+            if current_path.is_file()
+            else None
+        )
+        comparisons.append(
+            Comparison(
+                name=baseline_path.name,
+                baseline=baseline,
+                current=current,
+                threshold=threshold,
+            )
+        )
+    return comparisons
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail when benchmark pairs/sec regress beyond a threshold"
+    )
+    parser.add_argument("--baseline", required=True,
+                        help="directory of committed baseline tables")
+    parser.add_argument("--current", required=True,
+                        help="directory of freshly produced tables")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="allowed fractional drop (default 0.30)")
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.threshold < 1.0:
+        parser.error(f"threshold must be in [0, 1), got {args.threshold}")
+
+    comparisons = compare_dirs(args.baseline, args.current, args.threshold)
+    if not comparisons:
+        print("no throughput tables found in the baseline directory")
+        return 0
+
+    failed = False
+    for comp in comparisons:
+        current = "MISSING" if comp.current is None else f"{comp.current:12.1f}"
+        ratio = "-" if comp.ratio is None else f"{comp.ratio:.2f}x"
+        verdict = "REGRESSED" if comp.regressed else "ok"
+        failed = failed or comp.regressed
+        print(
+            f"{comp.name:32s} baseline={comp.baseline:12.1f} "
+            f"current={current} ({ratio}) {verdict}"
+        )
+    if failed:
+        print(
+            f"\nFAIL: throughput dropped more than "
+            f"{args.threshold:.0%} below the committed baseline"
+        )
+        return 1
+    print("\nall throughput benchmarks within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,12 +28,13 @@ def _pooling_ablation():
     harness = ExperimentHarness(world, seed=SEED, label_fraction=0.15)
     rows = []
     for q in (1.0, 3.0, 8.0):
-        factory = lambda q=q: SvmBBaseline(
-            seed=SEED,
-            pipeline=FeaturePipeline(
-                num_topics=10, max_lda_docs=2500, sensor_q=q, seed=SEED
-            ),
-        )
+        def factory(q=q):
+            return SvmBBaseline(
+                seed=SEED,
+                pipeline=FeaturePipeline(
+                    num_topics=10, max_lda_docs=2500, sensor_q=q, seed=SEED
+                ),
+            )
         result = harness.run(f"q={q:g}", factory)
         rows.append([f"q={q:g}", result.metrics.precision,
                      result.metrics.recall, result.metrics.f1])
@@ -70,12 +71,13 @@ def _multiscale_ablation():
         world = english_world(32, seed=seed, **HARD_WORLD_OVERRIDES)
         harness = ExperimentHarness(world, seed=seed, label_fraction=0.15)
         for name, kwargs in settings.items():
-            factory = lambda kw=kwargs, s=seed: SvmBBaseline(
-                seed=s,
-                pipeline=FeaturePipeline(
-                    num_topics=10, max_lda_docs=2500, seed=s, **kw
-                ),
-            )
+            def factory(kw=kwargs, s=seed):
+                return SvmBBaseline(
+                    seed=s,
+                    pipeline=FeaturePipeline(
+                        num_topics=10, max_lda_docs=2500, seed=s, **kw
+                    ),
+                )
             result = harness.run(name, factory)
             rows.append([seed, name, result.metrics.precision,
                          result.metrics.recall, result.metrics.f1])
@@ -90,9 +92,11 @@ def test_ablation_multiscale(once):
         ["seed", "setting", "precision", "recall", "f1"],
         rows,
     )
-    mean = lambda name: sum(r[4] for r in rows if r[1] == name) / sum(
-        1 for r in rows if r[1] == name
-    )
+    def mean(name):
+        return sum(r[4] for r in rows if r[1] == name) / sum(
+            1 for r in rows if r[1] == name
+        )
+
     # the multi-resolution design is the paper's robustness mechanism for
     # asynchronous behavior; on average it must not lose to a single scale
     assert mean("multi-scale") >= mean("single-scale") - 1e-9

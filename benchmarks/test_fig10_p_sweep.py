@@ -38,7 +38,6 @@ def test_fig10_p_sweep(once):
         rows,
     )
     precision = np.array([r[1] for r in rows])
-    recall = np.array([r[2] for r in rows])
     f1 = np.array([r[3] for r in rows])
     # paper shape: optimum at a moderate p (they found p = 5-6), with
     # degradation once p over-emphasizes the dominant objective

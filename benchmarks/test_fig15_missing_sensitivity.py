@@ -66,7 +66,9 @@ def test_fig15_missing_data(once):
     )
     m_scores = [r[5] for r in rows if r[2] == "HYDRA-M"]
     z_scores = [r[5] for r in rows if r[2] == "HYDRA-Z"]
-    mean = lambda xs: sum(xs) / len(xs)
+    def mean(xs):
+        return sum(xs) / len(xs)
+
     # paper shape: both variants stay strong, HYDRA-M >= HYDRA-Z on average
     assert mean(m_scores) >= mean(z_scores) - 0.02
     assert min(m_scores) > 0.3

@@ -1,0 +1,102 @@
+"""Parallel serving scaling: sharded ``score_pairs`` pairs/sec at 1/2/4 workers.
+
+Not a paper figure — this benchmarks the sharded execution engine
+(:mod:`repro.parallel`): fit once, persist the artifact, then serve the same
+pair workload through :class:`repro.serving.LinkageService` at several worker
+counts.  Each worker process loads the artifact once via its pool
+initializer; shard results merge deterministically, so every worker count
+must produce the **same bytes** — the scaling table is only meaningful
+because the answers are identical.
+
+Smoke mode (the default, and what CI runs) uses a small world and a
+replicated candidate workload; scale with ``PARALLEL_BENCH_PERSONS`` /
+``PARALLEL_BENCH_PAIRS``.  The ≥``PARALLEL_BENCH_MIN_SPEEDUP`` assertion at
+the top worker count is enforced only when the host actually has that many
+CPUs (a single-core runner cannot speed up CPU-bound work, but must still
+produce identical scores); set ``PARALLEL_BENCH_MIN_SPEEDUP=0`` to disable.
+"""
+
+import os
+import time
+
+import numpy as np
+from conftest import write_table
+
+from repro.core import HydraLinker
+from repro.datagen import WorldConfig, generate_world
+from repro.eval.harness import make_label_split
+from repro.persist import load_linker, save_linker
+from repro.serving import LinkageService
+
+PERSONS = int(os.environ.get("PARALLEL_BENCH_PERSONS", "14"))
+# large enough that per-shard dispatch overhead is a small fraction of shard
+# compute even on modest runners — scaling headroom, not just peak speed
+TARGET_PAIRS = int(os.environ.get("PARALLEL_BENCH_PAIRS", "8192"))
+MIN_SPEEDUP = float(os.environ.get("PARALLEL_BENCH_MIN_SPEEDUP", "1.7"))
+WORKER_COUNTS = (1, 2, 4)
+BATCH_SIZE = 256
+REPEATS = 3
+
+
+def _run(artifact_dir):
+    world = generate_world(WorldConfig(num_persons=PERSONS, seed=91))
+    platform_pairs = [("facebook", "twitter")]
+    split = make_label_split(world, platform_pairs, seed=91)
+    linker = HydraLinker(seed=91, num_topics=8, max_lda_docs=1500)
+    linker.fit(world, split.labeled_positive, split.labeled_negative,
+               platform_pairs)
+    save_linker(linker, artifact_dir)
+
+    base = linker.candidates_[("facebook", "twitter")].pairs
+    repeat = -(-TARGET_PAIRS // len(base))  # ceil division
+    workload = (base * repeat)[:TARGET_PAIRS]
+
+    rows = []
+    reference = None
+    identical = True
+    for workers in WORKER_COUNTS:
+        with LinkageService(
+            load_linker(artifact_dir), workers=workers, batch_size=BATCH_SIZE
+        ) as service:
+            # warmup: starts the pool, loads the artifact in each worker,
+            # and warms the missing-fill memos — steady-state from here
+            scores = service.score_pairs(workload)
+            best = float("inf")
+            for _ in range(REPEATS):
+                start = time.perf_counter()
+                scores = service.score_pairs(workload)
+                best = min(best, time.perf_counter() - start)
+        if reference is None:
+            reference = scores
+        else:
+            identical = identical and np.array_equal(reference, scores)
+        rows.append([workers, len(workload), best, len(workload) / best])
+    baseline = rows[0][3]
+    for row in rows:
+        row.append(row[3] / baseline)
+    return {"rows": rows, "identical": identical}
+
+
+def test_parallel_scaling(once, tmp_path):
+    result = once(_run, str(tmp_path / "artifact"))
+    rows = result["rows"]
+    write_table(
+        "parallel_scaling",
+        f"Parallel serving scaling — sharded score_pairs "
+        f"({PERSONS}-person world, {rows[0][1]} pairs)",
+        ["workers", "pairs", "best_seconds", "pairs_per_sec", "speedup"],
+        rows,
+    )
+    assert result["identical"], "worker counts disagreed on scores"
+    assert len(rows) == len(WORKER_COUNTS)
+    for _, num_pairs, seconds, pairs_per_sec, _speedup in rows:
+        assert num_pairs == rows[0][1]
+        assert seconds > 0
+        assert pairs_per_sec > 0
+    top_workers = WORKER_COUNTS[-1]
+    if MIN_SPEEDUP > 0 and (os.cpu_count() or 1) >= top_workers:
+        top_speedup = rows[-1][4]
+        assert top_speedup >= MIN_SPEEDUP, (
+            f"{top_workers} workers reached only {top_speedup:.2f}x over 1 "
+            f"worker (need >= {MIN_SPEEDUP}x)"
+        )

@@ -14,6 +14,10 @@ Six commands cover the common workflows without writing any code:
   single-account resolution) — no refit;
 * ``serve-bench`` — load (or fit) an artifact and report batched scoring
   throughput in pairs/sec at several batch sizes.
+
+``fit``, ``score``, and ``serve-bench`` accept ``--workers N`` (and
+``--shard-size``) to shard featurization and scoring across a process pool
+(:mod:`repro.parallel`); results are bit-identical to ``--workers 1``.
 """
 
 from __future__ import annotations
@@ -111,6 +115,8 @@ def _fit_linker(args):
     linker = HydraLinker(
         missing_strategy=args.missing, seed=args.seed,
         num_topics=10, max_lda_docs=2500,
+        workers=getattr(args, "workers", 1),
+        shard_size=getattr(args, "shard_size", None),
     )
     linker.fit(world, split.labeled_positive, split.labeled_negative, pairs)
     return linker, split, pairs
@@ -135,7 +141,13 @@ def cmd_score(args) -> int:
     """Serve queries from an artifact: platform-pair top-k or one account."""
     from repro.serving import LinkageService
 
-    service = LinkageService.from_artifact(args.artifact)
+    with LinkageService.from_artifact(
+        args.artifact, workers=args.workers, shard_size=args.shard_size
+    ) as service:
+        return _print_score_query(service, args)
+
+
+def _print_score_query(service, args) -> int:
     linker = service.linker
     print(
         f"artifact {args.artifact} ({service.num_candidates()} candidates, "
@@ -164,17 +176,19 @@ def cmd_serve_bench(args) -> int:
     """Measure batched scoring throughput (pairs/sec) per batch size."""
     from repro.serving import LinkageService, run_throughput_benchmark, throughput_table
 
+    parallel = {"workers": args.workers, "shard_size": args.shard_size}
     if args.artifact is not None:
-        service = LinkageService.from_artifact(args.artifact)
+        service = LinkageService.from_artifact(args.artifact, **parallel)
     else:
-        service = LinkageService(_fit_linker(args)[0])
+        service = LinkageService(_fit_linker(args)[0], **parallel)
     batch_sizes = tuple(int(b) for b in args.batch_sizes.split(","))
-    results = run_throughput_benchmark(
-        service,
-        batch_sizes=batch_sizes,
-        repeats=args.repeats,
-        max_pairs=args.max_pairs,
-    )
+    with service:
+        results = run_throughput_benchmark(
+            service,
+            batch_sizes=batch_sizes,
+            repeats=args.repeats,
+            max_pairs=args.max_pairs,
+        )
     print(format_table(
         ["batch_size", "pairs", "best_seconds", "pairs_per_sec"],
         throughput_table(results),
@@ -219,6 +233,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--missing", choices=("core", "zero"), default="core",
                        help="missing-data strategy (HYDRA-M / HYDRA-Z)")
 
+    def parallel_opts(p):
+        p.add_argument("--workers", type=int, default=1,
+                       help="process count for sharded featurize/score "
+                            "(default 1 = serial; results are identical)")
+        p.add_argument("--shard-size", type=int, default=None,
+                       dest="shard_size",
+                       help="pairs per shard (default: derived from the "
+                            "workload and worker count)")
+
     p_gen = sub.add_parser("generate", help="generate a world, print stats")
     common(p_gen)
     p_gen.set_defaults(func=cmd_generate)
@@ -246,6 +269,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     common(p_fit)
     fit_opts(p_fit)
+    parallel_opts(p_fit)
     p_fit.add_argument("--out", required=True,
                        help="artifact directory to write")
     p_fit.set_defaults(func=cmd_fit)
@@ -262,6 +286,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="resolve one account instead of a platform pair")
     p_score.add_argument("--top", type=int, default=5,
                          help="number of links to print")
+    parallel_opts(p_score)
     p_score.set_defaults(func=cmd_score)
 
     p_bench = sub.add_parser(
@@ -269,6 +294,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     common(p_bench)
     fit_opts(p_bench)
+    parallel_opts(p_bench)
     p_bench.add_argument("--artifact", default=None,
                          help="serve this artifact instead of fitting")
     p_bench.add_argument("--batch-sizes", default="16,256", dest="batch_sizes",

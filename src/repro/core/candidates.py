@@ -134,6 +134,14 @@ class CandidateGenerator:
         # sets die with their world instead of accumulating
         self._signature_cache: dict[int, tuple] = {}
 
+    def __getstate__(self) -> dict:
+        # the signature cache is a pure memo keyed by object identity and
+        # held through weakrefs — neither survives a process boundary, so
+        # drop it and let the receiving process rebuild on first use
+        state = dict(self.__dict__)
+        state["_signature_cache"] = {}
+        return state
+
     # ------------------------------------------------------------------
     # per-platform signatures
     # ------------------------------------------------------------------

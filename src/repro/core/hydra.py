@@ -98,6 +98,11 @@ class HydraLinker:
     use_prematched:
         Treat rule pre-matched candidates as (noisy) positive labels,
         as the paper's labeled-data collection does.
+    workers, shard_size:
+        Fit-time featurization parallelism: ``workers`` > 1 shards the
+        featurize-and-fill pass over candidate pairs across a process pool
+        (:mod:`repro.parallel`), merging shard results bit-identically to
+        the serial pass; ``shard_size`` pins the deterministic shard length.
     """
 
     def __init__(
@@ -120,12 +125,16 @@ class HydraLinker:
         use_prematched: bool = True,
         candidate_generator: CandidateGenerator | None = None,
         pipeline: FeaturePipeline | None = None,
+        workers: int = 1,
+        shard_size: int | None = None,
         seed: int = 0,
     ):
         if missing_strategy not in ("core", "zero"):
             raise ValueError(
                 f"missing_strategy must be 'core' or 'zero', got {missing_strategy!r}"
             )
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         self.moo_config = MooConfig(
             gamma_l=gamma_l,
             gamma_m=gamma_m,
@@ -151,8 +160,14 @@ class HydraLinker:
         self.consistency_builder = StructureConsistencyBuilder(
             sigma1=sigma1, sigma1_scale=sigma1_scale, sigma2=sigma2, max_hops=max_hops
         )
+        self.workers = workers
+        self.shard_size = shard_size
 
         self.model_: MultiObjectiveModel | None = None
+        #: Directory this linker was last saved to / loaded from (set by the
+        #: persist layer); parallel serving hands it to worker initializers
+        #: so each process loads the artifact instead of unpickling a copy.
+        self.artifact_path_: str | None = None
         self.candidates_: dict[tuple[str, str], CandidateSet] = {}
         self.blocks_: list[ConsistencyBlock] = []
         self.global_pairs_: list[Pair] = []
@@ -169,7 +184,12 @@ class HydraLinker:
         return [
             CandidateStage(self.candidate_generator),
             LabelStage(use_prematched=self.use_prematched),
-            FeaturizeStage(self.pipeline, missing_strategy=self.missing_strategy),
+            FeaturizeStage(
+                self.pipeline,
+                missing_strategy=self.missing_strategy,
+                workers=self.workers,
+                shard_size=self.shard_size,
+            ),
             ConsistencyStage(self.consistency_builder),
             OptimizeStage(self.moo_config),
         ]
@@ -196,6 +216,9 @@ class HydraLinker:
         several methods can be compared on identical blocking.
         """
         self._world = world
+        # any on-disk artifact no longer describes this linker: a parallel
+        # service must not hand workers a stale path after a refit
+        self.artifact_path_ = None
         if platform_pairs is None:
             names = world.platform_names()
             platform_pairs = [

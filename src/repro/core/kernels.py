@@ -8,6 +8,7 @@ Section 5.2) is provided alongside the standard linear and RBF kernels.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable
 
 import numpy as np
@@ -68,8 +69,9 @@ def make_kernel(name: str, **params) -> KernelFn:
     if name == "linear":
         return linear_kernel
     if name == "rbf":
-        gamma = params.get("gamma", 1.0)
-        return lambda x, y: rbf_kernel(x, y, gamma=gamma)
+        # a partial of the module-level function (not a closure) so fitted
+        # models pickle — parallel serving ships them to worker processes
+        return partial(rbf_kernel, gamma=params.get("gamma", 1.0))
     if name == "chi_square":
         return chi_square_kernel
     raise ValueError(f"unknown kernel {name!r}; options: linear, rbf, chi_square")

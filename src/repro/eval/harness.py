@@ -12,8 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Protocol
 
-import numpy as np
-
 from repro.core.candidates import CandidateGenerator, CandidateSet
 from repro.core.hydra import LinkageResult
 from repro.eval.metrics import LinkageMetrics, precision_recall_f1

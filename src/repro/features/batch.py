@@ -38,7 +38,7 @@ are ratios of small integers, which float division reproduces exactly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -371,6 +371,107 @@ class PackedAccountStore:
             summaries=summaries,
         )
 
+    # ------------------------------------------------------------------
+    def subset(self, refs: list[AccountRef]) -> "PackedAccountStore":
+        """A new store holding only ``refs``, in the given order.
+
+        This is the shard-shipping primitive: a worker that will only ever
+        score pairs drawn from a known account subset (one shard of a
+        partitioned corpus, one machine of a multi-machine layout) can
+        receive a sliced store instead of the full one.  Every per-account
+        array is gathered to the new row order; the CSR sensor layout is
+        re-based onto compacted payload arrays, so the subset carries no
+        payload bytes for accounts outside ``refs``.  Featurizing a pair
+        through a subset store is bit-identical to the full store — all
+        state is strictly per-account.
+
+        Raises :class:`KeyError` for refs that were never packed and
+        :class:`ValueError` on duplicates.
+        """
+        rows = np.array([self.row_of[ref] for ref in refs], dtype=np.int64)
+        if len(set(refs)) != len(refs):
+            raise ValueError("duplicate refs in subset request")
+
+        topic_means = [m[rows] for m in self.topic_means]
+        topic_has = [h[rows] for h in self.topic_has]
+        senti_means = [m[rows] for m in self.senti_means]
+        senti_has = [h[rows] for h in self.senti_has]
+        style_ids = {k: v[rows] for k, v in self.style_ids.items()}
+        style_len = {k: v[rows] for k, v in self.style_len.items()}
+
+        has_kind = {kind: has[rows] for kind, has in self.has_kind.items()}
+        payloads: dict = {}
+        windows: dict = {}
+        for kind in self.sensor_kinds:
+            # per-account payload extents: every scale's windows tile the
+            # account's event range exactly, so any scale yields the extents
+            csr0 = self.windows[(kind, self.sensor_scales[0])]
+            ext_lo = np.zeros(rows.shape[0], dtype=np.int64)
+            ext_hi = np.zeros(rows.shape[0], dtype=np.int64)
+            occupied = csr0.acct_ptr[rows + 1] > csr0.acct_ptr[rows]
+            ext_lo[occupied] = csr0.win_start[csr0.acct_ptr[rows[occupied]]]
+            ext_hi[occupied] = csr0.win_end[
+                csr0.acct_ptr[rows[occupied] + 1] - 1
+            ]
+            sizes = ext_hi - ext_lo
+            new_offsets = np.concatenate([[0], np.cumsum(sizes)])
+            payload = self.payloads[kind]
+            parts = [payload[lo:hi] for lo, hi in zip(ext_lo, ext_hi)]
+            payloads[kind] = (
+                np.concatenate(parts) if parts else payload[:0]
+            )
+            for scale in self.sensor_scales:
+                csr = self.windows[(kind, scale)]
+                acct_ptr = np.zeros(rows.shape[0] + 1, dtype=np.int64)
+                ids_parts, start_parts, end_parts = [], [], []
+                for new_row, old_row in enumerate(rows):
+                    lo, hi = csr.acct_ptr[old_row], csr.acct_ptr[old_row + 1]
+                    acct_ptr[new_row + 1] = acct_ptr[new_row] + (hi - lo)
+                    if hi > lo:
+                        shift = new_offsets[new_row] - ext_lo[new_row]
+                        ids_parts.append(csr.win_ids[lo:hi])
+                        start_parts.append(csr.win_start[lo:hi] + shift)
+                        end_parts.append(csr.win_end[lo:hi] + shift)
+                empty = np.zeros(0, dtype=np.int64)
+                windows[(kind, scale)] = _WindowCSR(
+                    acct_ptr=acct_ptr,
+                    win_ids=np.concatenate(ids_parts) if ids_parts else empty,
+                    win_start=(
+                        np.concatenate(start_parts) if start_parts else empty
+                    ),
+                    win_end=np.concatenate(end_parts) if end_parts else empty,
+                    num_windows=csr.num_windows,
+                )
+
+        return PackedAccountStore(
+            refs=list(refs),
+            row_of={ref: row for row, ref in enumerate(refs)},
+            eq_codes=self.eq_codes[rows],
+            birth=self.birth[rows],
+            bio_words=[self.bio_words[r] for r in rows],
+            tag_sets=[self.tag_sets[r] for r in rows],
+            username_bigrams=[self.username_bigrams[r] for r in rows],
+            username_nonempty=self.username_nonempty[rows],
+            face_emb=self.face_emb[rows],
+            face_present=self.face_present[rows],
+            face_detected=self.face_detected[rows],
+            face_norm=self.face_norm[rows],
+            topic_scales=self.topic_scales,
+            topic_means=topic_means,
+            topic_has=topic_has,
+            senti_means=senti_means,
+            senti_has=senti_has,
+            style_ks=self.style_ks,
+            style_ids=style_ids,
+            style_len=style_len,
+            sensor_kinds=self.sensor_kinds,
+            sensor_scales=self.sensor_scales,
+            has_kind=has_kind,
+            payloads=payloads,
+            windows=windows,
+            summaries=self.summaries[rows],
+        )
+
     @staticmethod
     def _stack_profiles(profiles: list, dim: int) -> tuple[list, list]:
         """Stack per-scale ``(bucket_means, has_data)`` profiles across accounts.
@@ -588,9 +689,9 @@ class BatchFeaturizer:
         nonempty = store.username_nonempty
         column = out[:, col]
         for i in range(left.shape[0]):
-            l, r = left[i], right[i]
-            if nonempty[l] and nonempty[r]:
-                column[i] = _jaccard(grams[l], grams[r])
+            la, rb = left[i], right[i]
+            if nonempty[la] and nonempty[rb]:
+                column[i] = _jaccard(grams[la], grams[rb])
             else:
                 column[i] = 0.0
         return col + 1

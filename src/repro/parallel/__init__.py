@@ -1,0 +1,49 @@
+"""Sharded parallel execution: deterministic pair-sharding across processes.
+
+The scale story of this reproduction is embarrassingly parallel pair work —
+featurizing and scoring candidate pairs — so this package fans it out:
+
+:mod:`repro.parallel.plan`
+    :class:`ShardPlan` partitions work items into contiguous shards as a pure
+    function of ``(num_items, workers, shard_size)``; merging shard results
+    in index order is bit-identical to the serial pass.
+
+:mod:`repro.parallel.worker`
+    Per-process state (a loaded artifact, a shipped linker, or a fitted
+    pipeline + filler) set once by a pool initializer, plus the shard task
+    functions (``score_shard``, ``featurize_shard``).
+
+:mod:`repro.parallel.engine`
+    :class:`ShardedExecutor` — a ``ProcessPoolExecutor`` wrapper with an
+    inline serial fallback that runs the identical task functions, so
+    ``workers=N`` and ``workers=1`` produce the same bytes.
+
+Consumers: :class:`repro.core.stages.FeaturizeStage` (fit-time featurization
+shards), :class:`repro.serving.LinkageService` (serving-time ``score_pairs``
+/ ``top_k`` sharding), and the ``--workers`` / ``--shard-size`` CLI flags.
+"""
+
+from repro.parallel.engine import ShardedExecutor, default_mp_context
+from repro.parallel.plan import DEFAULT_SHARDS_PER_WORKER, Shard, ShardPlan
+from repro.parallel.worker import (
+    ShardResult,
+    featurize_shard,
+    init_featurizer,
+    init_scorer_from_artifact,
+    init_scorer_from_linker,
+    score_shard,
+)
+
+__all__ = [
+    "DEFAULT_SHARDS_PER_WORKER",
+    "Shard",
+    "ShardPlan",
+    "ShardResult",
+    "ShardedExecutor",
+    "default_mp_context",
+    "featurize_shard",
+    "init_featurizer",
+    "init_scorer_from_artifact",
+    "init_scorer_from_linker",
+    "score_shard",
+]

@@ -1,0 +1,140 @@
+"""The sharded executor: a process pool with a deterministic serial fallback.
+
+:class:`ShardedExecutor` owns an optional :class:`concurrent.futures.
+ProcessPoolExecutor` whose workers are initialized once (see
+:mod:`repro.parallel.worker`) and then fed shard tasks.  Results are
+re-ordered by shard index before they are returned, so callers can merge
+them with :meth:`~repro.parallel.plan.ShardPlan.merge` regardless of
+completion order.
+
+With ``workers=1`` no processes are spawned at all: the initializer and every
+task run inline in the calling process, under a private state dict swapped in
+around each call (:func:`~repro.parallel.worker.swap_state`), so two live
+serial executors never clobber each other.  Serial and pooled execution run
+the same task functions over the same shard plan, which is what makes the
+``workers=N`` output bit-identical to ``workers=1``.
+
+The pool prefers the ``fork`` start method where the platform offers it
+(workers inherit the parent's fitted state copy-on-write — no pickling);
+elsewhere it falls back to the platform default (``spawn``), for which the
+initializer arguments must pickle — the serving and featurization payloads
+all do.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+
+__all__ = ["ShardedExecutor", "default_mp_context"]
+
+
+def default_mp_context():
+    """The preferred multiprocessing context: ``fork`` when available.
+
+    Forked workers share the parent's fitted state copy-on-write, so even
+    multi-megabyte packed stores cost nothing to distribute.  Platforms
+    without ``fork`` (Windows, and macOS defaults) use their own default.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+class ShardedExecutor:
+    """Run shard tasks across worker processes, or inline when ``workers=1``.
+
+    Parameters
+    ----------
+    workers:
+        Process count.  ``1`` means no pool: tasks run inline, in order.
+    initializer / initargs:
+        Per-process setup, run once per worker (or once, lazily, for the
+        inline mode) — see the initializers in :mod:`repro.parallel.worker`.
+    mp_context:
+        Override the multiprocessing context (tests, spawn-only debugging).
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 1,
+        initializer=None,
+        initargs: tuple = (),
+        mp_context=None,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self._initializer = initializer
+        self._initargs = initargs
+        self._mp_context = mp_context
+        self._pool: ProcessPoolExecutor | None = None
+        self._serial_state: dict | None = None
+
+    # ------------------------------------------------------------------
+    def run(self, fn, tasks: list[tuple]) -> list:
+        """Execute ``fn(*task)`` for every task; results ordered by ``.index``.
+
+        ``fn`` must return an object with an ``index`` attribute (the
+        :class:`~repro.parallel.worker.ShardResult` contract); completion
+        order is irrelevant — the returned list is sorted by shard index so
+        a plan merge reassembles item order deterministically.
+        """
+        if not tasks:
+            return []
+        if self.workers == 1:
+            results = self._run_inline(fn, tasks)
+        else:
+            results = list(self._ensure_pool().map(_apply, [(fn, t) for t in tasks]))
+        return sorted(results, key=lambda result: result.index)
+
+    def close(self) -> None:
+        """Shut the pool down; the executor can be garbage-collected after."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ShardedExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            context = (
+                self._mp_context if self._mp_context is not None else default_mp_context()
+            )
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=context,
+                initializer=self._initializer,
+                initargs=self._initargs,
+            )
+        return self._pool
+
+    def _run_inline(self, fn, tasks: list[tuple]) -> list:
+        """Serial fallback: same tasks, same state contract, no processes."""
+        from repro.parallel import worker
+
+        if self._serial_state is None:
+            outer = worker.swap_state({})
+            try:
+                if self._initializer is not None:
+                    self._initializer(*self._initargs)
+            finally:
+                self._serial_state = worker.swap_state(outer)
+        outer = worker.swap_state(self._serial_state)
+        try:
+            return [fn(*task) for task in tasks]
+        finally:
+            self._serial_state = worker.swap_state(outer)
+
+
+def _apply(packed):
+    """Top-level task trampoline (must be picklable for pool submission)."""
+    fn, task = packed
+    return fn(*task)

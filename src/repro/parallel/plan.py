@@ -1,0 +1,126 @@
+"""Deterministic shard planning for pair-parallel execution.
+
+A :class:`ShardPlan` partitions ``num_items`` work items (candidate pairs,
+feature rows) into contiguous, index-ordered shards.  The plan is a pure
+function of ``(num_items, workers, shard_size)`` — it never consults the
+machine, the scheduler, or a clock — so the same inputs produce the same
+shards on every host, and a merge in shard order reassembles worker output
+bit-identically to a single-process pass over the same items.
+
+Contiguity matters: each shard is a ``[start, stop)`` slice of the original
+item order, so per-item results (scores, feature rows) concatenate back into
+exactly the array the serial path would have produced.  Load balancing comes
+from oversubscription (several shards per worker, see
+:data:`DEFAULT_SHARDS_PER_WORKER`) rather than from dynamic splitting, which
+would make shard boundaries timing-dependent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DEFAULT_SHARDS_PER_WORKER", "Shard", "ShardPlan"]
+
+#: Shards per worker in the default plan: enough oversubscription that a slow
+#: shard does not stall the pool, few enough that dispatch overhead stays
+#: negligible next to shard compute.
+DEFAULT_SHARDS_PER_WORKER = 4
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One contiguous slice ``[start, stop)`` of the work-item order."""
+
+    index: int
+    start: int
+    stop: int
+
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+    def take(self, items):
+        """The shard's slice of an item sequence."""
+        return items[self.start : self.stop]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A deterministic partition of ``num_items`` into contiguous shards."""
+
+    num_items: int
+    shard_size: int
+    shards: tuple[Shard, ...]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        num_items: int,
+        *,
+        workers: int = 1,
+        shard_size: int | None = None,
+    ) -> "ShardPlan":
+        """Plan ``num_items`` items for ``workers`` processes.
+
+        ``shard_size`` fixes the shard length explicitly; when omitted it is
+        derived so each worker receives about
+        :data:`DEFAULT_SHARDS_PER_WORKER` shards.  ``workers=1`` yields a
+        single shard (the serial plan).  The result depends only on the
+        arguments, never on the host.
+        """
+        if num_items < 0:
+            raise ValueError(f"num_items must be >= 0, got {num_items}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if shard_size is None:
+            if workers == 1:
+                shard_size = max(num_items, 1)
+            else:
+                slots = workers * DEFAULT_SHARDS_PER_WORKER
+                shard_size = max(1, -(-num_items // slots))  # ceil division
+        elif shard_size < 1:
+            raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+        starts = range(0, num_items, shard_size)
+        shards = tuple(
+            Shard(index=i, start=s, stop=min(s + shard_size, num_items))
+            for i, s in enumerate(starts)
+        )
+        return cls(num_items=num_items, shard_size=shard_size, shards=shards)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def is_serial(self) -> bool:
+        """True when the plan cannot use more than one worker."""
+        return self.num_shards <= 1
+
+    def __iter__(self):
+        return iter(self.shards)
+
+    def merge(self, parts: list) -> np.ndarray:
+        """Concatenate per-shard result arrays back into item order.
+
+        ``parts[i]`` must be shard ``i``'s result with ``shards[i].size``
+        leading rows; the merge is a plain concatenation, so it is
+        bit-identical to computing the whole array in one pass whenever the
+        per-item computation is item-independent.
+        """
+        if len(parts) != self.num_shards:
+            raise ValueError(
+                f"expected {self.num_shards} shard results, got {len(parts)}"
+            )
+        for shard, part in zip(self.shards, parts):
+            if np.shape(part)[0] != shard.size:
+                raise ValueError(
+                    f"shard {shard.index} returned {np.shape(part)[0]} rows, "
+                    f"expected {shard.size}"
+                )
+        if not parts:
+            return np.zeros(0)
+        return np.concatenate(parts, axis=0)

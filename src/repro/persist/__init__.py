@@ -14,6 +14,7 @@ from repro.persist.artifact import (
     ARTIFACT_FORMAT,
     ARTIFACT_VERSION,
     ArtifactError,
+    artifact_exists,
     artifact_summary,
     load_linker,
     save_linker,
@@ -23,6 +24,7 @@ __all__ = [
     "ARTIFACT_FORMAT",
     "ARTIFACT_VERSION",
     "ArtifactError",
+    "artifact_exists",
     "artifact_summary",
     "load_linker",
     "save_linker",

@@ -54,6 +54,7 @@ __all__ = [
     "ARTIFACT_FORMAT",
     "ARTIFACT_VERSION",
     "ArtifactError",
+    "artifact_exists",
     "artifact_summary",
     "load_linker",
     "save_linker",
@@ -68,6 +69,17 @@ _ARRAYS = "arrays.npz"
 
 class ArtifactError(RuntimeError):
     """Raised for unreadable, incomplete, or incompatible artifacts."""
+
+
+def artifact_exists(path) -> bool:
+    """True when ``path`` holds a complete artifact (both files present).
+
+    A cheap existence probe — no version validation, no loading.  Parallel
+    serving uses it to decide whether worker processes can initialize from
+    disk or must receive the fitted objects directly.
+    """
+    path = Path(path)
+    return (path / _MANIFEST).is_file() and (path / _ARRAYS).is_file()
 
 
 # ----------------------------------------------------------------------
@@ -225,6 +237,10 @@ def save_linker(linker: HydraLinker, path) -> Path:
     )
     arrays["state"] = np.frombuffer(state_blob, dtype=np.uint8)
     np.savez_compressed(path / _ARRAYS, **arrays)
+    # remember where this linker lives on disk: parallel serving hands the
+    # path to worker-process initializers so each worker loads the artifact
+    # instead of receiving a pickled copy of the parent's objects
+    linker.artifact_path_ = str(path)
     return path
 
 
@@ -359,6 +375,7 @@ def load_linker(path, *, linker_cls: type[HydraLinker] = HydraLinker) -> HydraLi
         for meta, (m, d, indices) in zip(manifest["blocks"], block_arrays)
     ]
     linker.stage_timings_ = dict(manifest.get("stage_timings", {}))
+    linker.artifact_path_ = str(path)
     return linker
 
 

@@ -21,17 +21,29 @@ counters (queries, pairs scored, cache hit/miss rates) for capacity
 monitoring.  Featurization inside :meth:`LinkageService.score_pairs` runs on
 the pipeline's batch engine (see :mod:`repro.features.batch`), so each
 fixed-size batch is scored array-at-a-time.
+
+Construct the service with ``workers=N`` to shard scoring across a process
+pool (:mod:`repro.parallel`): pair batches are partitioned by a deterministic
+shard plan, each worker process holds its own copy of the fitted linker —
+loaded from the persisted artifact when the linker knows its
+``artifact_path_``, otherwise shipped by the pool machinery — and shard
+results merge in shard order, bit-identical to the serial path.  The pool
+spins up lazily on the first sharded call and is released by
+:meth:`LinkageService.close` (the service is also a context manager).
+Per-worker shard and pair counts roll up into :class:`ServiceStats`.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
+from collections import Counter, OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.hydra import HydraLinker
 from repro.features.pipeline import AccountRef
+from repro.parallel import ShardPlan, ShardedExecutor
+from repro.parallel import worker as _worker
 
 __all__ = ["LinkageService", "LruCache", "ScoredLink", "ServiceStats"]
 
@@ -80,7 +92,14 @@ class ScoredLink:
 
 @dataclass
 class ServiceStats:
-    """Running counters of one service instance."""
+    """Running counters of one service instance.
+
+    The last block covers sharded execution: ``parallel_queries`` counts
+    scoring calls that went through the process pool, ``shards_dispatched``
+    the shards they fanned out, and ``worker_pairs`` / ``worker_shards``
+    break pairs and shards down per worker process (keyed ``"pid:<n>"``) so
+    capacity monitoring can spot skew.
+    """
 
     queries: int = 0
     pairs_scored: int = 0
@@ -90,8 +109,13 @@ class ServiceStats:
     score_cache_entries: int = 0
     score_cache_hits: int = 0
     score_cache_misses: int = 0
+    workers: int = 1
+    parallel_queries: int = 0
+    shards_dispatched: int = 0
+    worker_pairs: dict[str, int] = field(default_factory=dict)
+    worker_shards: dict[str, int] = field(default_factory=dict)
 
-    def as_dict(self) -> dict[str, int]:
+    def as_dict(self) -> dict:
         return dict(self.__dict__)
 
 
@@ -120,6 +144,15 @@ class LinkageService:
         Capacity of the per-platform-pair candidate-score LRU; keeps the
         memoized score arrays bounded when a service handles many platform
         pairs.
+    workers:
+        Scoring process count.  ``1`` (default) scores inline; ``N > 1``
+        shards every scoring call across a lazily-started process pool,
+        merging results bit-identically to the inline path.  Call
+        :meth:`close` (or use the service as a context manager) to release
+        the pool.
+    shard_size:
+        Pins the deterministic shard length; default lets the plan derive
+        it from the workload and worker count.
     """
 
     def __init__(
@@ -129,18 +162,29 @@ class LinkageService:
         batch_size: int = 256,
         summary_cache_size: int = 4096,
         score_cache_size: int = 64,
+        workers: int = 1,
+        shard_size: int | None = None,
     ):
         if linker.model_ is None or linker._filler is None:
             raise RuntimeError("linker is not fitted; fit() or load() first")
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         self.linker = linker
         self.batch_size = batch_size
+        self.workers = workers
+        self.shard_size = shard_size
+        self._executor: ShardedExecutor | None = None
         self._summaries = LruCache(summary_cache_size)
         self._score_cache = LruCache(score_cache_size)
         self._queries = 0
         self._pairs_scored = 0
         self._batches = 0
+        self._parallel_queries = 0
+        self._shards_dispatched = 0
+        self._worker_pairs: Counter = Counter()
+        self._worker_shards: Counter = Counter()
 
         self._index: dict[tuple[str, str], _PairIndex] = {}
         for key, cand in linker.candidates_.items():
@@ -184,14 +228,90 @@ class LinkageService:
 
     def _score(self, pairs: list[Pair], batch: int) -> np.ndarray:
         """Batched scoring through the linker's own pipeline; counters stay
-        untouched so internal cache fills don't masquerade as workload."""
+        untouched so internal cache fills don't masquerade as workload
+        (sharding bookkeeping — shard/worker attribution — is recorded, as
+        it describes execution, not workload)."""
         if batch < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch}")
-        out = np.empty(len(pairs))
-        for start in range(0, len(pairs), batch):
-            chunk = pairs[start : start + batch]
-            out[start : start + len(chunk)] = self.linker.score_pairs(chunk)
-        return out
+        plan = self._plan(len(pairs), batch)
+        if plan is not None:
+            return self._score_sharded(pairs, batch, plan)
+        return _worker.score_chunked(self.linker, pairs, batch)
+
+    def _plan(self, num_pairs: int, batch: int) -> ShardPlan | None:
+        """The shard plan for this workload, or None for the inline path.
+
+        Shard lengths are aligned **up** to a multiple of the featurization
+        batch size: featurized rows are batch-invariant, but the kernel
+        Gram products inside ``decision_function`` are evaluated per batch,
+        and BLAS accumulates a product's entries in a shape-dependent
+        order.  Aligned shards present workers with exactly the chunk
+        compositions the serial loop would have used, which is what makes
+        ``workers=N`` bit-identical to ``workers=1`` (a shard size that is
+        not a multiple of the batch would still be correct to ~1e-9, like
+        re-batching is, but not bit-for-bit).
+        """
+        if self.workers == 1 or num_pairs < 2:
+            return None
+        if self.shard_size is not None:
+            shard_size = -(-self.shard_size // batch) * batch
+        else:
+            draft = ShardPlan.build(num_pairs, workers=self.workers)
+            shard_size = -(-draft.shard_size // batch) * batch
+        plan = ShardPlan.build(
+            num_pairs, workers=self.workers, shard_size=shard_size
+        )
+        return None if plan.is_serial else plan
+
+    def _score_sharded(
+        self, pairs: list[Pair], batch: int, plan: ShardPlan
+    ) -> np.ndarray:
+        executor = self._ensure_executor()
+        results = executor.run(
+            _worker.score_shard,
+            [(shard.index, shard.take(pairs), batch) for shard in plan],
+        )
+        self._parallel_queries += 1
+        self._shards_dispatched += plan.num_shards
+        for result in results:
+            self._worker_pairs[result.worker] += result.num_items
+            self._worker_shards[result.worker] += 1
+        return plan.merge([result.values for result in results])
+
+    def _ensure_executor(self) -> ShardedExecutor:
+        """The lazily-started scoring pool.
+
+        Workers are initialized once per process: from the persisted
+        artifact when the linker knows where it lives on disk (each worker
+        pays one load, nothing is re-pickled), otherwise the fitted linker
+        itself is shipped through the pool machinery.
+        """
+        if self._executor is None:
+            from repro.persist import artifact_exists
+
+            path = getattr(self.linker, "artifact_path_", None)
+            if path is not None and artifact_exists(path):
+                initializer = _worker.init_scorer_from_artifact
+                initargs: tuple = (str(path),)
+            else:
+                initializer = _worker.init_scorer_from_linker
+                initargs = (self.linker,)
+            self._executor = ShardedExecutor(
+                workers=self.workers, initializer=initializer, initargs=initargs
+            )
+        return self._executor
+
+    def close(self) -> None:
+        """Release the scoring pool (no-op for inline services)."""
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+
+    def __enter__(self) -> "LinkageService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def top_k(self, platform_a: str, platform_b: str, k: int = 10) -> list[ScoredLink]:
         """The ``k`` strongest candidate links for one platform pair.
@@ -257,6 +377,11 @@ class LinkageService:
             score_cache_entries=len(self._score_cache),
             score_cache_hits=self._score_cache.hits,
             score_cache_misses=self._score_cache.misses,
+            workers=self.workers,
+            parallel_queries=self._parallel_queries,
+            shards_dispatched=self._shards_dispatched,
+            worker_pairs=dict(self._worker_pairs),
+            worker_shards=dict(self._worker_shards),
         )
 
     # ------------------------------------------------------------------

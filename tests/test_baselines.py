@@ -143,7 +143,9 @@ class TestBaselineLinkage:
         mobius = MobiusBaseline().fit(world, pos, neg)
         p_mob, r_mob = self._evaluate(mobius, world, pos)
         # F1 comparison: behavior features dominate usernames
-        f1 = lambda p, r: 2 * p * r / (p + r) if p + r else 0.0
+        def f1(p, r):
+            return 2 * p * r / (p + r) if p + r else 0.0
+
         assert f1(p_svm, r_svm) > f1(p_mob, r_mob)
 
     def test_shared_candidates_injection(self, baseline_setup):

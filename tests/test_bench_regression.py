@@ -1,0 +1,105 @@
+"""Unit tests for the CI benchmark-regression gate."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_regression",
+    Path(__file__).resolve().parent.parent / "benchmarks" / "check_regression.py",
+)
+check_regression = importlib.util.module_from_spec(_SPEC)
+# dataclass resolution of PEP 563 annotations looks the module up by name
+sys.modules[_SPEC.name] = check_regression
+_SPEC.loader.exec_module(check_regression)
+
+
+def _table(name: str, rows: list[list]) -> str:
+    header = ["batch_size", "pairs", "best_seconds", "pairs_per_sec"]
+    lines = [name, "=" * len(name), "  ".join(header), "-" * 40]
+    lines += ["  ".join(str(cell) for cell in row) for row in rows]
+    return "\n".join(lines) + "\n"
+
+
+def _write(directory: Path, name: str, text: str) -> None:
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / name).write_text(text)
+
+
+class TestParsing:
+    def test_best_pairs_per_sec_takes_table_max(self):
+        text = _table("t", [[16, 84, 0.01, 7500.0], [256, 84, 0.004, 19569.2]])
+        assert check_regression.best_pairs_per_sec(text) == 19569.2
+
+    def test_table_without_metric_column_is_skipped(self):
+        text = "\n".join(["t", "=", "method  f1", "-" * 10, "HYDRA-M  0.9", ""])
+        assert check_regression.best_pairs_per_sec(text) is None
+
+    def test_non_table_text_is_skipped(self):
+        assert check_regression.best_pairs_per_sec("free-form notes\n") is None
+
+
+class TestCompare:
+    def test_within_threshold_passes(self, tmp_path):
+        _write(tmp_path / "base", "serving.txt", _table("t", [[256, 84, 0.004, 1000.0]]))
+        _write(tmp_path / "cur", "serving.txt", _table("t", [[256, 84, 0.005, 800.0]]))
+        comparisons = check_regression.compare_dirs(
+            tmp_path / "base", tmp_path / "cur", threshold=0.30
+        )
+        assert len(comparisons) == 1
+        assert not comparisons[0].regressed
+        assert comparisons[0].ratio == pytest.approx(0.8)
+
+    def test_regression_beyond_threshold_fails(self, tmp_path):
+        _write(tmp_path / "base", "serving.txt", _table("t", [[256, 84, 0.004, 1000.0]]))
+        _write(tmp_path / "cur", "serving.txt", _table("t", [[256, 84, 0.02, 650.0]]))
+        comparisons = check_regression.compare_dirs(
+            tmp_path / "base", tmp_path / "cur", threshold=0.30
+        )
+        assert comparisons[0].regressed
+
+    def test_missing_current_table_is_a_regression(self, tmp_path):
+        _write(tmp_path / "base", "serving.txt", _table("t", [[256, 84, 0.004, 1000.0]]))
+        (tmp_path / "cur").mkdir()
+        comparisons = check_regression.compare_dirs(
+            tmp_path / "base", tmp_path / "cur", threshold=0.30
+        )
+        assert comparisons[0].current is None
+        assert comparisons[0].regressed
+
+    def test_non_throughput_tables_are_ignored(self, tmp_path):
+        _write(tmp_path / "base", "fig9.txt",
+               "\n".join(["t", "=", "method  f1", "-" * 10, "HYDRA-M  0.9", ""]))
+        (tmp_path / "cur").mkdir()
+        assert check_regression.compare_dirs(
+            tmp_path / "base", tmp_path / "cur", threshold=0.30
+        ) == []
+
+
+class TestMain:
+    def test_exit_codes(self, tmp_path, capsys):
+        _write(tmp_path / "base", "serving.txt", _table("t", [[256, 84, 0.004, 1000.0]]))
+        _write(tmp_path / "cur", "serving.txt", _table("t", [[256, 84, 0.005, 990.0]]))
+        argv = ["--baseline", str(tmp_path / "base"), "--current", str(tmp_path / "cur")]
+        assert check_regression.main(argv) == 0
+        assert "ok" in capsys.readouterr().out
+
+        _write(tmp_path / "cur", "serving.txt", _table("t", [[256, 84, 0.1, 100.0]]))
+        assert check_regression.main(argv) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_empty_baseline_passes(self, tmp_path):
+        (tmp_path / "base").mkdir()
+        (tmp_path / "cur").mkdir()
+        assert check_regression.main(
+            ["--baseline", str(tmp_path / "base"), "--current", str(tmp_path / "cur")]
+        ) == 0
+
+    def test_invalid_threshold_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            check_regression.main(
+                ["--baseline", str(tmp_path), "--current", str(tmp_path),
+                 "--threshold", "1.5"]
+            )

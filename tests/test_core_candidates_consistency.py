@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core import CandidateGenerator, StructureConsistencyBuilder
-from repro.socialnet import SocialGraph
 from repro.socialnet.platform import PlatformData, Profile, SocialWorld
 from repro.socialnet.platform import Account
 

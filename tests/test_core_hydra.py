@@ -1,6 +1,5 @@
 """End-to-end tests for the HYDRA estimator (Algorithm 1)."""
 
-import numpy as np
 import pytest
 
 from repro.core import HydraLinker

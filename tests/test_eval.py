@@ -1,6 +1,5 @@
 """Tests for metrics, the experiment harness and experiment presets."""
 
-import numpy as np
 import pytest
 
 from repro.eval import (

@@ -133,6 +133,52 @@ class TestEngineSelection:
             pipeline.ensure_packed()
 
 
+class TestStoreSubset:
+    def test_subset_parity_with_full_store(self, fitted_pipeline, true_refs):
+        """A sliced store featurizes its pairs bit-identically to the full one."""
+        from repro.features.batch import BatchFeaturizer
+
+        pairs = true_refs[:10] + _mixed_pairs(fitted_pipeline, seed=3, extra=40)
+        refs = sorted({ref for pair in pairs for ref in pair})
+        full = fitted_pipeline.batch_featurizer
+        sliced = BatchFeaturizer(
+            full.store.subset(refs),
+            importance_scale=full.importance_scale,
+            face=full.face,
+            topic_kernel=full.topic_kernel,
+            sensors=full.sensors,
+            sensor_q=full.sensor_q,
+            sensor_lam=full.sensor_lam,
+        )
+        _assert_bit_identical(full.matrix(pairs), sliced.matrix(pairs))
+
+    def test_subset_compacts_payloads(self, fitted_pipeline, true_refs):
+        store = fitted_pipeline.packed_store
+        refs = sorted({ref for pair in true_refs[:4] for ref in pair})
+        sliced = store.subset(refs)
+        assert sliced.num_accounts == len(refs)
+        assert sliced.refs == refs
+        for kind in store.sensor_kinds:
+            assert len(sliced.payloads[kind]) <= len(store.payloads[kind])
+            # windows must re-base onto the compacted payload exactly
+            for scale in store.sensor_scales:
+                csr = sliced.windows[(kind, scale)]
+                if csr.win_end.size:
+                    assert csr.win_end.max() <= len(sliced.payloads[kind])
+
+    def test_subset_rejects_unknown_and_duplicate_refs(self, fitted_pipeline):
+        store = fitted_pipeline.packed_store
+        with pytest.raises(KeyError):
+            store.subset([("facebook", "nobody")])
+        ref = store.refs[0]
+        with pytest.raises(ValueError):
+            store.subset([ref, ref])
+
+    def test_empty_subset(self, fitted_pipeline):
+        sliced = fitted_pipeline.packed_store.subset([])
+        assert sliced.num_accounts == 0
+
+
 class TestSegmentMeans:
     def test_matches_per_segment_numpy_mean_bitwise(self):
         rng = np.random.default_rng(7)

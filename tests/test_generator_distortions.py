@@ -7,7 +7,6 @@ knob of the generator and verifies it produces the phenomenon.
 """
 
 import numpy as np
-import pytest
 
 from repro.datagen import (
     PlatformSpec,

@@ -1,0 +1,105 @@
+"""Shard determinism: parallel execution must reproduce serial bytes.
+
+The contract of :mod:`repro.parallel` is that ``workers=N`` is an execution
+detail, never a numerical one: randomized worlds scored with ``workers=1``
+and ``workers=4`` must produce bit-identical score matrices, identical
+``top_k`` orderings, and a parallel *fit* must land on exactly the serial
+model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import HydraLinker
+from repro.datagen import WorldConfig, generate_world
+from repro.eval.harness import make_label_split
+from repro.persist import load_linker
+from repro.serving import LinkageService
+
+PLATFORM_PAIRS = [("facebook", "twitter")]
+WORLD_SEEDS = (101, 202)
+
+
+def _fit(world, seed, **kwargs):
+    split = make_label_split(world, PLATFORM_PAIRS, seed=seed)
+    linker = HydraLinker(seed=seed, num_topics=6, max_lda_docs=600, **kwargs)
+    linker.fit(
+        world, split.labeled_positive, split.labeled_negative, PLATFORM_PAIRS
+    )
+    return linker
+
+
+@pytest.fixture(scope="module", params=WORLD_SEEDS)
+def fitted(request):
+    """A fitted linker per randomized world seed, with its candidates."""
+    seed = request.param
+    world = generate_world(WorldConfig(num_persons=12, seed=seed))
+    linker = _fit(world, seed)
+    candidates = linker.candidates_[("facebook", "twitter")].pairs
+    return world, seed, linker, candidates
+
+
+class TestServingDeterminism:
+    def test_workers4_scores_bit_identical(self, fitted):
+        _, _, linker, candidates = fitted
+        serial = LinkageService(linker, batch_size=8)
+        baseline = serial.score_pairs(candidates)
+        with LinkageService(linker, batch_size=8, workers=4) as parallel:
+            scores = parallel.score_pairs(candidates)
+            stats = parallel.stats()
+        assert np.array_equal(baseline, scores)
+        # the workload really was sharded across a pool, not served inline
+        assert stats.parallel_queries == 1
+        assert stats.shards_dispatched > 1
+        assert sum(stats.worker_pairs.values()) == len(candidates)
+        assert sum(stats.worker_shards.values()) == stats.shards_dispatched
+
+    def test_workers4_top_k_ordering_identical(self, fitted):
+        _, _, linker, _ = fitted
+        serial = LinkageService(linker, batch_size=8)
+        with LinkageService(linker, batch_size=8, workers=4) as parallel:
+            for a, b in (("facebook", "twitter"), ("twitter", "facebook")):
+                expected = serial.top_k(a, b, k=10)
+                got = parallel.top_k(a, b, k=10)
+                assert [link.pair for link in got] == [
+                    link.pair for link in expected
+                ]
+                assert [link.score for link in got] == [
+                    link.score for link in expected
+                ]
+
+    def test_explicit_shard_size_still_identical(self, fitted):
+        _, _, linker, candidates = fitted
+        baseline = LinkageService(linker, batch_size=8).score_pairs(candidates)
+        with LinkageService(
+            linker, batch_size=8, workers=2, shard_size=5
+        ) as parallel:
+            assert np.array_equal(baseline, parallel.score_pairs(candidates))
+
+    def test_artifact_initialized_workers_identical(self, fitted, tmp_path):
+        _, _, linker, candidates = fitted
+        baseline = LinkageService(linker, batch_size=8).score_pairs(candidates)
+        path = tmp_path / "artifact"
+        linker.save(path)
+        loaded = load_linker(path)
+        assert loaded.artifact_path_ == str(path)
+        with LinkageService(loaded, batch_size=8, workers=3) as service:
+            assert np.array_equal(baseline, service.score_pairs(candidates))
+
+
+class TestFitDeterminism:
+    def test_parallel_fit_matches_serial_fit(self):
+        seed = WORLD_SEEDS[0]
+        world = generate_world(WorldConfig(num_persons=12, seed=seed))
+        serial = _fit(world, seed)
+        parallel = _fit(world, seed, workers=4, shard_size=9)
+        assert parallel.stage_timings_.keys() == serial.stage_timings_.keys()
+        candidates = serial.candidates_[("facebook", "twitter")].pairs
+        assert parallel.global_pairs_ == serial.global_pairs_
+        assert np.array_equal(
+            serial.score_pairs(candidates), parallel.score_pairs(candidates)
+        )
+        assert np.array_equal(
+            serial.model_.x_train_, parallel.model_.x_train_
+        )
+        assert np.array_equal(serial.model_.alpha_, parallel.model_.alpha_)

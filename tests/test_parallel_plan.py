@@ -1,0 +1,146 @@
+"""Unit tests for the sharded execution engine's plan and executor."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    DEFAULT_SHARDS_PER_WORKER,
+    Shard,
+    ShardPlan,
+    ShardResult,
+    ShardedExecutor,
+)
+from repro.parallel import worker as worker_mod
+
+
+class TestShardPlan:
+    def test_partitions_exactly(self):
+        plan = ShardPlan.build(103, workers=4, shard_size=10)
+        assert plan.num_shards == 11
+        covered = []
+        for shard in plan:
+            assert shard.stop - shard.start == shard.size
+            covered.extend(range(shard.start, shard.stop))
+        assert covered == list(range(103))
+
+    def test_deterministic_across_calls(self):
+        a = ShardPlan.build(1000, workers=3)
+        b = ShardPlan.build(1000, workers=3)
+        assert a == b
+
+    def test_serial_plan_is_one_shard(self):
+        plan = ShardPlan.build(500, workers=1)
+        assert plan.num_shards == 1
+        assert plan.is_serial
+        assert plan.shards[0] == Shard(index=0, start=0, stop=500)
+
+    def test_default_oversubscription(self):
+        workers = 4
+        plan = ShardPlan.build(10_000, workers=workers)
+        assert plan.num_shards == workers * DEFAULT_SHARDS_PER_WORKER
+
+    def test_empty_plan(self):
+        plan = ShardPlan.build(0, workers=4)
+        assert plan.num_shards == 0
+        assert plan.is_serial
+        assert plan.merge([]).shape == (0,)
+
+    def test_take_slices_items(self):
+        plan = ShardPlan.build(7, workers=2, shard_size=3)
+        items = list("abcdefg")
+        assert [shard.take(items) for shard in plan] == [
+            ["a", "b", "c"], ["d", "e", "f"], ["g"],
+        ]
+
+    def test_merge_restores_item_order(self):
+        plan = ShardPlan.build(10, workers=2, shard_size=4)
+        parts = [np.arange(s.start, s.stop) for s in plan]
+        assert np.array_equal(plan.merge(parts), np.arange(10))
+
+    def test_merge_2d(self):
+        plan = ShardPlan.build(5, workers=2, shard_size=2)
+        parts = [np.full((s.size, 3), s.index) for s in plan]
+        merged = plan.merge(parts)
+        assert merged.shape == (5, 3)
+        assert np.array_equal(merged[:, 0], np.array([0, 0, 1, 1, 2]))
+
+    def test_merge_validates_counts_and_sizes(self):
+        plan = ShardPlan.build(6, workers=2, shard_size=3)
+        with pytest.raises(ValueError):
+            plan.merge([np.zeros(3)])
+        with pytest.raises(ValueError):
+            plan.merge([np.zeros(3), np.zeros(2)])
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            ShardPlan.build(-1)
+        with pytest.raises(ValueError):
+            ShardPlan.build(10, workers=0)
+        with pytest.raises(ValueError):
+            ShardPlan.build(10, workers=2, shard_size=0)
+
+
+def _echo_task(index, items):
+    state = worker_mod._STATE
+    return ShardResult(
+        index=index,
+        values=np.asarray(items) * state.get("scale", 1),
+        num_items=len(items),
+        worker=worker_mod.worker_id(),
+        seconds=0.0,
+    )
+
+
+def _init_scale(scale):
+    worker_mod._STATE["scale"] = scale
+
+
+class TestShardedExecutorSerial:
+    def test_inline_runs_tasks_in_index_order(self):
+        with ShardedExecutor(workers=1) as executor:
+            results = executor.run(
+                _echo_task, [(1, [4, 5]), (0, [1, 2, 3])]
+            )
+        assert [r.index for r in results] == [0, 1]
+        assert np.array_equal(results[0].values, [1, 2, 3])
+
+    def test_inline_initializer_state_is_sandboxed(self):
+        outer_before = dict(worker_mod._STATE)
+        ex_a = ShardedExecutor(workers=1, initializer=_init_scale, initargs=(2,))
+        ex_b = ShardedExecutor(workers=1, initializer=_init_scale, initargs=(10,))
+        a = ex_a.run(_echo_task, [(0, [1, 2])])
+        b = ex_b.run(_echo_task, [(0, [1, 2])])
+        a2 = ex_a.run(_echo_task, [(0, [3])])
+        assert np.array_equal(a[0].values, [2, 4])
+        assert np.array_equal(b[0].values, [10, 20])
+        assert np.array_equal(a2[0].values, [6])  # ex_a kept its own state
+        assert worker_mod._STATE == outer_before  # module state untouched
+
+    def test_empty_task_list(self):
+        assert ShardedExecutor(workers=1).run(_echo_task, []) == []
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            ShardedExecutor(workers=0)
+
+
+class TestShardedExecutorPool:
+    def test_pool_matches_inline(self):
+        tasks = [(i, list(range(i * 3, i * 3 + 3))) for i in range(5)]
+        inline = ShardedExecutor(
+            workers=1, initializer=_init_scale, initargs=(3,)
+        ).run(_echo_task, tasks)
+        with ShardedExecutor(
+            workers=2, initializer=_init_scale, initargs=(3,)
+        ) as pooled_executor:
+            pooled = pooled_executor.run(_echo_task, tasks)
+        assert len(pooled) == len(inline)
+        for a, b in zip(inline, pooled):
+            assert a.index == b.index
+            assert np.array_equal(a.values, b.values)
+
+    def test_pool_workers_report_distinct_pids_or_reuse(self):
+        with ShardedExecutor(workers=2) as executor:
+            results = executor.run(_echo_task, [(i, [i]) for i in range(4)])
+        assert all(r.worker.startswith("pid:") for r in results)
+        assert all(r.worker != worker_mod.worker_id() for r in results)

@@ -75,8 +75,8 @@ class TestLinkageService:
         assert all(link.pair[0][0] == "facebook" for link in links)
         flipped = service.top_k("twitter", "facebook", k=5)
         assert all(link.pair[0][0] == "twitter" for link in flipped)
-        assert {tuple(reversed(l.pair)) for l in flipped} == {
-            l.pair for l in links
+        assert {tuple(reversed(link.pair)) for link in flipped} == {
+            link.pair for link in links
         }
 
     def test_link_account_matches_candidate_index(self, service_and_linker):

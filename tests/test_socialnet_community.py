@@ -1,7 +1,5 @@
 """Unit tests for label-propagation community detection."""
 
-import pytest
-
 from repro.socialnet import SocialGraph, label_propagation_communities
 
 

@@ -1,6 +1,5 @@
 """Unit tests for the columnar behavior event store."""
 
-import numpy as np
 import pytest
 
 from repro.socialnet import BehaviorEvent, EventStore

@@ -171,4 +171,6 @@ class TestServiceCli:
         out = capsys.readouterr().out
         assert "pairs_per_sec" in out
         # one row per requested batch size
-        assert len([l for l in out.splitlines() if l.startswith(("4 ", "16 "))]) == 2
+        assert len(
+            [line for line in out.splitlines() if line.startswith(("4 ", "16 "))]
+        ) == 2

@@ -1,7 +1,5 @@
 """Unit tests for tokenization and word normalization."""
 
-import pytest
-
 from repro.text import Tokenizer, normalize_word
 from repro.text.tokenizer import DEFAULT_STOP_WORDS
 
