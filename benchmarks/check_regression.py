@@ -2,11 +2,13 @@
 
 The benchmark suite writes aligned text tables to ``benchmarks/results/``
 (see ``benchmarks/conftest.py``).  This script parses every table in a
-*baseline* directory that carries a ``pairs_per_sec`` column, finds the same
-table in the *current* directory, and compares the best (maximum) pairs/sec
-of each.  A current value more than ``--threshold`` below its baseline fails
-the run with exit code 1 — that is the gate that keeps the vectorization and
-sharding speedups from silently regressing.
+*baseline* directory that carries a throughput column (``pairs_per_sec``
+for the scoring benchmarks, ``accounts_per_sec`` for the online-ingestion
+benchmark), finds the same table in the *current* directory, and compares
+the best (maximum) throughput of each.  A current value more than
+``--threshold`` below its baseline fails the run with exit code 1 — that is
+the gate that keeps the vectorization, sharding, and ingestion speedups
+from silently regressing.
 
 Throughput is compared as best-of-table because the tables sweep
 configurations (batch sizes, worker counts) and capacity planning cares
@@ -27,9 +29,17 @@ import sys
 from dataclasses import dataclass
 from pathlib import Path
 
-__all__ = ["Comparison", "best_pairs_per_sec", "compare_dirs", "main"]
+__all__ = [
+    "Comparison",
+    "best_pairs_per_sec",
+    "best_throughput",
+    "compare_dirs",
+    "main",
+]
 
-METRIC_COLUMN = "pairs_per_sec"
+#: Recognized throughput columns, in lookup order; a table's metric is the
+#: first of these its header carries.
+METRIC_COLUMNS = ("pairs_per_sec", "accounts_per_sec")
 
 
 def parse_table(text: str) -> tuple[list[str], list[list[str]]]:
@@ -46,15 +56,16 @@ def parse_table(text: str) -> tuple[list[str], list[list[str]]]:
     return headers, rows
 
 
-def best_pairs_per_sec(text: str) -> float | None:
-    """The table's best throughput, or None when it has no such column."""
+def best_throughput(text: str) -> float | None:
+    """The table's best throughput, or None when it has no metric column."""
     try:
         headers, rows = parse_table(text)
     except ValueError:
         return None
-    if METRIC_COLUMN not in headers or not rows:
+    metric = next((m for m in METRIC_COLUMNS if m in headers), None)
+    if metric is None or not rows:
         return None
-    column = headers.index(METRIC_COLUMN)
+    column = headers.index(metric)
     values = []
     for row in rows:
         if len(row) <= column:
@@ -64,6 +75,11 @@ def best_pairs_per_sec(text: str) -> float | None:
         except ValueError:
             continue
     return max(values) if values else None
+
+
+#: Backwards-compatible alias (the original name, before the ingestion
+#: benchmark introduced a second metric column).
+best_pairs_per_sec = best_throughput
 
 
 @dataclass(frozen=True)
@@ -96,12 +112,12 @@ def compare_dirs(
     """Compare every throughput-bearing baseline table against current."""
     comparisons = []
     for baseline_path in sorted(Path(baseline_dir).glob("*.txt")):
-        baseline = best_pairs_per_sec(baseline_path.read_text())
+        baseline = best_throughput(baseline_path.read_text())
         if baseline is None:
             continue  # not a throughput table (figure reproductions etc.)
         current_path = Path(current_dir) / baseline_path.name
         current = (
-            best_pairs_per_sec(current_path.read_text())
+            best_throughput(current_path.read_text())
             if current_path.is_file()
             else None
         )

@@ -1,0 +1,112 @@
+"""Online ingestion throughput: accounts/sec for the delta path vs bulk.
+
+Not a paper figure — this benchmarks the online ingestion subsystem
+(:mod:`repro.index`, :meth:`repro.serving.LinkageService.add_accounts`):
+hold accounts out of a generated world, fit on the rest, then absorb the
+arrivals three ways on identical cloned state:
+
+* **ingest** — the incremental path: frozen-model featurization, O(new)
+  delta pack, live blocking-index maintenance;
+* **repack** — bulk re-pack + full candidate regeneration
+  (:meth:`~repro.core.hydra.HydraLinker.rebuild_serving_state`);
+* **refit** — a complete refit on the grown world (what absorbing new
+  accounts cost before this subsystem existed).
+
+The incremental path must stay bit-identical to the bulk rebuild (asserted
+here on candidates and scores) and beat the refit baseline by at least
+``INGEST_BENCH_MIN_SPEEDUP``.  Smoke mode (the default, and what CI runs)
+uses a small world; scale with ``INGEST_BENCH_PERSONS`` /
+``INGEST_BENCH_NEW``.
+"""
+
+import os
+
+import numpy as np
+from conftest import write_table
+
+from repro.core import HydraLinker
+from repro.datagen import WorldConfig, generate_world
+from repro.eval.harness import make_label_split
+from repro.serving import (
+    LinkageService,
+    holdout_split,
+    ingest_table,
+    run_ingest_benchmark,
+)
+
+PERSONS = int(os.environ.get("INGEST_BENCH_PERSONS", "20"))
+NEW_PER_PLATFORM = int(os.environ.get("INGEST_BENCH_NEW", "5"))
+MIN_SPEEDUP = float(os.environ.get("INGEST_BENCH_MIN_SPEEDUP", "3.0"))
+PLATFORM_PAIRS = [("facebook", "twitter")]
+SEED = 47
+
+
+def _fit(world):
+    split = make_label_split(world, PLATFORM_PAIRS, seed=SEED)
+    linker = HydraLinker(seed=SEED, num_topics=8, max_lda_docs=1500)
+    linker.fit(
+        world, split.labeled_positive, split.labeled_negative, PLATFORM_PAIRS
+    )
+    return linker
+
+
+def _run():
+    world = generate_world(WorldConfig(num_persons=PERSONS, seed=SEED))
+    _, held_refs = holdout_split(world, NEW_PER_PLATFORM)
+    results = run_ingest_benchmark(world, held_refs, _fit, include_refit=True)
+    return {"results": results, "world": world, "held": held_refs}
+
+
+def _parity(world, held_refs):
+    """The delta path and the bulk rebuild must agree bit for bit."""
+    import pickle
+
+    held = {ref: None for ref in held_refs}
+    keep = {
+        name: [
+            a for a in world.platforms[name].account_ids()
+            if (name, a) not in held
+        ]
+        for name in world.platform_names()
+    }
+    from repro.socialnet import subset_world, transplant_account
+
+    fitted = _fit(subset_world(world, keep))
+    blob = pickle.dumps(fitted)
+    linker_a, linker_b = pickle.loads(blob), pickle.loads(blob)
+    for platform, account_id in held_refs:
+        transplant_account(world, linker_a._world, platform, account_id)
+        transplant_account(world, linker_b._world, platform, account_id)
+    service = LinkageService(linker_a, batch_size=64)
+    service.add_accounts(held_refs, score=False)
+    linker_b.rebuild_serving_state()
+    key = PLATFORM_PAIRS[0]
+    cand_a, cand_b = linker_a.candidates_[key], linker_b.candidates_[key]
+    assert set(cand_a.pairs) == set(cand_b.pairs)
+    pairs = sorted(cand_b.pairs)
+    scores_a = service.score_pairs(pairs)
+    scores_b = LinkageService(linker_b, batch_size=64).score_pairs(pairs)
+    assert np.array_equal(scores_a, scores_b)
+
+
+def test_ingest_throughput(once):
+    result = once(_run)
+    rows = ingest_table(result["results"])
+    write_table(
+        "ingest_throughput",
+        f"Online ingestion throughput — {2 * NEW_PER_PLATFORM} arrivals "
+        f"into a {PERSONS}-person fitted world",
+        ["mode", "accounts", "seconds", "accounts_per_sec"],
+        rows,
+    )
+    by_mode = {r.mode: r for r in result["results"]}
+    assert set(by_mode) == {"ingest", "repack", "refit"}
+    for r in result["results"]:
+        assert r.seconds > 0 and r.accounts_per_sec > 0
+    _parity(result["world"], result["held"])
+    if MIN_SPEEDUP > 0:
+        speedup = by_mode["refit"].seconds / by_mode["ingest"].seconds
+        assert speedup >= MIN_SPEEDUP, (
+            f"incremental ingest only {speedup:.1f}x faster than refit "
+            f"(need >= {MIN_SPEEDUP}x)"
+        )

@@ -13,7 +13,11 @@ Six commands cover the common workflows without writing any code:
   :class:`~repro.serving.LinkageService` (platform-pair top-k or
   single-account resolution) — no refit;
 * ``serve-bench`` — load (or fit) an artifact and report batched scoring
-  throughput in pairs/sec at several batch sizes.
+  throughput in pairs/sec at several batch sizes;
+* ``ingest-bench`` — hold accounts out of a world, fit on the rest, then
+  measure accounts/sec for absorbing the arrivals online
+  (:meth:`~repro.serving.LinkageService.add_accounts`) against a bulk
+  re-pack and a full refit.
 
 ``fit``, ``score``, and ``serve-bench`` accept ``--workers N`` (and
 ``--shard-size``) to shard featurization and scoring across a process pool
@@ -196,6 +200,44 @@ def cmd_serve_bench(args) -> int:
     return 0
 
 
+def cmd_ingest_bench(args) -> int:
+    """Measure online-ingestion throughput against re-pack and refit."""
+    from repro.serving import holdout_split, ingest_table, run_ingest_benchmark
+
+    world = _make_world(args)
+    base, held_refs = holdout_split(world, args.new)
+    pairs = _platform_pairs(args) or [tuple(base.platform_names()[:2])]
+
+    def fit(world_):
+        split = make_label_split(
+            world_, pairs, label_fraction=args.label_fraction, seed=args.seed
+        )
+        linker = HydraLinker(
+            missing_strategy=args.missing, seed=args.seed,
+            num_topics=10, max_lda_docs=2500,
+        )
+        linker.fit(
+            world_, split.labeled_positive, split.labeled_negative, pairs
+        )
+        return linker
+
+    results = run_ingest_benchmark(
+        world, held_refs, fit, base=base, include_refit=not args.skip_refit
+    )
+    print(format_table(
+        ["mode", "accounts", "seconds", "accounts_per_sec"],
+        ingest_table(results),
+    ))
+    by_mode = {r.mode: r for r in results}
+    for mode in ("repack", "refit"):
+        if mode in by_mode and by_mode["ingest"].seconds > 0:
+            print(
+                f"ingest vs {mode}: "
+                f"{by_mode[mode].seconds / by_mode['ingest'].seconds:.1f}x faster"
+            )
+    return 0
+
+
 def cmd_compare(args) -> int:
     """Run several methods on one world and print the comparison table."""
     world = _make_world(args)
@@ -304,6 +346,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--max-pairs", type=int, default=None, dest="max_pairs",
                          help="truncate the workload (smoke runs)")
     p_bench.set_defaults(func=cmd_serve_bench)
+
+    p_ingest = sub.add_parser(
+        "ingest-bench",
+        help="measure online account-ingestion throughput (accounts/sec)",
+    )
+    common(p_ingest)
+    fit_opts(p_ingest)
+    p_ingest.add_argument("--new", type=int, default=10,
+                          help="accounts to hold out per platform and "
+                               "ingest online (default 10)")
+    p_ingest.add_argument("--skip-refit", action="store_true", dest="skip_refit",
+                          help="skip the (slow) full-refit baseline")
+    p_ingest.set_defaults(func=cmd_ingest_bench)
     return parser
 
 

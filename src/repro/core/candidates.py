@@ -6,15 +6,25 @@ more sophisticated set of measures than existing methods, including partial
 username overlapping, user attribute matching and user profile image matching
 by face recognition techniques".
 
-:class:`CandidateGenerator` unions five blocking indexes:
+:class:`CandidateGenerator` unions five blocking rules:
 
 * **username bigrams** — inverted index on character bigrams; pairs whose
   bigram Jaccard clears a threshold;
 * **email equality** — exact match on the near-unique attribute;
 * **shared media items** — inverted index on down-sampled media fingerprints;
 * **shared rare words** — inverted index on each account's rarest posted
-  words (personal style vocabulary);
+  words (personal style vocabulary), rarity judged on the *joint* corpus of
+  the two platforms;
 * **home grid cells** — median check-in coordinates snapped to a grid.
+
+Since the online-ingestion refactor the rules themselves live in
+:mod:`repro.index`: :meth:`CandidateGenerator.build_pair_index` bulk-builds a
+:class:`~repro.index.pair.PairCandidateIndex` per platform pair, and
+:meth:`CandidateGenerator.generate` ranks each left account's blocking hits
+through it.  The *same* index code path, kept live by the serving registry
+(:mod:`repro.serving.registry`), absorbs accounts incrementally at serve
+time — fit-time and ingest-time blocking cannot drift apart because they are
+the same code.
 
 It also emits *pre-matched* pairs — candidates so strongly rule-supported
 that they may be used as clean positive labels (the paper reports >95 %
@@ -29,17 +39,16 @@ world pays the tokenization cost C times rather than once per platform
 from __future__ import annotations
 
 import weakref
-from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.datagen.media import item_of
 from repro.features.attributes import (
     attribute_match_vector,
     username_similarity,
 )
 from repro.features.face import FaceMatcher
+from repro.index import BlockingSignature, PairCandidateIndex, SignatureExtractor
 from repro.socialnet.platform import PlatformData, SocialWorld
 from repro.text.tokenizer import Tokenizer
 
@@ -55,6 +64,10 @@ class CandidateSet:
     ``evidence[i]`` names the blocking rules that proposed ``pairs[i]``;
     ``prematched`` indexes pairs whose rule support is strong enough to be
     treated as (noisy) positive labels.
+
+    The set is mutable under online ingestion: use :meth:`extend` and
+    :meth:`assign` (never raw list surgery) so the memoized
+    :meth:`pair_index` lookup is invalidated with the rows.
     """
 
     platform_a: str
@@ -62,32 +75,63 @@ class CandidateSet:
     pairs: list[tuple[AccountRef, AccountRef]] = field(default_factory=list)
     evidence: list[frozenset[str]] = field(default_factory=list)
     prematched: list[int] = field(default_factory=list)
+    _pair_index_memo: dict | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __len__(self) -> int:
         return len(self.pairs)
 
     def pair_index(self) -> dict[tuple[AccountRef, AccountRef], int]:
-        """Pair -> row index lookup."""
-        return {pair: i for i, pair in enumerate(self.pairs)}
+        """Pair -> row index lookup, memoized until the pairs mutate.
 
+        The memo is invalidated by the mutation helpers; as a safety net a
+        stale-length memo (raw ``pairs.append`` by legacy callers) is
+        rebuilt too.
+        """
+        memo = self._pair_index_memo
+        if memo is None or len(memo) != len(self.pairs):
+            memo = {pair: i for i, pair in enumerate(self.pairs)}
+            self._pair_index_memo = memo
+        return memo
 
-@dataclass
-class _PlatformSignatures:
-    """Pair-independent per-platform blocking signatures, computed once.
+    def invalidate_index(self) -> None:
+        """Drop the memoized row lookup (after any in-place mutation)."""
+        self._pair_index_memo = None
 
-    Tokenizing every platform's whole corpus dominates candidate-generation
-    cost, and a C-platform world runs C(C-1)/2 platform pairs — so the
-    per-platform work (token sets, term frequencies, media items, home
-    cells, username bigrams) is cached and reused across platform pairs.
-    Only the *joint* rare-word selection stays per-pair, because word rarity
-    is judged against the union corpus of the two platforms.
-    """
+    def extend(
+        self,
+        pairs: list[tuple[AccountRef, AccountRef]],
+        evidence: list[frozenset[str]],
+        prematched_rows: list[int] | None = None,
+    ) -> None:
+        """Append rows; ``prematched_rows`` index into the *appended* block."""
+        if len(pairs) != len(evidence):
+            raise ValueError(
+                f"pairs ({len(pairs)}) and evidence ({len(evidence)}) disagree"
+            )
+        base = len(self.pairs)
+        self.pairs.extend(pairs)
+        self.evidence.extend(evidence)
+        if prematched_rows:
+            self.prematched.extend(base + i for i in prematched_rows)
+        self.invalidate_index()
 
-    term_freq: Counter
-    distinct_tokens: dict  # account -> sorted distinct token list
-    media_items: dict      # account -> frozenset[int]
-    home_cell: dict        # account -> (lat_cell, lon_cell) | None
-    bigrams: dict          # account -> frozenset[str]
+    def assign(
+        self,
+        pairs: list[tuple[AccountRef, AccountRef]],
+        evidence: list[frozenset[str]],
+        prematched: list[int],
+    ) -> None:
+        """Replace the whole row set (registry group rewrites)."""
+        if len(pairs) != len(evidence):
+            raise ValueError(
+                f"pairs ({len(pairs)}) and evidence ({len(evidence)}) disagree"
+            )
+        self.pairs = list(pairs)
+        self.evidence = list(evidence)
+        self.prematched = list(prematched)
+        self.invalidate_index()
 
 
 class CandidateGenerator:
@@ -129,6 +173,9 @@ class CandidateGenerator:
         self.max_per_account = max_per_account
         self.face = face_matcher if face_matcher is not None else FaceMatcher()
         self._tokenizer = Tokenizer()
+        self.extractor = SignatureExtractor(
+            grid_degrees=grid_degrees, tokenizer=self._tokenizer
+        )
         # id(world) -> (weakref to world, {platform name -> signatures});
         # weakrefs (worlds are unhashable dataclasses) so cached signature
         # sets die with their world instead of accumulating
@@ -145,27 +192,9 @@ class CandidateGenerator:
     # ------------------------------------------------------------------
     # per-platform signatures
     # ------------------------------------------------------------------
-    def _bigrams(self, name: str) -> frozenset[str]:
-        padded = f"^{name.lower()}$"
-        return frozenset(padded[i : i + 2] for i in range(len(padded) - 1))
-
-    def _media_items(self, platform: PlatformData, account_id: str) -> frozenset[int]:
-        return frozenset(
-            item_of(int(f)) for f in platform.events.payloads_for(account_id, "media")
-        )
-
-    def _home_cell(self, platform: PlatformData, account_id: str) -> tuple[int, int] | None:
-        coords = platform.events.payloads_for(account_id, "checkin")
-        if not coords:
-            return None
-        arr = np.asarray(coords, dtype=float)
-        lat, lon = np.median(arr[:, 0]), np.median(arr[:, 1])
-        return (int(np.floor(lat / self.grid_degrees)),
-                int(np.floor(lon / self.grid_degrees)))
-
-    def _platform_signatures(
+    def platform_signatures(
         self, world: SocialWorld, platform_name: str
-    ) -> _PlatformSignatures:
+    ) -> dict[str, BlockingSignature]:
         """Blocking signatures for one platform, cached per world."""
         cache = self._signature_cache
         entry = cache.get(id(world))
@@ -184,169 +213,64 @@ class CandidateGenerator:
             cache[key] = entry
         per_world = entry[1]
         signatures = per_world.get(platform_name)
-        if signatures is not None:
-            return signatures
-        platform = world.platforms[platform_name]
-        term_freq: Counter[str] = Counter()
-        distinct_tokens: dict[str, list[str]] = {}
-        media_items: dict[str, frozenset[int]] = {}
-        home_cell: dict[str, tuple[int, int] | None] = {}
-        bigrams: dict[str, frozenset[str]] = {}
-        for account_id in platform.account_ids():
-            tokens: list[str] = []
-            for text in platform.events.texts_of(account_id):
-                tokens.extend(self._tokenizer.tokenize(text))
-            term_freq.update(tokens)
-            distinct_tokens[account_id] = sorted(set(tokens))
-            media_items[account_id] = self._media_items(platform, account_id)
-            home_cell[account_id] = self._home_cell(platform, account_id)
-            bigrams[account_id] = self._bigrams(
-                platform.accounts[account_id].profile.username
+        if signatures is None:
+            signatures = self.extractor.platform_signatures(
+                world.platforms[platform_name]
             )
-        signatures = _PlatformSignatures(
-            term_freq=term_freq,
-            distinct_tokens=distinct_tokens,
-            media_items=media_items,
-            home_cell=home_cell,
-            bigrams=bigrams,
-        )
-        per_world[platform_name] = signatures
+            per_world[platform_name] = signatures
         return signatures
 
-    def _rare_words_joint(
-        self,
-        own: _PlatformSignatures,
-        other: _PlatformSignatures,
-        account_id: str,
-    ) -> list[str]:
-        """The account's rarest words, rarity judged on the joint corpus.
+    def invalidate_signatures(self, world: SocialWorld) -> None:
+        """Drop cached signatures for ``world`` (after its accounts mutate)."""
+        entry = self._signature_cache.get(id(world))
+        if entry is not None and entry[0]() is world:
+            del self._signature_cache[id(world)]
 
-        Equivalent to building one vocabulary over both platforms and asking
-        for the account's least-frequent distinct tokens (ties alphabetical),
-        but reuses the cached per-platform term frequencies.
-        """
-        freq_own, freq_other = own.term_freq, other.term_freq
-        ranked = sorted(
-            own.distinct_tokens[account_id],
-            key=lambda w: (freq_own[w] + freq_other[w], w),
+    # ------------------------------------------------------------------
+    # index construction
+    # ------------------------------------------------------------------
+    def make_pair_index(
+        self, platform_a: str, platform_b: str
+    ) -> PairCandidateIndex:
+        """An empty pair index carrying this generator's blocking thresholds."""
+        return PairCandidateIndex(
+            platform_a,
+            platform_b,
+            username_threshold=self.username_threshold,
+            min_shared_media=self.min_shared_media,
+            min_shared_rare_words=self.min_shared_rare_words,
+            rare_word_count=self.rare_word_count,
+            max_per_account=self.max_per_account,
         )
-        return ranked[: self.rare_word_count]
+
+    def build_pair_index(
+        self, world: SocialWorld, platform_a: str, platform_b: str
+    ) -> PairCandidateIndex:
+        """Bulk-build the live blocking index for one ordered platform pair."""
+        if platform_a == platform_b:
+            raise ValueError("platform_a and platform_b must differ")
+        return self.make_pair_index(platform_a, platform_b).bulk_build(
+            self.platform_signatures(world, platform_a),
+            self.platform_signatures(world, platform_b),
+        )
 
     # ------------------------------------------------------------------
     def generate(
         self, world: SocialWorld, platform_a: str, platform_b: str
     ) -> CandidateSet:
         """Produce the candidate set for one ordered platform pair."""
-        if platform_a == platform_b:
-            raise ValueError("platform_a and platform_b must differ")
+        index = self.build_pair_index(world, platform_a, platform_b)
         pa = world.platforms[platform_a]
         pb = world.platforms[platform_b]
-
-        # pair-independent signatures, cached per platform across pairs
-        sig_a = self._platform_signatures(world, platform_a)
-        sig_b = self._platform_signatures(world, platform_b)
-
-        ids_a = pa.account_ids()
-        ids_b = pb.account_ids()
-        rules_hit: dict[tuple[str, str], set[str]] = defaultdict(set)
-
-        # --- username bigram index ---------------------------------------
-        bigram_index: dict[str, list[str]] = defaultdict(list)
-        b_bigrams = sig_b.bigrams
-        for bid in ids_b:
-            for gram in b_bigrams[bid]:
-                bigram_index[gram].append(bid)
-        for aid in ids_a:
-            grams_a = sig_a.bigrams[aid]
-            overlap_counts: Counter[str] = Counter()
-            for gram in grams_a:
-                for bid in bigram_index.get(gram, ()):
-                    overlap_counts[bid] += 1
-            for bid, overlap in overlap_counts.items():
-                union = len(grams_a) + len(b_bigrams[bid]) - overlap
-                if union and overlap / union >= self.username_threshold:
-                    rules_hit[(aid, bid)].add("username")
-
-        # --- email equality -----------------------------------------------
-        email_index: dict[str, list[str]] = defaultdict(list)
-        for bid in ids_b:
-            email = pb.accounts[bid].profile.email
-            if email is not None:
-                email_index[email].append(bid)
-        for aid in ids_a:
-            email = pa.accounts[aid].profile.email
-            if email is not None:
-                for bid in email_index.get(email, ()):
-                    rules_hit[(aid, bid)].add("email")
-
-        # --- shared media items --------------------------------------------
-        media_index: dict[int, list[str]] = defaultdict(list)
-        for bid in ids_b:
-            for item in sig_b.media_items[bid]:
-                media_index[item].append(bid)
-        for aid in ids_a:
-            items_a = sig_a.media_items[aid]
-            shared: Counter[str] = Counter()
-            for item in items_a:
-                for bid in media_index.get(item, ()):
-                    shared[bid] += 1
-            for bid, count in shared.items():
-                if count >= self.min_shared_media:
-                    rules_hit[(aid, bid)].add("media")
-
-        # --- shared rare words (rarity is judged on the joint corpus) -------
-        word_index: dict[str, list[str]] = defaultdict(list)
-        for bid in ids_b:
-            for word in self._rare_words_joint(sig_b, sig_a, bid):
-                word_index[word].append(bid)
-        for aid in ids_a:
-            shared_words: Counter[str] = Counter()
-            for word in self._rare_words_joint(sig_a, sig_b, aid):
-                for bid in word_index.get(word, ()):
-                    shared_words[bid] += 1
-            for bid, count in shared_words.items():
-                if count >= self.min_shared_rare_words:
-                    rules_hit[(aid, bid)].add("style")
-
-        # --- home grid cells --------------------------------------------------
-        cell_index: dict[tuple[int, int], list[str]] = defaultdict(list)
-        for bid in ids_b:
-            cell = sig_b.home_cell[bid]
-            if cell is not None:
-                cell_index[cell].append(bid)
-        for aid in ids_a:
-            cell = sig_a.home_cell[aid]
-            if cell is None:
-                continue
-            # same cell or any of the 8 neighbours (homes near cell borders)
-            for d_lat in (-1, 0, 1):
-                for d_lon in (-1, 0, 1):
-                    for bid in cell_index.get((cell[0] + d_lat, cell[1] + d_lon), ()):
-                        rules_hit[(aid, bid)].add("location")
-
-        # --- budget per left account, rank by evidence then username sim ----
-        per_a: dict[str, list[tuple[str, set[str]]]] = defaultdict(list)
-        for (aid, bid), rules in rules_hit.items():
-            per_a[aid].append((bid, rules))
         result = CandidateSet(platform_a=platform_a, platform_b=platform_b)
-        for aid in sorted(per_a):
-            ranked = sorted(
-                per_a[aid],
-                key=lambda item: (
-                    -len(item[1]),
-                    -username_similarity(
-                        pa.accounts[aid].profile.username,
-                        pb.accounts[item[0]].profile.username,
-                    ),
-                    item[0],
-                ),
-            )
-            for bid, rules in ranked[: self.max_per_account]:
+        for aid in index.ids("a"):
+            for bid, rules in index.ranked("a", aid):
                 idx = len(result.pairs)
                 result.pairs.append(((platform_a, aid), (platform_b, bid)))
-                result.evidence.append(frozenset(rules))
+                result.evidence.append(rules)
                 if self._is_prematch(pa, aid, pb, bid, rules):
                     result.prematched.append(idx)
+        result.invalidate_index()
         return result
 
     # ------------------------------------------------------------------
@@ -356,7 +280,7 @@ class CandidateGenerator:
         aid: str,
         pb: PlatformData,
         bid: str,
-        rules: set[str],
+        rules: frozenset[str] | set[str],
     ) -> bool:
         """Conservative rule-label decision (the paper's >95 %-precision pairs)."""
         prof_a = pa.accounts[aid].profile

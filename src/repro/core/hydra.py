@@ -168,6 +168,10 @@ class HydraLinker:
         #: persist layer); parallel serving hands it to worker initializers
         #: so each process loads the artifact instead of unpickling a copy.
         self.artifact_path_: str | None = None
+        #: Serving-registry epoch: bumped on every online mutation (account
+        #: ingestion/removal) so caches, worker pools, and stale artifacts
+        #: keyed to the previous state invalidate exactly once per mutation.
+        self.ingest_epoch_: int = 0
         self.candidates_: dict[tuple[str, str], CandidateSet] = {}
         self.blocks_: list[ConsistencyBlock] = []
         self.global_pairs_: list[Pair] = []
@@ -217,8 +221,10 @@ class HydraLinker:
         """
         self._world = world
         # any on-disk artifact no longer describes this linker: a parallel
-        # service must not hand workers a stale path after a refit
+        # service must not hand workers a stale path after a refit; a refit
+        # also resets the mutation history
         self.artifact_path_ = None
+        self.ingest_epoch_ = 0
         if platform_pairs is None:
             names = world.platform_names()
             platform_pairs = [
@@ -311,6 +317,79 @@ class HydraLinker:
         result.linked = linked
         result.linked_scores = np.asarray(linked_scores)
         return result
+
+    # ------------------------------------------------------------------
+    # online ingestion (post-fit, frozen models)
+    # ------------------------------------------------------------------
+    @property
+    def world(self) -> SocialWorld:
+        """The social world this linker was fitted on.
+
+        The public handle for online ingestion: register arriving accounts
+        on ``linker.world.platforms[...]`` (see
+        :meth:`~repro.socialnet.platform.PlatformData.ingest_account`)
+        before handing their refs to the serving layer.
+        """
+        if self._world is None:
+            raise RuntimeError("linker is not fitted; call fit() first")
+        return self._world
+
+    def _bump_epoch(self) -> None:
+        """Invalidate everything keyed to the pre-mutation serving state."""
+        self.ingest_epoch_ += 1
+        # the on-disk artifact no longer matches in-memory state, so parallel
+        # workers must receive the mutated linker, not a stale path
+        self.artifact_path_ = None
+        if self._world is not None:
+            self.candidate_generator.invalidate_signatures(self._world)
+        clear = getattr(self._filler, "clear_memos", None)
+        if clear is not None:
+            clear()
+
+    def ingest_accounts(self, refs: list[AccountRef]) -> None:
+        """Absorb new world accounts into the fitted pipeline — no refit.
+
+        The accounts must already live in the world (see
+        :meth:`~repro.socialnet.platform.PlatformData.ingest_account`); their
+        behavior caches are computed with the frozen fit-time models and
+        delta-packed into the batch engine in O(new).  Candidate-index
+        maintenance is the serving layer's job
+        (:meth:`repro.serving.LinkageService.add_accounts` wraps both); this
+        linker-level entry point exists for store-only workloads such as
+        scoring ad-hoc pairs against ingested accounts.
+        """
+        if self.model_ is None or self._filler is None:
+            raise RuntimeError("linker is not fitted; call fit() first")
+        self.pipeline.add_accounts(refs)
+        self._bump_epoch()
+
+    def remove_accounts(self, refs: list[AccountRef]) -> None:
+        """Drop accounts from the fitted pipeline's serving state.
+
+        The model and its (numeric) training state are untouched — removal
+        only stops the accounts from being featurized or served.
+        """
+        if self.model_ is None or self._filler is None:
+            raise RuntimeError("linker is not fitted; call fit() first")
+        self.pipeline.remove_accounts(refs)
+        self._bump_epoch()
+
+    def rebuild_serving_state(self) -> None:
+        """Bulk-refresh the packed store and candidate sets from the world.
+
+        The O(all) alternative to incremental ingestion: every world account
+        is (re)featurized under the frozen models, the store is re-packed
+        from scratch, and every fitted platform pair's candidates are
+        regenerated.  Ingestion's parity tests and benchmarks compare the
+        incremental path against exactly this."""
+        if self.model_ is None or self._filler is None:
+            raise RuntimeError("linker is not fitted; call fit() first")
+        self.pipeline.repack()
+        self._bump_epoch()
+        self.candidates_ = {
+            (pa, pb): self.candidate_generator.generate(self._world, pa, pb)
+            for pa, pb in self.platform_pairs_
+        }
 
     # ------------------------------------------------------------------
     # diagnostics

@@ -18,6 +18,9 @@ whole *batch* of pairs with NumPy array operations:
     with an account indptr, plus window extents into one contiguous payload
     array per modality).  The store is plain arrays + small Python maps, so
     it pickles into a persisted artifact and reloads without re-packing.
+    It is also *appendable*: online ingestion delta-packs newly arrived
+    accounts onto it in O(new) (:meth:`PackedAccountStore.append`),
+    bit-identical to a from-scratch re-pack over all accounts.
 
 :class:`BatchFeaturizer`
     Evaluates :meth:`BatchFeaturizer.matrix` over a pair batch: row indices
@@ -158,6 +161,13 @@ class PackedAccountStore:
     windows: dict                 # (kind, scale) -> _WindowCSR
     # --- behavior summaries -------------------------------------------------
     summaries: np.ndarray         # (n, S) float64
+    # --- id-space seeds for delta packing -----------------------------------
+    # attr -> {value -> code} and {style word -> id}: the running code maps
+    # behind eq_codes / style_ids, retained so append() can extend the same
+    # id spaces (stores pickled before online ingestion existed lack them —
+    # callers fall back to a one-time re-pack)
+    eq_code_maps: dict | None = None
+    style_vocab: dict | None = None
 
     @property
     def num_accounts(self) -> int:
@@ -179,12 +189,17 @@ class PackedAccountStore:
         style_ks: tuple,
         topic_dim: int,
         senti_dim: int,
+        eq_code_maps: dict | None = None,
+        style_vocab: dict | None = None,
     ) -> "PackedAccountStore":
         """Stack every account's cached behavior state into arrays.
 
         ``caches`` maps each ref to an object exposing ``topic_profile``,
         ``sentiment_profile``, ``style`` and ``behavior_summary`` (the
-        pipeline's per-account cache entries).
+        pipeline's per-account cache entries).  ``eq_code_maps`` /
+        ``style_vocab`` seed the attribute-code and style-word id spaces —
+        :meth:`append` passes an existing store's maps so a delta pack lands
+        in the same id space (the dicts are extended in place).
         """
         refs = list(refs)
         n = len(refs)
@@ -194,9 +209,11 @@ class PackedAccountStore:
         ]
 
         # --- profile attributes ---------------------------------------
+        if eq_code_maps is None:
+            eq_code_maps = {attr: {} for attr in _EQ_ATTRIBUTES}
         eq_codes = np.full((n, len(_EQ_ATTRIBUTES)), -1, dtype=np.int64)
         for col, attr in enumerate(_EQ_ATTRIBUTES):
-            code_of: dict = {}
+            code_of = eq_code_maps[attr]
             for row, prof in enumerate(profiles):
                 value = getattr(prof, attr)
                 if value is None:
@@ -251,7 +268,7 @@ class PackedAccountStore:
 
         # --- style signatures -------------------------------------------
         ks = tuple(sorted(style_ks))
-        word_ids: dict[str, int] = {}
+        word_ids: dict[str, int] = style_vocab if style_vocab is not None else {}
         style_ids = {k: np.full((n, k), -1, dtype=np.int64) for k in ks}
         style_len = {k: np.zeros(n, dtype=np.int64) for k in ks}
         for row, ref in enumerate(refs):
@@ -369,7 +386,190 @@ class PackedAccountStore:
             payloads=payloads,
             windows=windows,
             summaries=summaries,
+            eq_code_maps=eq_code_maps,
+            style_vocab=word_ids,
         )
+
+    # ------------------------------------------------------------------
+    def append(
+        self,
+        world,
+        refs: list[AccountRef],
+        caches: dict,
+        *,
+        face: FaceMatcher,
+        sensors: list[PatternSensor],
+        sensor_scales: tuple,
+        topic_scales: tuple,
+        time_range: tuple,
+        style_ks: tuple,
+        topic_dim: int,
+        senti_dim: int,
+    ) -> int:
+        """Delta-pack ``refs`` onto this store in place, in O(new) work.
+
+        The new accounts are packed through the same :meth:`pack` code path
+        as a fit-time build — seeded with this store's attribute-code and
+        style-word id maps so the appended rows land in the same id space —
+        and every per-account array is extended by concatenation.  The
+        result is bit-identical to re-packing all accounts from scratch in
+        ``old refs + new refs`` order, which is what makes ingested and
+        fit-time-built services agree exactly.
+
+        Returns the account count *before* the append (the first new row),
+        so callers holding derived state (:class:`BatchFeaturizer`) can
+        extend incrementally.  Raises on duplicate or already-packed refs,
+        and on stores pickled before ingestion support existed (re-pack once
+        via the pipeline to upgrade those).
+        """
+        refs = list(refs)
+        old_n = self.num_accounts
+        if not refs:
+            return old_n
+        if len(set(refs)) != len(refs):
+            raise ValueError("duplicate refs in append request")
+        known = [ref for ref in refs if ref in self.row_of]
+        if known:
+            raise ValueError(f"refs already packed: {known[:3]}")
+        eq_code_maps = getattr(self, "eq_code_maps", None)
+        style_vocab = getattr(self, "style_vocab", None)
+        if eq_code_maps is None or style_vocab is None:
+            raise ValueError(
+                "store lacks its id-space seed maps (packed before online "
+                "ingestion existed); re-pack it before appending"
+            )
+        if tuple(sorted(style_ks)) != self.style_ks:
+            raise ValueError(
+                f"style ladder {style_ks!r} disagrees with the packed store"
+            )
+        # extend copies of the seed maps; adopt them only on success
+        eq_code_maps = {attr: dict(m) for attr, m in eq_code_maps.items()}
+        style_vocab = dict(style_vocab)
+        delta = PackedAccountStore.pack(
+            world,
+            refs,
+            caches,
+            face=face,
+            sensors=sensors,
+            sensor_scales=sensor_scales,
+            topic_scales=topic_scales,
+            time_range=time_range,
+            style_ks=style_ks,
+            topic_dim=topic_dim,
+            senti_dim=senti_dim,
+            eq_code_maps=eq_code_maps,
+            style_vocab=style_vocab,
+        )
+        # --- validate everything BEFORE the first in-place mutation, so a
+        # failed append leaves the store exactly as it was -----------------
+        for name, mine, theirs in (
+            ("topic scales", self.topic_scales, delta.topic_scales),
+            ("sensor kinds", self.sensor_kinds, delta.sensor_kinds),
+            ("sensor scales", self.sensor_scales, delta.sensor_scales),
+        ):
+            if mine != theirs:
+                raise ValueError(f"{name} disagree: {mine!r} vs {theirs!r}")
+        for kind in self.sensor_kinds:
+            for scale in self.sensor_scales:
+                old_windows = self.windows[(kind, scale)].num_windows
+                new_windows = delta.windows[(kind, scale)].num_windows
+                if old_windows != new_windows:
+                    raise ValueError(
+                        f"window axis disagrees for ({kind}, {scale}): "
+                        f"{old_windows} vs {new_windows}"
+                    )
+        # faces: a side with no embeddings at all carries placeholder zero
+        # rows; widen it to the other side's dimensionality (what a from-
+        # scratch pack over the union would have inferred)
+        if delta.face_emb.shape[1] != self.face_emb.shape[1]:
+            if not self.face_present.any():
+                pass  # widened below, after validation
+            elif not delta.face_present.any():
+                delta.face_emb = np.zeros(
+                    (delta.num_accounts, self.face_emb.shape[1])
+                )
+            else:
+                raise ValueError(
+                    f"face embeddings disagree in shape: "
+                    f"{delta.face_emb.shape[1]} vs {self.face_emb.shape[1]}"
+                )
+        if delta.face_emb.shape[1] != self.face_emb.shape[1]:
+            self.face_emb = np.zeros((old_n, delta.face_emb.shape[1]))
+
+        self.refs.extend(delta.refs)
+        for ref, row in delta.row_of.items():
+            self.row_of[ref] = old_n + row
+        self.eq_codes = np.concatenate([self.eq_codes, delta.eq_codes])
+        self.birth = np.concatenate([self.birth, delta.birth])
+        self.bio_words.extend(delta.bio_words)
+        self.tag_sets.extend(delta.tag_sets)
+        self.username_bigrams.extend(delta.username_bigrams)
+        self.username_nonempty = np.concatenate(
+            [self.username_nonempty, delta.username_nonempty]
+        )
+        self.face_emb = np.concatenate([self.face_emb, delta.face_emb])
+        self.face_present = np.concatenate(
+            [self.face_present, delta.face_present]
+        )
+        self.face_detected = np.concatenate(
+            [self.face_detected, delta.face_detected]
+        )
+        self.face_norm = np.concatenate([self.face_norm, delta.face_norm])
+        self.topic_means = [
+            np.concatenate([old, new])
+            for old, new in zip(self.topic_means, delta.topic_means)
+        ]
+        self.topic_has = [
+            np.concatenate([old, new])
+            for old, new in zip(self.topic_has, delta.topic_has)
+        ]
+        self.senti_means = [
+            np.concatenate([old, new])
+            for old, new in zip(self.senti_means, delta.senti_means)
+        ]
+        self.senti_has = [
+            np.concatenate([old, new])
+            for old, new in zip(self.senti_has, delta.senti_has)
+        ]
+        self.style_ids = {
+            k: np.concatenate([self.style_ids[k], delta.style_ids[k]])
+            for k in self.style_ks
+        }
+        self.style_len = {
+            k: np.concatenate([self.style_len[k], delta.style_len[k]])
+            for k in self.style_ks
+        }
+        for kind in self.sensor_kinds:
+            self.has_kind[kind] = np.concatenate(
+                [self.has_kind[kind], delta.has_kind[kind]]
+            )
+            shift = np.shape(self.payloads[kind])[0]
+            self.payloads[kind] = np.concatenate(
+                [self.payloads[kind], delta.payloads[kind]]
+            )
+            for scale in self.sensor_scales:
+                old_csr = self.windows[(kind, scale)]
+                new_csr = delta.windows[(kind, scale)]
+                self.windows[(kind, scale)] = _WindowCSR(
+                    acct_ptr=np.concatenate(
+                        [old_csr.acct_ptr, old_csr.acct_ptr[-1] + new_csr.acct_ptr[1:]]
+                    ),
+                    win_ids=np.concatenate([old_csr.win_ids, new_csr.win_ids]),
+                    win_start=np.concatenate(
+                        [old_csr.win_start, new_csr.win_start + shift]
+                    ),
+                    win_end=np.concatenate(
+                        [old_csr.win_end, new_csr.win_end + shift]
+                    ),
+                    num_windows=old_csr.num_windows,
+                )
+        if self.summaries.size == 0 and old_n == 0:
+            self.summaries = delta.summaries
+        else:
+            self.summaries = np.concatenate([self.summaries, delta.summaries])
+        self.eq_code_maps = eq_code_maps
+        self.style_vocab = style_vocab
+        return old_n
 
     # ------------------------------------------------------------------
     def subset(self, refs: list[AccountRef]) -> "PackedAccountStore":
@@ -470,6 +670,18 @@ class PackedAccountStore:
             payloads=payloads,
             windows=windows,
             summaries=self.summaries[rows],
+            # code values are preserved by row gathering, so the (super)maps
+            # stay valid seeds for future appends onto the subset
+            eq_code_maps=(
+                {attr: dict(m) for attr, m in maps.items()}
+                if (maps := getattr(self, "eq_code_maps", None)) is not None
+                else None
+            ),
+            style_vocab=(
+                dict(vocab)
+                if (vocab := getattr(self, "style_vocab", None)) is not None
+                else None
+            ),
         )
 
     @staticmethod
@@ -559,42 +771,81 @@ class BatchFeaturizer:
     def _build_derived(self) -> None:
         """Dense presence/position grids and per-window media item sets.
 
-        Derived once from the CSR layout; excluded from pickling (rebuilt on
+        Derived from the CSR layout; excluded from pickling (rebuilt on
         unpickle) so persisted artifacts carry only the canonical arrays.
+        Initialized empty and filled by :meth:`refresh_derived`, which also
+        extends the grids incrementally after a store ``append`` — delta
+        ingestion derives state only for the appended rows.
         """
         store = self.store
-        n = store.num_accounts
         self._pres: dict = {}
         self._win_pos: dict = {}
         self._media_sets: dict = {}
         self._media_sizes: dict = {}
+        self._derived_accounts = 0
         for (kind, scale), csr in store.windows.items():
-            pres = np.zeros((n, csr.num_windows), dtype=bool)
-            win_pos = np.zeros((n, csr.num_windows), dtype=np.int64)
-            for row in range(n):
+            self._pres[(kind, scale)] = np.zeros(
+                (0, csr.num_windows), dtype=bool
+            )
+            self._win_pos[(kind, scale)] = np.zeros(
+                (0, csr.num_windows), dtype=np.int64
+            )
+            if kind == "media":
+                self._media_sets[scale] = []
+                self._media_sizes[scale] = np.zeros(0, dtype=np.int64)
+        self.refresh_derived()
+
+    def refresh_derived(self) -> None:
+        """Extend the derived grids over rows appended to the store.
+
+        A store ``append`` only concatenates new accounts' CSR tail windows,
+        so the presence/position grids and media window sets grow by exactly
+        the new rows — existing rows are copied (cheap) but never recomputed.
+        """
+        store = self.store
+        n = store.num_accounts
+        start = self._derived_accounts
+        if start == n:
+            return
+        for (kind, scale), csr in store.windows.items():
+            pres = np.zeros((n - start, csr.num_windows), dtype=bool)
+            win_pos = np.zeros((n - start, csr.num_windows), dtype=np.int64)
+            for row in range(start, n):
                 lo, hi = csr.acct_ptr[row], csr.acct_ptr[row + 1]
                 ids = csr.win_ids[lo:hi]
-                pres[row, ids] = True
-                win_pos[row, ids] = np.arange(lo, hi)
-            self._pres[(kind, scale)] = pres
-            self._win_pos[(kind, scale)] = win_pos
+                pres[row - start, ids] = True
+                win_pos[row - start, ids] = np.arange(lo, hi)
+            self._pres[(kind, scale)] = np.vstack(
+                [self._pres[(kind, scale)], pres]
+            )
+            self._win_pos[(kind, scale)] = np.vstack(
+                [self._win_pos[(kind, scale)], win_pos]
+            )
             if kind == "media":
                 payload = store.payloads[kind]
+                done = len(self._media_sets[scale])
                 sets = [
                     frozenset(
                         item_of(int(v))
                         for v in payload[csr.win_start[w]: csr.win_end[w]]
                     )
-                    for w in range(csr.win_ids.shape[0])
+                    for w in range(done, csr.win_ids.shape[0])
                 ]
-                self._media_sets[scale] = sets
-                self._media_sizes[scale] = np.array(
-                    [len(s) for s in sets], dtype=np.int64
+                self._media_sets[scale].extend(sets)
+                self._media_sizes[scale] = np.concatenate(
+                    [
+                        self._media_sizes[scale],
+                        np.array([len(s) for s in sets], dtype=np.int64),
+                    ]
                 )
+        self._derived_accounts = n
 
     def __getstate__(self) -> dict:
         state = dict(self.__dict__)
-        for key in ("_pres", "_win_pos", "_media_sets", "_media_sizes"):
+        for key in (
+            "_pres", "_win_pos", "_media_sets", "_media_sizes",
+            "_derived_accounts",
+        ):
             state.pop(key, None)
         return state
 

@@ -125,6 +125,17 @@ class CoreStructureFiller:
                 else None
             )
 
+    def clear_memos(self) -> None:
+        """Drop every memo (after the world's accounts or edges mutate).
+
+        The friend lists, friend-pair vectors and Eqn 18 averages are pure
+        caches over the current world state; online ingestion calls this so
+        fills reflect the mutated social graph.
+        """
+        self._vector_cache.clear()
+        self._friend_cache.clear()
+        self._average_cache.clear()
+
     def _bounded_insert(self, cache: dict, key, value) -> None:
         """Insert with FIFO eviction (dicts preserve insertion order)."""
         cache[key] = value
@@ -148,6 +159,21 @@ class CoreStructureFiller:
             self._friend_cache[ref] = friends
         return friends
 
+    def _featurizable(self, ref: AccountRef) -> bool:
+        """Whether the pipeline can featurize ``ref``.
+
+        A friend that was withdrawn from serving (online removal) stays in
+        the social graph but has no featurized state any more; per the
+        paper's rule its contribution is simply *missing* — the Eqn 18
+        average skips the friend pairs that involve it.  Only enforced for
+        pipeline-backed fills; a custom ``pair_vector`` override answers
+        for arbitrary refs.
+        """
+        if self._matrix is None:
+            return True
+        cache = getattr(self.pipeline, "_cache", None)
+        return cache is None or ref in cache
+
     def _prefetch_friend_vectors(
         self, pairs: list[tuple[AccountRef, AccountRef]], matrix: np.ndarray
     ) -> None:
@@ -166,7 +192,12 @@ class CoreStructureFiller:
             for fa in self._top_friends(ref_a):
                 for fb in self._top_friends(ref_b):
                     key = ((ref_a[0], fa), (ref_b[0], fb))
-                    if key not in self._vector_cache and key not in seen:
+                    if (
+                        key not in self._vector_cache
+                        and key not in seen
+                        and self._featurizable(key[0])
+                        and self._featurizable(key[1])
+                    ):
                         seen.add(key)
                         needed.append(key)
         if needed:
@@ -206,7 +237,11 @@ class CoreStructureFiller:
             self._cached_vector((ref_a[0], fa), (ref_b[0], fb))
             for fa in friends_a
             for fb in friends_b
+            if self._featurizable((ref_a[0], fa))
+            and self._featurizable((ref_b[0], fb))
         ]
+        if not vectors:
+            return np.full(self.pipeline.dim, np.nan)
         stacked = np.vstack(vectors)
         # nanmean of an all-NaN column is NaN by design (caller zeros it);
         # compute it manually to avoid the noisy RuntimeWarning

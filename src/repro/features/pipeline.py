@@ -283,12 +283,9 @@ class FeaturePipeline:
         self._build_batch_engine()
         return self
 
-    def _build_batch_engine(self) -> None:
-        """Pack the per-account caches and stand up the batch featurizer."""
-        self._packed = PackedAccountStore.pack(
-            self._world,
-            list(self._cache),
-            self._cache,
+    def _pack_params(self) -> dict:
+        """The fitted parameters every pack/append shares."""
+        return dict(
             face=self.face,
             sensors=self._matcher.sensors,
             sensor_scales=self._matcher.scales_days,
@@ -298,8 +295,10 @@ class FeaturePipeline:
             topic_dim=self.num_topics,
             senti_dim=self.sentiment.num_categories,
         )
-        self._batch = BatchFeaturizer(
-            self._packed,
+
+    def _make_featurizer(self, store: PackedAccountStore) -> BatchFeaturizer:
+        return BatchFeaturizer(
+            store,
             importance_scale=self.importance.weights_ / self.importance.weights_.max(),
             face=self.face,
             topic_kernel=self.topic_kernel,
@@ -307,6 +306,13 @@ class FeaturePipeline:
             sensor_q=self.sensor_q,
             sensor_lam=self.sensor_lam,
         )
+
+    def _build_batch_engine(self) -> None:
+        """Pack the per-account caches and stand up the batch featurizer."""
+        self._packed = PackedAccountStore.pack(
+            self._world, list(self._cache), self._cache, **self._pack_params()
+        )
+        self._batch = self._make_featurizer(self._packed)
 
     def ensure_packed(self) -> bool:
         """Build the packed store/batch engine if absent; True when built.
@@ -334,6 +340,128 @@ class FeaturePipeline:
         if self._batch is None:
             raise RuntimeError("pipeline is not fitted; call fit() first")
         return self._batch
+
+    # ------------------------------------------------------------------
+    # online account ingestion (post-fit, frozen models)
+    # ------------------------------------------------------------------
+    def _compute_account_cache(self, ref: AccountRef) -> _AccountCache:
+        """One account's behavior cache under the *frozen* fit-time models.
+
+        Tokenization, vocabulary encoding, LDA inference, sentiment
+        encoding, bucket profiles, style signature and behavior summary all
+        run through the models fitted at :meth:`fit` time — nothing refits.
+        LDA's variational initialization draws from a generator derived from
+        ``(seed, platform, account_id)``, so an ingested account's features
+        are reproducible and independent of arrival order or batching.
+        """
+        world = self._world
+        platform = world.platforms[ref[0]]
+        t0, t1 = self._matcher.time_range
+        for kind in {sensor.kind for sensor in self._matcher.sensors}:
+            times = platform.events.timestamps_for(ref[1], kind)
+            if times.size and (times.min() < t0 or times.max() > t1):
+                raise ValueError(
+                    f"{ref} has {kind!r} events outside the fitted "
+                    f"observation window [{t0:g}, {t1:g}]; the frozen "
+                    "temporal grids cannot absorb them — refit instead"
+                )
+        texts = platform.events.texts_of(ref[1])
+        tokens = self.tokenizer.tokenize_many(texts)
+        times = platform.events.timestamps_for(ref[1], "post")
+        docs = [self.vocabulary.encode(doc, skip_unknown=True) for doc in tokens]
+        rng = RngFactory(self.seed).spawn("ingest").child(f"{ref[0]}/{ref[1]}")
+        theta = self.lda.transform(docs, rng=rng)
+        senti = self.sentiment.corpus_distributions(tokens)
+        style = self.style_extractor.extract_from_tokens(tokens, self.vocabulary)
+        return _AccountCache(
+            topic_profile=self._topic_sim.account_profile(theta, times),
+            sentiment_profile=self._sentiment_sim.account_profile(senti, times),
+            sensor_buckets=self._matcher.account_buckets(platform.events, ref[1]),
+            style=style,
+            behavior_summary=self._behavior_summary(theta, senti, platform, ref[1]),
+        )
+
+    def add_accounts(self, refs: list[AccountRef]) -> None:
+        """Featurize new world accounts in O(new): caches + delta-pack.
+
+        The accounts must already exist in the world (see
+        :meth:`~repro.socialnet.platform.PlatformData.ingest_account`) and
+        must not have been featurized before.  After this call the batch
+        engine scores pairs involving them bit-identically to a store that
+        was re-packed from scratch over all accounts.
+        """
+        if self._world is None:
+            raise RuntimeError("pipeline is not fitted; call fit() first")
+        refs = list(refs)
+        if len(set(refs)) != len(refs):
+            raise ValueError("duplicate refs in add_accounts request")
+        for ref in refs:
+            platform = self._world.platforms.get(ref[0])
+            if platform is None:
+                raise KeyError(f"unknown platform: {ref[0]!r}")
+            if ref[1] not in platform.accounts:
+                raise KeyError(
+                    f"{ref} is not in the world; ingest it into its "
+                    "platform first"
+                )
+            if ref in self._cache:
+                raise ValueError(f"{ref} is already featurized")
+        self.ensure_packed()
+        if (
+            getattr(self._packed, "style_vocab", None) is None
+            or getattr(self._packed, "eq_code_maps", None) is None
+        ):
+            # store pickled before delta packing existed: upgrade once
+            self._build_batch_engine()
+        caches = {ref: self._compute_account_cache(ref) for ref in refs}
+        # append before adopting the caches: a failed append must not leave
+        # refs looking featurizable while absent from the packed store
+        self._packed.append(self._world, refs, caches, **self._pack_params())
+        self._cache.update(caches)
+        self._batch.refresh_derived()
+
+    def remove_accounts(self, refs: list[AccountRef]) -> None:
+        """Drop accounts from the caches and the packed store.
+
+        O(all) — the store is re-sliced via ``subset`` — but touches no
+        model state; removal is expected to be far rarer than arrival.
+        """
+        if self._world is None:
+            raise RuntimeError("pipeline is not fitted; call fit() first")
+        drop = set(refs)
+        missing = [ref for ref in drop if ref not in self._cache]
+        if missing:
+            raise KeyError(f"refs not featurized: {sorted(missing)[:3]}")
+        self.ensure_packed()
+        keep = [ref for ref in self._packed.refs if ref not in drop]
+        self._packed = self._packed.subset(keep)
+        for ref in drop:
+            del self._cache[ref]
+        self._batch = self._make_featurizer(self._packed)
+
+    def repack(self) -> None:
+        """Bulk re-pack over every account currently in the world.
+
+        The O(all) baseline the delta path is measured against: caches are
+        computed (same frozen models, same per-account seeds) for every
+        world account missing one, caches of accounts no longer in the
+        world are dropped, and the store and batch engine are rebuilt from
+        scratch.
+        """
+        if self._world is None:
+            raise RuntimeError("pipeline is not fitted; call fit() first")
+        world_refs = [
+            (name, account_id)
+            for name in self._world.platform_names()
+            for account_id in self._world.platforms[name].account_ids()
+        ]
+        for ref in world_refs:
+            if ref not in self._cache:
+                self._cache[ref] = self._compute_account_cache(ref)
+        alive = set(world_refs)
+        for ref in [r for r in self._cache if r not in alive]:
+            del self._cache[ref]
+        self._build_batch_engine()
 
     def _behavior_summary(
         self, theta: np.ndarray, senti: np.ndarray, platform, account_id: str

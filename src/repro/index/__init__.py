@@ -1,0 +1,36 @@
+"""Incremental blocking indexes for online candidate generation.
+
+HYDRA's rule-based filtering (Section 3) was originally a fit-time batch
+pass: five blocking rules evaluated once over two frozen platforms.  This
+package re-expresses those rules on top of *incremental* inverted indexes so
+the same code path serves both regimes:
+
+* :class:`~repro.index.inverted.InvertedIndex` — the mutable key -> account
+  postings primitive with ``add(ref, keys)`` / ``remove(ref)`` /
+  ``query(keys)``;
+* :class:`~repro.index.signatures.BlockingSignature` /
+  :class:`~repro.index.signatures.SignatureExtractor` — the pair-independent
+  per-account blocking state (username bigrams, email, media fingerprints,
+  home grid cell, token statistics);
+* :class:`~repro.index.pair.PairCandidateIndex` — one platform pair's five
+  rule indexes with exact incremental maintenance: accounts can be added and
+  removed after construction, and the index state (including the joint-corpus
+  rare-word rule, which is re-ranked on every corpus mutation) always equals
+  what a from-scratch bulk build over the current accounts would produce.
+
+:class:`~repro.core.candidates.CandidateGenerator` builds its fit-time
+candidate sets through :meth:`PairCandidateIndex.bulk_build`; the serving
+layer's ingestion registry (:mod:`repro.serving.registry`) keeps the same
+indexes live and feeds mutations through ``add`` / ``remove``.
+"""
+
+from repro.index.inverted import InvertedIndex
+from repro.index.pair import PairCandidateIndex
+from repro.index.signatures import BlockingSignature, SignatureExtractor
+
+__all__ = [
+    "BlockingSignature",
+    "InvertedIndex",
+    "PairCandidateIndex",
+    "SignatureExtractor",
+]

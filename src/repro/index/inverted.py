@@ -1,0 +1,82 @@
+"""The mutable inverted-index primitive behind the blocking rules.
+
+An :class:`InvertedIndex` maps hashable keys to the set of account ids that
+carry them.  It is deliberately minimal — ``add`` / ``remove`` / ``query`` —
+because every blocking rule reduces to "how many keys do this signature and
+that account share":
+
+* username rule: keys are character bigrams, the query returns overlap
+  counts for a Jaccard test;
+* email rule: one key per account, exact match;
+* media rule: keys are down-sampled media fingerprints;
+* rare-word rule: keys are the account's current joint-corpus-rare words;
+* location rule: one home-cell key, queried with the 3x3 neighborhood.
+
+Postings are insertion-ordered dicts used as ordered sets, so removal is
+O(1) per key and iteration order is deterministic for a given mutation
+history (queries aggregate into order-insensitive counters anyway).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Hashable, Iterable
+
+__all__ = ["InvertedIndex"]
+
+
+class InvertedIndex:
+    """Key -> account-id postings with per-account key tracking.
+
+    Each account owns a set of keys; ``remove`` uses the recorded keys so
+    callers never need to re-derive a signature to un-index it.
+    """
+
+    def __init__(self) -> None:
+        self._postings: dict[Hashable, dict[str, None]] = {}
+        self._keys_of: dict[str, tuple[Hashable, ...]] = {}
+
+    def __len__(self) -> int:
+        return len(self._keys_of)
+
+    def __contains__(self, account_id: str) -> bool:
+        return account_id in self._keys_of
+
+    def keys_of(self, account_id: str) -> tuple[Hashable, ...]:
+        """The keys ``account_id`` is currently indexed under (empty if absent)."""
+        return self._keys_of.get(account_id, ())
+
+    def add(self, account_id: str, keys: Iterable[Hashable]) -> None:
+        """Index ``account_id`` under ``keys`` (replacing any previous entry)."""
+        if account_id in self._keys_of:
+            self.remove(account_id)
+        keys = tuple(dict.fromkeys(keys))  # dedupe, preserve order
+        self._keys_of[account_id] = keys
+        for key in keys:
+            self._postings.setdefault(key, {})[account_id] = None
+
+    def remove(self, account_id: str) -> None:
+        """Drop ``account_id`` from every posting list (no-op when absent)."""
+        for key in self._keys_of.pop(account_id, ()):
+            postings = self._postings.get(key)
+            if postings is not None:
+                postings.pop(account_id, None)
+                if not postings:
+                    del self._postings[key]
+
+    def postings(self, key: Hashable) -> tuple[str, ...]:
+        """Account ids indexed under ``key`` (insertion order)."""
+        return tuple(self._postings.get(key, ()))
+
+    def query(self, keys: Iterable[Hashable]) -> Counter:
+        """Overlap counts: account id -> number of shared (distinct) keys."""
+        counts: Counter[str] = Counter()
+        for key in dict.fromkeys(keys):
+            postings = self._postings.get(key)
+            if postings:
+                counts.update(postings.keys())
+        return counts
+
+    def accounts(self) -> list[str]:
+        """Sorted ids of every indexed account."""
+        return sorted(self._keys_of)

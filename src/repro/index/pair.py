@@ -1,0 +1,422 @@
+"""One platform pair's five blocking rules as a mutable candidate index.
+
+:class:`PairCandidateIndex` holds both sides of an ordered platform pair —
+every account's :class:`~repro.index.signatures.BlockingSignature` plus one
+:class:`~repro.index.inverted.InvertedIndex` per rule — and answers
+"which accounts on the other side does this account block with, and under
+which rules?".  It is built once per pair at fit time
+(:meth:`PairCandidateIndex.bulk_build`, the path
+:class:`~repro.core.candidates.CandidateGenerator` now runs on) and then
+stays *live*: :meth:`add` and :meth:`remove` mutate it account by account.
+
+Exact incremental maintenance
+-----------------------------
+Four of the five rules key on immutable per-account state, so adding or
+removing an account only touches its own posting lists.  The rare-word rule
+does not: an account's indexed keys are its ``rare_word_count`` rarest
+distinct tokens *ranked against the joint corpus of both platforms*, and
+every mutation shifts that corpus.  The index therefore maintains the joint
+term-frequency counter incrementally and re-ranks exactly the accounts whose
+rare-word sets can have changed:
+
+* on **add**, token frequencies only grow, so a rare set can only change
+  when one of its *current* members gains frequency (an outside word's rank
+  strictly worsens, so it enters only by displacing a grown member) — only
+  accounts whose current rare keys intersect the added tokens need
+  re-ranking (found via the rare-word posting lists);
+* on **remove**, frequencies shrink and words can (re-)enter rare sets, so
+  every account whose distinct tokens intersect the removed tokens is
+  re-ranked (found via the token posting lists).
+
+After any mutation sequence the index state is identical to a fresh
+:meth:`bulk_build` over the surviving accounts — the property the ingest
+parity tests assert.
+
+Mutations return the set of ``(side, account_id)`` entries whose candidate
+relationships may have changed (the mutated account's matches, re-ranked
+accounts, and their style partners under old and new keys), so a caller
+maintaining budgeted per-account candidate groups knows exactly which groups
+to recompute.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.features.attributes import username_similarity
+from repro.index.inverted import InvertedIndex
+from repro.index.signatures import BlockingSignature
+
+__all__ = ["PairCandidateIndex"]
+
+#: ``(side, account_id)`` — how mutation fallout is addressed.
+SideRef = tuple[str, str]
+
+_SIDES = ("a", "b")
+
+
+@dataclass
+class _Side:
+    """One platform's half of the pair index.
+
+    ``runner_keys[id]`` is the ``(frequency, word)`` sort key of the account's
+    best *non-rare* token as of its last full ranking (None when the account
+    has no more than ``rare_word_count`` distinct tokens) — the barrier the
+    growth fast path in :meth:`PairCandidateIndex._rerank` tests against.
+    """
+
+    signatures: dict[str, BlockingSignature] = field(default_factory=dict)
+    rare_keys: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    runner_keys: dict[str, tuple | None] = field(default_factory=dict)
+    bigrams: InvertedIndex = field(default_factory=InvertedIndex)
+    emails: InvertedIndex = field(default_factory=InvertedIndex)
+    media: InvertedIndex = field(default_factory=InvertedIndex)
+    rare: InvertedIndex = field(default_factory=InvertedIndex)
+    cells: InvertedIndex = field(default_factory=InvertedIndex)
+    tokens: InvertedIndex = field(default_factory=InvertedIndex)
+
+
+class PairCandidateIndex:
+    """Mutable five-rule blocking index for one ordered platform pair.
+
+    Parameters mirror :class:`~repro.core.candidates.CandidateGenerator`'s
+    blocking thresholds; ``max_per_account`` is the per-left-account
+    candidate budget applied by :meth:`ranked`.
+    """
+
+    def __init__(
+        self,
+        platform_a: str,
+        platform_b: str,
+        *,
+        username_threshold: float = 0.4,
+        min_shared_media: int = 2,
+        min_shared_rare_words: int = 1,
+        rare_word_count: int = 5,
+        max_per_account: int = 10,
+    ):
+        self.platform_a = platform_a
+        self.platform_b = platform_b
+        self.username_threshold = username_threshold
+        self.min_shared_media = min_shared_media
+        self.min_shared_rare_words = min_shared_rare_words
+        self.rare_word_count = rare_word_count
+        self.max_per_account = max_per_account
+        self.term_freq: Counter[str] = Counter()
+        self._sides: dict[str, _Side] = {s: _Side() for s in _SIDES}
+
+    # ------------------------------------------------------------------
+    # side addressing
+    # ------------------------------------------------------------------
+    def side_of(self, platform: str) -> str:
+        """``"a"`` or ``"b"`` for ``platform``; KeyError if neither."""
+        if platform == self.platform_a:
+            return "a"
+        if platform == self.platform_b:
+            return "b"
+        raise KeyError(
+            f"platform {platform!r} is not part of pair "
+            f"({self.platform_a}, {self.platform_b})"
+        )
+
+    @staticmethod
+    def other_side(side: str) -> str:
+        return "b" if side == "a" else "a"
+
+    def ids(self, side: str) -> list[str]:
+        """Sorted indexed account ids on ``side``."""
+        return sorted(self._sides[side].signatures)
+
+    def __contains__(self, side_ref: SideRef) -> bool:
+        side, account_id = side_ref
+        return account_id in self._sides[side].signatures
+
+    def rare_words(self, side: str, account_id: str) -> tuple[str, ...]:
+        """The account's currently indexed joint-corpus-rare words."""
+        return self._sides[side].rare_keys[account_id]
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def bulk_build(
+        self,
+        signatures_a: dict[str, BlockingSignature],
+        signatures_b: dict[str, BlockingSignature],
+    ) -> "PairCandidateIndex":
+        """(Re)build the index from both platforms' full signature maps.
+
+        The joint term-frequency counter is assembled first, so every
+        account's rare words are ranked against the final corpus in one
+        pass — the fit-time fast path.
+        """
+        self.term_freq = Counter()
+        self._sides = {s: _Side() for s in _SIDES}
+        for signatures in (signatures_a, signatures_b):
+            for sig in signatures.values():
+                self.term_freq.update(sig.token_counts)
+        for side, signatures in (("a", signatures_a), ("b", signatures_b)):
+            for account_id in sorted(signatures):
+                self._insert(side, account_id, signatures[account_id])
+        return self
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add(
+        self, side: str, account_id: str, signature: BlockingSignature
+    ) -> set[SideRef]:
+        """Index a new account; returns the affected ``(side, id)`` entries.
+
+        The returned set names every *other* account whose candidate
+        relationships may have changed (accounts matching the new one,
+        accounts whose rare-word sets were re-ranked, and their style
+        partners) plus the new account itself.
+        """
+        return self.add_batch([(side, account_id, signature)])
+
+    def add_batch(
+        self, arrivals: list[tuple[str, str, BlockingSignature]]
+    ) -> set[SideRef]:
+        """Index a batch of new accounts in one maintenance pass.
+
+        Equivalent to sequential :meth:`add` calls (the final state always
+        equals a bulk build over the final accounts) but re-ranks each
+        affected existing account at most *once*, against the batch-final
+        term frequencies, instead of once per arrival that touches it —
+        the growth-only argument makes this exact: an existing account's
+        rare set can only change through one of its pre-batch rare words
+        gaining frequency, so the pre-batch rare postings of the batch's
+        token union bound the affected set.
+        """
+        for side, account_id, _ in arrivals:
+            if account_id in self._sides[side].signatures:
+                raise ValueError(
+                    f"account {account_id!r} already indexed on side {side!r}"
+                )
+        changed: dict[str, None] = {}
+        for _, _, signature in arrivals:
+            self.term_freq.update(signature.token_counts)
+            changed.update(dict.fromkeys(signature.token_counts))
+        dirty = self._rerank_after_growth(changed)
+        for side, account_id, signature in arrivals:
+            self._insert(side, account_id, signature)
+            dirty.add((side, account_id))
+        for side, account_id, _ in arrivals:
+            other = self.other_side(side)
+            for oid in self.query(side, account_id):
+                dirty.add((other, oid))
+        return dirty
+
+    def remove(self, side: str, account_id: str) -> set[SideRef]:
+        """Un-index an account; returns the affected ``(side, id)`` entries.
+
+        The removed account itself is *not* in the returned set (it no
+        longer exists); its pre-removal matches and every rare-word
+        re-ranking victim are.
+        """
+        state = self._sides[side]
+        signature = state.signatures.get(account_id)
+        if signature is None:
+            raise KeyError(f"account {account_id!r} not indexed on side {side!r}")
+        other = self.other_side(side)
+        dirty: set[SideRef] = {
+            (other, oid) for oid in self.query(side, account_id)
+        }
+        for index in (
+            state.bigrams, state.emails, state.media,
+            state.rare, state.cells, state.tokens,
+        ):
+            index.remove(account_id)
+        del state.signatures[account_id]
+        del state.rare_keys[account_id]
+        state.runner_keys.pop(account_id, None)
+        self.term_freq.subtract(signature.token_counts)
+        changed = [w for w in signature.token_counts if self.term_freq[w] <= 0]
+        for word in changed:
+            del self.term_freq[word]
+        dirty |= self._rerank_after_shrink(signature.token_counts)
+        return dirty
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def query(self, side: str, account_id: str) -> dict[str, frozenset]:
+        """Blocking hits of one indexed account against the other side.
+
+        Returns ``other_account_id -> frozenset of rule names`` — the same
+        rule semantics the batch candidate generator applied, evaluated
+        through the live indexes.
+        """
+        state = self._sides[side]
+        sig = state.signatures[account_id]
+        other = self._sides[self.other_side(side)]
+        hits: dict[str, set] = {}
+
+        counts = other.bigrams.query(sig.bigrams)
+        n_own = len(sig.bigrams)
+        for oid, overlap in counts.items():
+            union = n_own + len(other.signatures[oid].bigrams) - overlap
+            if union and overlap / union >= self.username_threshold:
+                hits.setdefault(oid, set()).add("username")
+
+        if sig.email is not None:
+            for oid in other.emails.query((sig.email,)):
+                hits.setdefault(oid, set()).add("email")
+
+        for oid, count in other.media.query(sig.media_items).items():
+            if count >= self.min_shared_media:
+                hits.setdefault(oid, set()).add("media")
+
+        for oid, count in other.rare.query(state.rare_keys[account_id]).items():
+            if count >= self.min_shared_rare_words:
+                hits.setdefault(oid, set()).add("style")
+
+        if sig.home_cell is not None:
+            lat, lon = sig.home_cell
+            neighborhood = [
+                (lat + d_lat, lon + d_lon)
+                for d_lat in (-1, 0, 1)
+                for d_lon in (-1, 0, 1)
+            ]
+            for oid in other.cells.query(neighborhood):
+                hits.setdefault(oid, set()).add("location")
+
+        return {oid: frozenset(rules) for oid, rules in hits.items()}
+
+    def ranked(self, side: str, account_id: str) -> list[tuple[str, frozenset]]:
+        """The account's budgeted candidate group, strongest evidence first.
+
+        Ranking matches the fit-time generator exactly: evidence count
+        descending, username similarity descending, id ascending, truncated
+        to ``max_per_account``.
+        """
+        hits = self.query(side, account_id)
+        if not hits:
+            return []
+        own_name = self._sides[side].signatures[account_id].username
+        other = self._sides[self.other_side(side)]
+        ranked = sorted(
+            hits.items(),
+            key=lambda item: (
+                -len(item[1]),
+                -username_similarity(
+                    own_name, other.signatures[item[0]].username
+                ),
+                item[0],
+            ),
+        )
+        return ranked[: self.max_per_account]
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _rank(
+        self, signature: BlockingSignature
+    ) -> tuple[tuple[str, ...], tuple | None]:
+        """Full rare-word ranking against the current joint corpus.
+
+        Returns ``(rare_words, runner_key)`` where ``runner_key`` is the
+        sort key of the best token that did *not* make the cut (None when
+        every distinct token made it).
+        """
+        freq = self.term_freq
+        top = heapq.nsmallest(
+            self.rare_word_count + 1,
+            signature.distinct_tokens,
+            key=lambda w: (freq[w], w),
+        )
+        if len(top) > self.rare_word_count:
+            runner = top[self.rare_word_count]
+            return tuple(top[: self.rare_word_count]), (freq[runner], runner)
+        return tuple(top), None
+
+    def _insert(
+        self, side: str, account_id: str, signature: BlockingSignature
+    ) -> None:
+        state = self._sides[side]
+        state.signatures[account_id] = signature
+        rare, runner = self._rank(signature)
+        state.rare_keys[account_id] = rare
+        state.runner_keys[account_id] = runner
+        state.bigrams.add(account_id, signature.bigrams)
+        if signature.email is not None:
+            state.emails.add(account_id, (signature.email,))
+        state.media.add(account_id, signature.media_items)
+        state.rare.add(account_id, rare)
+        if signature.home_cell is not None:
+            state.cells.add(account_id, (signature.home_cell,))
+        state.tokens.add(account_id, signature.distinct_tokens)
+
+    def _rerank_after_growth(self, token_counts: dict) -> set[SideRef]:
+        """Re-rank accounts whose *current rare keys* touch grown tokens.
+
+        Frequencies only increased, so a word outside a rare set cannot
+        enter it — the rare posting lists bound the affected accounts.
+        """
+        affected: set[SideRef] = set()
+        for side in _SIDES:
+            rare_index = self._sides[side].rare
+            for word in token_counts:
+                for oid in rare_index.postings(word):
+                    affected.add((side, oid))
+        return self._rerank(affected, grown=True)
+
+    def _rerank_after_shrink(self, token_counts: dict) -> set[SideRef]:
+        """Re-rank accounts whose *distinct tokens* touch shrunken tokens.
+
+        Frequencies dropped, so a word may (re-)enter a rare set — the full
+        token posting lists are consulted.
+        """
+        affected: set[SideRef] = set()
+        for side in _SIDES:
+            token_index = self._sides[side].tokens
+            for word in token_counts:
+                for oid in token_index.postings(word):
+                    affected.add((side, oid))
+        return self._rerank(affected, grown=False)
+
+    def _rerank(
+        self, candidates: set[SideRef], *, grown: bool
+    ) -> set[SideRef]:
+        """Recompute rare keys for ``candidates``; return the dirty fallout.
+
+        Every account whose rare-word *set* actually changed is dirty, and
+        so is every other-side account sharing a rare word with its old or
+        new keys — those are the pairs whose style evidence can flip.  A
+        pure reordering (same words, shifted frequencies) updates the stored
+        tuple but matches no differently, so it propagates nothing.
+
+        ``grown=True`` (frequencies only increased) enables the barrier fast
+        path: non-rare keys never shrink, so as long as every current rare
+        word still sorts below the recorded runner-up key, the new ranking
+        is just the old set re-sorted — O(R log R) instead of a full pass
+        over the account's distinct tokens.  After shrinks the barrier is
+        invalid and the full ranking runs.
+        """
+        dirty: set[SideRef] = set()
+        freq = self.term_freq
+        for side, account_id in candidates:
+            state = self._sides[side]
+            old = state.rare_keys[account_id]
+            new: tuple[str, ...] | None = None
+            if grown and old:
+                runner = state.runner_keys.get(account_id)
+                keyed = sorted((freq[word], word) for word in old)
+                if runner is None or keyed[-1] < runner:
+                    new = tuple(word for _, word in keyed)
+            if new is None:
+                new, runner = self._rank(state.signatures[account_id])
+                state.runner_keys[account_id] = runner
+            if new == old:
+                continue
+            state.rare_keys[account_id] = new
+            if set(new) != set(old):
+                other = self.other_side(side)
+                other_rare = self._sides[other].rare
+                for oid in other_rare.query(set(old) | set(new)):
+                    dirty.add((other, oid))
+                state.rare.add(account_id, new)
+                dirty.add((side, account_id))
+        return dirty

@@ -1,0 +1,119 @@
+"""Per-account blocking signatures: the pair-independent rule inputs.
+
+A :class:`BlockingSignature` carries everything the five blocking rules need
+to know about one account — username bigrams, email, down-sampled media
+fingerprints, the median-check-in home grid cell, and the account's token
+statistics (full term counts for joint-corpus frequency bookkeeping, the
+distinct-token list for rare-word ranking).  Signatures are immutable once
+extracted: ingestion adds and removes whole accounts, it never edits one.
+
+:class:`SignatureExtractor` computes signatures straight from platform data;
+:class:`~repro.core.candidates.CandidateGenerator` uses it for its fit-time
+per-platform signature cache, and the serving registry uses it account by
+account when new identities arrive.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datagen.media import item_of
+from repro.socialnet.platform import PlatformData
+from repro.text.tokenizer import Tokenizer
+
+__all__ = ["BlockingSignature", "SignatureExtractor"]
+
+
+@dataclass(frozen=True)
+class BlockingSignature:
+    """One account's blocking-rule inputs.
+
+    ``token_counts`` is the account's full token multiset (as a plain dict)
+    — the unit of joint-corpus term-frequency bookkeeping — and
+    ``distinct_tokens`` its sorted distinct-token tuple, the candidate pool
+    for rare-word ranking.
+    """
+
+    username: str
+    bigrams: frozenset[str]
+    email: str | None
+    media_items: frozenset[int]
+    home_cell: tuple[int, int] | None
+    token_counts: dict
+    distinct_tokens: tuple[str, ...]
+
+
+class SignatureExtractor:
+    """Computes :class:`BlockingSignature` objects from platform data.
+
+    Parameters
+    ----------
+    grid_degrees:
+        Cell size of the home-location grid.
+    tokenizer:
+        Tokenizer for the account's posts (shared with the candidate
+        generator so token statistics agree).
+    """
+
+    def __init__(
+        self, *, grid_degrees: float = 0.05, tokenizer: Tokenizer | None = None
+    ):
+        if grid_degrees <= 0:
+            raise ValueError(f"grid_degrees must be > 0, got {grid_degrees}")
+        self.grid_degrees = grid_degrees
+        self.tokenizer = tokenizer if tokenizer is not None else Tokenizer()
+
+    @staticmethod
+    def username_bigrams(name: str) -> frozenset[str]:
+        """Padded character bigrams of a (lowercased) username."""
+        padded = f"^{name.lower()}$"
+        return frozenset(padded[i : i + 2] for i in range(len(padded) - 1))
+
+    def home_cell(
+        self, platform: PlatformData, account_id: str
+    ) -> tuple[int, int] | None:
+        """Median check-in coordinates snapped to the grid, or None."""
+        coords = platform.events.payloads_for(account_id, "checkin")
+        if not coords:
+            return None
+        arr = np.asarray(coords, dtype=float)
+        lat, lon = np.median(arr[:, 0]), np.median(arr[:, 1])
+        return (
+            int(np.floor(lat / self.grid_degrees)),
+            int(np.floor(lon / self.grid_degrees)),
+        )
+
+    def signature(
+        self, platform: PlatformData, account_id: str
+    ) -> BlockingSignature:
+        """Extract one account's signature from its platform."""
+        tokens: list[str] = []
+        for text in platform.events.texts_of(account_id):
+            tokens.extend(self.tokenizer.tokenize(text))
+        counts = Counter(tokens)
+        profile = platform.accounts[account_id].profile
+        media = frozenset(
+            item_of(int(f))
+            for f in platform.events.payloads_for(account_id, "media")
+        )
+        return BlockingSignature(
+            username=profile.username,
+            bigrams=self.username_bigrams(profile.username),
+            email=profile.email,
+            media_items=media,
+            home_cell=self.home_cell(platform, account_id),
+            token_counts=dict(counts),
+            distinct_tokens=tuple(sorted(counts)),
+        )
+
+    def platform_signatures(
+        self, platform: PlatformData
+    ) -> dict[str, BlockingSignature]:
+        """Signatures for every account on ``platform`` (sorted id order)."""
+        return {
+            account_id: self.signature(platform, account_id)
+            for account_id in platform.account_ids()
+        }

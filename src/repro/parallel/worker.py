@@ -123,15 +123,33 @@ def score_chunked(linker, pairs: list, batch_size: int) -> np.ndarray:
     return out
 
 
-def score_shard(index: int, pairs: list, batch_size: int) -> ShardResult:
+def score_shard(
+    index: int,
+    pairs: list,
+    batch_size: int,
+    expected_epoch: int | None = None,
+) -> ShardResult:
     """Score one shard of pairs through the process-local linker.
 
     Featurization runs in ``batch_size`` chunks exactly like the serial
     serving path (same :func:`score_chunked` loop), so each pair's score is
     computed by the same code on the same operands — the merged result is
     bit-identical to a serial pass.
+
+    ``expected_epoch`` is the caller's registry epoch (see online ingestion
+    in :mod:`repro.serving.service`): a worker whose linker snapshot
+    predates a mutation must fail loudly rather than silently score against
+    the stale account registry.
     """
     linker = _STATE["linker"]
+    if expected_epoch is not None:
+        epoch = getattr(linker, "ingest_epoch_", 0)
+        if epoch != expected_epoch:
+            raise RuntimeError(
+                f"worker holds registry epoch {epoch}, caller expects "
+                f"{expected_epoch}; the scoring pool must be rebuilt after "
+                "an ingestion mutation"
+            )
     start = time.perf_counter()
     out = score_chunked(linker, pairs, batch_size)
     return ShardResult(

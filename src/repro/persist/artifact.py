@@ -215,6 +215,11 @@ def save_linker(linker: HydraLinker, path) -> Path:
         "feature_names": list(linker.pipeline.feature_names),
         "packed_store": _packed_store_summary(linker.pipeline),
         "stage_timings": dict(linker.stage_timings_),
+        # online-ingestion provenance: a non-zero epoch marks a linker whose
+        # serving registry (accounts, candidate sets) was mutated after fit
+        "ingest": {
+            "epoch": getattr(linker, "ingest_epoch_", 0),
+        },
     }
     (path / _MANIFEST).write_text(json.dumps(manifest, indent=2, sort_keys=True))
 
@@ -375,6 +380,7 @@ def load_linker(path, *, linker_cls: type[HydraLinker] = HydraLinker) -> HydraLi
         for meta, (m, d, indices) in zip(manifest["blocks"], block_arrays)
     ]
     linker.stage_timings_ = dict(manifest.get("stage_timings", {}))
+    linker.ingest_epoch_ = int(manifest.get("ingest", {}).get("epoch", 0))
     linker.artifact_path_ = str(path)
     return linker
 
@@ -394,4 +400,5 @@ def artifact_summary(path) -> dict:
         "missing_strategy": manifest["config"]["missing_strategy"],
         "kernel": manifest["config"]["moo"]["kernel"],
         "feature_dim": len(manifest["feature_names"]),
+        "ingest_epoch": manifest.get("ingest", {}).get("epoch", 0),
     }

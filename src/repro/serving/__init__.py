@@ -8,15 +8,37 @@ pre-built per-platform candidate index, without ever refitting.  The
 throughput in pairs/sec.
 """
 
-from repro.serving.bench import BenchResult, run_throughput_benchmark, throughput_table
-from repro.serving.service import LinkageService, LruCache, ScoredLink, ServiceStats
+from repro.serving.bench import (
+    BenchResult,
+    IngestBenchResult,
+    holdout_split,
+    ingest_table,
+    run_ingest_benchmark,
+    run_throughput_benchmark,
+    throughput_table,
+)
+from repro.serving.registry import CandidateDelta, ServingRegistry
+from repro.serving.service import (
+    IngestReport,
+    LinkageService,
+    LruCache,
+    ScoredLink,
+    ServiceStats,
+)
 
 __all__ = [
     "BenchResult",
+    "CandidateDelta",
+    "IngestBenchResult",
+    "IngestReport",
+    "holdout_split",
+    "ingest_table",
+    "run_ingest_benchmark",
     "LinkageService",
     "LruCache",
     "ScoredLink",
     "ServiceStats",
+    "ServingRegistry",
     "run_throughput_benchmark",
     "throughput_table",
 ]

@@ -1,4 +1,4 @@
-"""Serving throughput microbenchmark: batched scoring in pairs/sec.
+"""Serving microbenchmarks: query throughput and ingestion throughput.
 
 :func:`run_throughput_benchmark` drives
 :meth:`~repro.serving.service.LinkageService.score_pairs` over a fixed pair
@@ -6,16 +6,36 @@ workload at several batch sizes and reports the best-of-``repeats``
 throughput per batch size — the number that capacity planning for the
 query path actually needs.  Used by the ``serve-bench`` CLI subcommand and
 the ``benchmarks/test_serving_throughput.py`` suite.
+
+:func:`run_ingest_benchmark` measures the *mutation* path instead: how many
+accounts per second a fitted service absorbs through the incremental path
+(:meth:`~repro.serving.service.LinkageService.add_accounts` — delta pack +
+live index maintenance) versus the bulk alternatives (full re-pack +
+candidate regeneration, and a complete refit).  :func:`holdout_split`
+stages the scenario by holding accounts out of a generated world for later
+replay.  Used by the ``ingest-bench`` CLI subcommand and
+``benchmarks/test_ingest_throughput.py``.
 """
 
 from __future__ import annotations
 
+import pickle
 import time
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.serving.service import LinkageService, Pair
+from repro.socialnet.platform import SocialWorld, subset_world, transplant_account
 
-__all__ = ["BenchResult", "run_throughput_benchmark", "throughput_table"]
+__all__ = [
+    "BenchResult",
+    "IngestBenchResult",
+    "holdout_split",
+    "ingest_table",
+    "run_ingest_benchmark",
+    "run_throughput_benchmark",
+    "throughput_table",
+]
 
 
 @dataclass(frozen=True)
@@ -81,4 +101,157 @@ def throughput_table(results: list[BenchResult]) -> list[list]:
     return [
         [r.batch_size, r.num_pairs, r.best_seconds, r.pairs_per_sec]
         for r in results
+    ]
+
+
+# ----------------------------------------------------------------------
+# ingestion throughput
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class IngestBenchResult:
+    """Cost of absorbing the same account arrivals by one strategy.
+
+    ``mode`` is ``"ingest"`` (incremental delta path), ``"repack"`` (bulk
+    re-pack + candidate regeneration over all accounts) or ``"refit"``
+    (complete model refit); ``accounts_per_sec`` normalizes by the number
+    of *arriving* accounts so the strategies are directly comparable.
+    """
+
+    mode: str
+    accounts: int
+    seconds: float
+    accounts_per_sec: float
+
+
+def holdout_split(
+    world: SocialWorld, per_platform: int
+) -> tuple[SocialWorld, list[tuple[str, str]]]:
+    """Stage an online-arrival scenario from a fully generated world.
+
+    Returns ``(base_world, held_refs)``: the base world is the input minus
+    ``per_platform`` held-out accounts per platform, and ``held_refs`` are
+    the accounts to replay later with
+    :func:`~repro.socialnet.platform.transplant_account`.  The owners of
+    the globally earliest and latest behavior events are never held out, so
+    the base world's fitted observation window is guaranteed to cover every
+    held-out account's events (the frozen temporal grids cannot absorb
+    events outside the window they were fitted on).
+    """
+    if per_platform < 1:
+        raise ValueError(f"per_platform must be >= 1, got {per_platform}")
+    extremes: dict[str, tuple[float, str, str]] = {}
+    for name in world.platform_names():
+        for event in world.platforms[name].events.iter_all():
+            stamp = (event.timestamp, name, event.account_id)
+            if "min" not in extremes or stamp[0] < extremes["min"][0]:
+                extremes["min"] = stamp
+            if "max" not in extremes or stamp[0] > extremes["max"][0]:
+                extremes["max"] = stamp
+    protected = {(v[1], v[2]) for v in extremes.values()}
+    keep: dict[str, list[str]] = {}
+    held_refs: list[tuple[str, str]] = []
+    for name in world.platform_names():
+        eligible = [
+            account_id
+            for account_id in world.platforms[name].account_ids()
+            if (name, account_id) not in protected
+        ]
+        if per_platform >= len(eligible):
+            raise ValueError(
+                f"cannot hold out {per_platform} of {len(eligible)} eligible "
+                f"accounts on {name!r}"
+            )
+        held = set(eligible[-per_platform:])
+        keep[name] = [
+            account_id
+            for account_id in world.platforms[name].account_ids()
+            if account_id not in held
+        ]
+        held_refs.extend((name, account_id) for account_id in sorted(held))
+    return subset_world(world, keep), held_refs
+
+
+def run_ingest_benchmark(
+    world: SocialWorld,
+    held_refs: list[tuple[str, str]],
+    fit: Callable[[SocialWorld], object],
+    *,
+    base: SocialWorld | None = None,
+    include_refit: bool = True,
+) -> list[IngestBenchResult]:
+    """Time absorbing ``held_refs`` by each strategy, on identical state.
+
+    ``fit`` maps a world to a fitted linker.  The base world (minus the
+    held-out accounts) is fitted once; independent pickled clones then
+    replay the same arrivals and absorb them through (1) the incremental
+    service path, (2) a bulk re-pack + candidate regeneration, and — when
+    ``include_refit`` — (3) a complete refit on the grown world.  Each
+    strategy is timed end to end over the whole arrival batch.  Pass the
+    ``base`` world from :func:`holdout_split` to skip rebuilding it.
+    """
+    if not held_refs:
+        raise ValueError("no held-out accounts to ingest")
+    if base is None:
+        held_ids: dict[str, set] = {}
+        for platform, account_id in held_refs:
+            held_ids.setdefault(platform, set()).add(account_id)
+        keep = {
+            name: [
+                account_id
+                for account_id in world.platforms[name].account_ids()
+                if account_id not in held_ids.get(name, set())
+            ]
+            for name in world.platform_names()
+        }
+        base = subset_world(world, keep)
+    fitted = fit(base)
+    # two independent clones, each owning its own world copy, so the timed
+    # strategies mutate identical but disjoint state
+    blob = pickle.dumps(fitted)
+    linker_ingest = pickle.loads(blob)
+    linker_repack = pickle.loads(blob)
+
+    def replay(linker) -> list[tuple[str, str]]:
+        return [
+            transplant_account(world, linker._world, platform, account_id)
+            for platform, account_id in held_refs
+        ]
+
+    results: list[IngestBenchResult] = []
+    n = len(held_refs)
+
+    refs = replay(linker_ingest)
+    service = LinkageService(linker_ingest)
+    start = time.perf_counter()
+    service.add_accounts(refs, score=False)
+    seconds = time.perf_counter() - start
+    results.append(
+        IngestBenchResult("ingest", n, seconds, n / seconds if seconds else float("inf"))
+    )
+
+    replay(linker_repack)
+    start = time.perf_counter()
+    linker_repack.rebuild_serving_state()
+    seconds = time.perf_counter() - start
+    results.append(
+        IngestBenchResult("repack", n, seconds, n / seconds if seconds else float("inf"))
+    )
+
+    if include_refit:
+        grown = linker_repack._world
+        start = time.perf_counter()
+        fit(grown)
+        seconds = time.perf_counter() - start
+        results.append(
+            IngestBenchResult(
+                "refit", n, seconds, n / seconds if seconds else float("inf")
+            )
+        )
+    return results
+
+
+def ingest_table(results: list[IngestBenchResult]) -> list[list]:
+    """Rows for tabular reporting: mode, accounts, seconds, accounts/sec."""
+    return [
+        [r.mode, r.accounts, r.seconds, r.accounts_per_sec] for r in results
     ]

@@ -31,6 +31,15 @@ results merge in shard order, bit-identical to the serial path.  The pool
 spins up lazily on the first sharded call and is released by
 :meth:`LinkageService.close` (the service is also a context manager).
 Per-worker shard and pair counts roll up into :class:`ServiceStats`.
+
+The service is *mutable* at serve time: :meth:`LinkageService.add_accounts`
+absorbs accounts that arrived after the fit (frozen models, O(new)
+delta-packing, live incremental blocking — see :mod:`repro.serving.registry`
+and :mod:`repro.index`), and :meth:`LinkageService.remove_account` withdraws
+one.  Every mutation bumps the registry epoch, which invalidates the
+affected per-platform-pair score caches and retires any worker pool built
+against the previous state; shard tasks carry the epoch so a stale worker
+fails loudly rather than serving pre-mutation scores.
 """
 
 from __future__ import annotations
@@ -45,7 +54,13 @@ from repro.features.pipeline import AccountRef
 from repro.parallel import ShardPlan, ShardedExecutor
 from repro.parallel import worker as _worker
 
-__all__ = ["LinkageService", "LruCache", "ScoredLink", "ServiceStats"]
+__all__ = [
+    "IngestReport",
+    "LinkageService",
+    "LruCache",
+    "ScoredLink",
+    "ServiceStats",
+]
 
 Pair = tuple[AccountRef, AccountRef]
 
@@ -79,6 +94,18 @@ class LruCache:
         self._data.move_to_end(key)
         return value
 
+    def invalidate(self, key) -> bool:
+        """Drop one entry; True when something was actually cached."""
+        try:
+            del self._data[key]
+        except KeyError:
+            return False
+        return True
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        self._data.clear()
+
 
 @dataclass(frozen=True)
 class ScoredLink:
@@ -90,15 +117,37 @@ class ScoredLink:
     behavior_distance: float
 
 
+@dataclass(frozen=True)
+class IngestReport:
+    """What one :meth:`LinkageService.add_accounts` call changed.
+
+    ``links`` holds the newly created candidate links (scored with the
+    fitted model, strongest first) when scoring was requested;
+    ``pairs_removed`` counts previously indexed pairs displaced by
+    re-ranked candidate budgets.
+    """
+
+    refs: tuple[AccountRef, ...]
+    epoch: int
+    pairs_added: int
+    pairs_removed: int
+    links: tuple[ScoredLink, ...] = ()
+
+
 @dataclass
 class ServiceStats:
     """Running counters of one service instance.
 
-    The last block covers sharded execution: ``parallel_queries`` counts
-    scoring calls that went through the process pool, ``shards_dispatched``
-    the shards they fanned out, and ``worker_pairs`` / ``worker_shards``
-    break pairs and shards down per worker process (keyed ``"pid:<n>"``) so
-    capacity monitoring can spot skew.
+    The sharded-execution block: ``parallel_queries`` counts scoring calls
+    that went through the process pool, ``shards_dispatched`` the shards
+    they fanned out, and ``worker_pairs`` / ``worker_shards`` break pairs
+    and shards down per worker process (keyed ``"pid:<n>"``) so capacity
+    monitoring can spot skew.
+
+    The ingestion block: ``registry_epoch`` is the served registry's
+    mutation epoch (0 = pristine fit state), and ``accounts_ingested`` /
+    ``accounts_removed`` / ``ingest_batches`` count this service's online
+    mutations.
     """
 
     queries: int = 0
@@ -114,6 +163,10 @@ class ServiceStats:
     shards_dispatched: int = 0
     worker_pairs: dict[str, int] = field(default_factory=dict)
     worker_shards: dict[str, int] = field(default_factory=dict)
+    registry_epoch: int = 0
+    accounts_ingested: int = 0
+    accounts_removed: int = 0
+    ingest_batches: int = 0
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)
@@ -176,6 +229,8 @@ class LinkageService:
         self.workers = workers
         self.shard_size = shard_size
         self._executor: ShardedExecutor | None = None
+        self._executor_epoch: int | None = None
+        self._registry = None  # lazy ServingRegistry, built on first mutation
         self._summaries = LruCache(summary_cache_size)
         self._score_cache = LruCache(score_cache_size)
         self._queries = 0
@@ -185,14 +240,22 @@ class LinkageService:
         self._shards_dispatched = 0
         self._worker_pairs: Counter = Counter()
         self._worker_shards: Counter = Counter()
+        self._accounts_ingested = 0
+        self._accounts_removed = 0
+        self._ingest_batches = 0
 
         self._index: dict[tuple[str, str], _PairIndex] = {}
-        for key, cand in linker.candidates_.items():
-            index = _PairIndex(pairs=list(cand.pairs), evidence=list(cand.evidence))
-            for row, (ref_a, ref_b) in enumerate(cand.pairs):
-                index.by_left.setdefault(ref_a[1], []).append(row)
-                index.by_right.setdefault(ref_b[1], []).append(row)
-            self._index[key] = index
+        for key in linker.candidates_:
+            self._reindex_key(key)
+
+    def _reindex_key(self, key: tuple[str, str]) -> None:
+        """(Re)build the inverted candidate index for one platform pair."""
+        cand = self.linker.candidates_[key]
+        index = _PairIndex(pairs=list(cand.pairs), evidence=list(cand.evidence))
+        for row, (ref_a, ref_b) in enumerate(cand.pairs):
+            index.by_left.setdefault(ref_a[1], []).append(row)
+            index.by_right.setdefault(ref_b[1], []).append(row)
+        self._index[key] = index
 
     # ------------------------------------------------------------------
     # construction
@@ -267,9 +330,10 @@ class LinkageService:
         self, pairs: list[Pair], batch: int, plan: ShardPlan
     ) -> np.ndarray:
         executor = self._ensure_executor()
+        epoch = self.registry_epoch
         results = executor.run(
             _worker.score_shard,
-            [(shard.index, shard.take(pairs), batch) for shard in plan],
+            [(shard.index, shard.take(pairs), batch, epoch) for shard in plan],
         )
         self._parallel_queries += 1
         self._shards_dispatched += plan.num_shards
@@ -279,13 +343,20 @@ class LinkageService:
         return plan.merge([result.values for result in results])
 
     def _ensure_executor(self) -> ShardedExecutor:
-        """The lazily-started scoring pool.
+        """The lazily-started scoring pool, pinned to the registry epoch.
 
         Workers are initialized once per process: from the persisted
         artifact when the linker knows where it lives on disk (each worker
         pays one load, nothing is re-pickled), otherwise the fitted linker
-        itself is shipped through the pool machinery.
+        itself is shipped through the pool machinery.  A registry mutation
+        (account ingestion/removal) bumps the epoch; a pool built before the
+        mutation is torn down and rebuilt so every sharded call sees one
+        consistent snapshot of the mutated state — mutated linkers always
+        ship by object (their ``artifact_path_`` is cleared on mutation).
         """
+        epoch = self.registry_epoch
+        if self._executor is not None and self._executor_epoch != epoch:
+            self.close()
         if self._executor is None:
             from repro.persist import artifact_exists
 
@@ -299,6 +370,7 @@ class LinkageService:
             self._executor = ShardedExecutor(
                 workers=self.workers, initializer=initializer, initargs=initargs
             )
+            self._executor_epoch = epoch
         return self._executor
 
     def close(self) -> None:
@@ -312,6 +384,136 @@ class LinkageService:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    # ------------------------------------------------------------------
+    # online ingestion
+    # ------------------------------------------------------------------
+    @property
+    def registry_epoch(self) -> int:
+        """Mutation epoch of the served registry (0 = pristine fit state)."""
+        return getattr(self.linker, "ingest_epoch_", 0)
+
+    @property
+    def world(self):
+        """The served world — register arriving accounts here first."""
+        return self.linker.world
+
+    def _ensure_registry(self):
+        if self._registry is None:
+            from repro.serving.registry import ServingRegistry
+
+            self._registry = ServingRegistry(self.linker)
+        return self._registry
+
+    def _affected_keys(self, platforms: set[str]) -> list[tuple[str, str]]:
+        return [
+            key for key in self._index
+            if key[0] in platforms or key[1] in platforms
+        ]
+
+    def add_accounts(
+        self, refs: list[AccountRef], *, score: bool = True
+    ) -> IngestReport:
+        """Absorb new accounts into the running service — no refit.
+
+        The accounts must already exist in the linker's world (register them
+        with :meth:`~repro.socialnet.platform.PlatformData.ingest_account`
+        first).  Each account is featurized with the frozen fit-time models
+        and delta-packed in O(new); it is blocked against the live candidate
+        indexes of every fitted platform pair it participates in, and the
+        touched candidate groups are re-ranked under the per-account budget.
+        Score caches for the mutated platform pairs invalidate via the
+        registry epoch, and a sharded scoring pool built before the mutation
+        is replaced so ``workers > 1`` serves a consistent snapshot.
+
+        With ``score=True`` the newly created candidate pairs are scored
+        immediately and returned (strongest first) on the report.
+        """
+        refs = list(refs)
+        if not refs:
+            return IngestReport(
+                refs=(), epoch=self.registry_epoch, pairs_added=0,
+                pairs_removed=0,
+            )
+        registry = self._ensure_registry()
+        affected = self._affected_keys({ref[0] for ref in refs})
+        for key in affected:
+            # the live index must bootstrap from the pre-mutation store
+            registry.ensure_index(key)
+        self.linker.ingest_accounts(refs)
+        added: list[Pair] = []
+        removed = 0
+        for key in affected:
+            delta = registry.apply_arrivals(key, refs)
+            self._reindex_key(key)
+            self._score_cache.invalidate(key)
+            added.extend(delta.added)
+            removed += len(delta.removed)
+        self._accounts_ingested += len(refs)
+        self._ingest_batches += 1
+        links: tuple[ScoredLink, ...] = ()
+        if score and added:
+            links = tuple(
+                sorted(
+                    self._links_for(added), key=lambda link: -link.score
+                )
+            )
+        return IngestReport(
+            refs=tuple(refs),
+            epoch=self.registry_epoch,
+            pairs_added=len(added),
+            pairs_removed=removed,
+            links=links,
+        )
+
+    def remove_account(self, ref: AccountRef) -> int:
+        """Withdraw one account from serving; returns the pairs removed.
+
+        The account disappears from the packed store and from every
+        candidate index; groups that referenced it are re-ranked, so
+        candidates displaced past the budget by its arrival can resurface
+        (the count returned is of removed pairs only — re-ranked groups may
+        simultaneously *gain* pairs).  The underlying world and the fitted
+        model are untouched.
+        """
+        if ref not in self.linker.pipeline.packed_store.row_of:
+            raise KeyError(f"{ref} is not served")
+        registry = self._ensure_registry()
+        affected = self._affected_keys({ref[0]})
+        for key in affected:
+            registry.ensure_index(key)
+        dropped = 0
+        for key in affected:
+            delta = registry.apply_removal(key, ref)
+            dropped += len(delta.removed)
+        self.linker.remove_accounts([ref])
+        for key in affected:
+            self._reindex_key(key)
+            self._score_cache.invalidate(key)
+        self._summaries.invalidate(ref)
+        self._accounts_removed += 1
+        return dropped
+
+    def _links_for(self, pairs: list[Pair]) -> list[ScoredLink]:
+        """Scored links (with evidence) for freshly indexed pairs."""
+        by_key: dict[tuple[str, str], list[Pair]] = {}
+        for pair in pairs:
+            by_key.setdefault((pair[0][0], pair[1][0]), []).append(pair)
+        links: list[ScoredLink] = []
+        for key, key_pairs in by_key.items():
+            cand = self.linker.candidates_[key]
+            row_of = cand.pair_index()
+            scores = self._score(key_pairs, self.batch_size)
+            for pair, score in zip(key_pairs, scores):
+                links.append(
+                    ScoredLink(
+                        pair=pair,
+                        score=float(score),
+                        evidence=cand.evidence[row_of[pair]],
+                        behavior_distance=self.behavior_distance(*pair),
+                    )
+                )
+        return links
 
     def top_k(self, platform_a: str, platform_b: str, k: int = 10) -> list[ScoredLink]:
         """The ``k`` strongest candidate links for one platform pair.
@@ -382,6 +584,10 @@ class LinkageService:
             shards_dispatched=self._shards_dispatched,
             worker_pairs=dict(self._worker_pairs),
             worker_shards=dict(self._worker_shards),
+            registry_epoch=self.registry_epoch,
+            accounts_ingested=self._accounts_ingested,
+            accounts_removed=self._accounts_removed,
+            ingest_batches=self._ingest_batches,
         )
 
     # ------------------------------------------------------------------

@@ -13,6 +13,8 @@ from repro.socialnet.platform import (
     Profile,
     PROFILE_ATTRIBUTES,
     SocialWorld,
+    subset_world,
+    transplant_account,
 )
 from repro.socialnet.graph import SocialGraph
 from repro.socialnet.community import label_propagation_communities
@@ -28,4 +30,6 @@ __all__ = [
     "label_propagation_communities",
     "BehaviorEvent",
     "EventStore",
+    "subset_world",
+    "transplant_account",
 ]

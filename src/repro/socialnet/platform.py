@@ -10,14 +10,22 @@ for each behavior)".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterable, Iterator
 
 import numpy as np
 
 from repro.socialnet.graph import SocialGraph
-from repro.socialnet.storage import EventStore
+from repro.socialnet.storage import EVENT_KINDS, BehaviorEvent, EventStore
 
-__all__ = ["PROFILE_ATTRIBUTES", "Profile", "Account", "PlatformData", "SocialWorld"]
+__all__ = [
+    "PROFILE_ATTRIBUTES",
+    "Profile",
+    "Account",
+    "PlatformData",
+    "SocialWorld",
+    "subset_world",
+    "transplant_account",
+]
 
 #: The six most popular profile attributes tracked in the paper's Fig 2(a)
 #: missing-information study ("birth, bio, tag, edu, job" plus gender).
@@ -108,6 +116,33 @@ class PlatformData:
         """Stable-ordered list of account ids."""
         return sorted(self.accounts)
 
+    def ingest_account(
+        self,
+        account: Account,
+        events: Iterable[BehaviorEvent] = (),
+        interactions: Iterable[tuple[str, float]] = (),
+    ) -> None:
+        """Register a *new* account after the platform froze (online arrival).
+
+        Registers the account, appends its behavior ``events`` to the (already
+        finalized) event store, and accumulates ``(other_account, weight)``
+        ``interactions`` onto the social graph.  This is the world-side half
+        of online ingestion; hand the new ``(platform, account_id)`` refs to
+        :meth:`repro.serving.LinkageService.add_accounts` afterwards to make
+        them searchable.
+        """
+        events = list(events)
+        for event in events:
+            if event.account_id != account.account_id:
+                raise ValueError(
+                    f"event for {event.account_id!r} attached to account "
+                    f"{account.account_id!r}"
+                )
+        self.add_account(account)
+        self.events.extend(events)
+        for other, weight in interactions:
+            self.graph.add_interaction(account.account_id, other, weight)
+
 
 @dataclass
 class SocialWorld:
@@ -159,3 +194,82 @@ class SocialWorld:
     def platform_names(self) -> list[str]:
         """Sorted platform names."""
         return sorted(self.platforms)
+
+
+# ----------------------------------------------------------------------
+# world surgery: building "before ingestion" worlds and replaying arrivals
+# ----------------------------------------------------------------------
+def subset_world(
+    world: SocialWorld, keep: dict[str, Iterable[str]]
+) -> SocialWorld:
+    """A new world holding only ``keep[platform] = account ids``.
+
+    Accounts, their behavior events, the graph edges among kept accounts,
+    and the identity oracle are all filtered; the event stores of the new
+    world are finalized.  Platforms absent from ``keep`` keep all accounts.
+    This is how the ingestion tests and benchmarks stage a "before the new
+    users arrived" world from a fully generated one.
+    """
+    kept = {
+        name: set(keep.get(name, world.platforms[name].accounts))
+        for name in world.platforms
+    }
+    for name, ids in kept.items():
+        unknown = ids - set(world.platforms[name].accounts)
+        if unknown:
+            raise KeyError(f"unknown accounts on {name}: {sorted(unknown)[:3]}")
+    out = SocialWorld()
+    for name in world.platform_names():
+        src = world.platforms[name]
+        dst = PlatformData(name=name, language=src.language)
+        for account_id in src.account_ids():
+            if account_id in kept[name]:
+                dst.add_account(src.accounts[account_id])
+        for event in src.events.iter_all():
+            if event.account_id in kept[name]:
+                dst.events.add_event(event)
+        dst.events.finalize()
+        for u in src.graph.nodes():
+            if u not in kept[name]:
+                continue
+            for v in src.graph.neighbors(u):
+                if v in kept[name] and u < v:
+                    dst.graph.add_interaction(u, v, src.graph.weight(u, v))
+        out.add_platform(dst)
+    out.identity = {
+        (name, account_id): person
+        for (name, account_id), person in world.identity.items()
+        if account_id in kept[name]
+    }
+    return out
+
+
+def transplant_account(
+    src: SocialWorld, dst: SocialWorld, platform: str, account_id: str
+) -> tuple[str, str]:
+    """Replay one account's arrival from ``src`` into ``dst``.
+
+    Copies the account, its behavior events, its graph edges (restricted to
+    accounts already present in ``dst``) and its identity record through
+    :meth:`PlatformData.ingest_account`; returns the new account's ref.
+    Tests and benchmarks use this to re-enact account arrivals that were
+    held out of a fitted world.
+    """
+    src_platform = src.platforms[platform]
+    dst_platform = dst.platforms[platform]
+    account = src_platform.accounts[account_id]
+    events = [
+        event
+        for kind in EVENT_KINDS
+        for event in src_platform.events.events_for(account_id, kind)
+    ]
+    interactions = [
+        (other, src_platform.graph.weight(account_id, other))
+        for other in src_platform.graph.neighbors(account_id)
+        if other in dst_platform.accounts
+    ]
+    dst_platform.ingest_account(account, events, interactions)
+    identity = src.identity.get((platform, account_id))
+    if identity is not None:
+        dst.identity[(platform, account_id)] = identity
+    return (platform, account_id)

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import Any, Iterator
+from typing import Any, Iterable, Iterator
 
 import numpy as np
 
@@ -103,6 +103,55 @@ class EventStore:
     def finalized(self) -> bool:
         """Whether :meth:`finalize` has run."""
         return self._finalized
+
+    # ------------------------------------------------------------------
+    # online extension (post-finalize appends)
+    # ------------------------------------------------------------------
+    def extend(self, events: Iterable[BehaviorEvent]) -> None:
+        """Append events to an already-finalized store.
+
+        The online-ingestion path: new accounts arrive with their behavior
+        history after the store froze.  Appended rows are merged into the
+        per-account time indexes incrementally — only the ``(account, kind)``
+        keys that actually received events are re-sorted, so ingesting M new
+        accounts costs O(their events), not O(store).
+
+        On a store that has not been finalized yet this is just a bulk
+        :meth:`add` (the indexes are built by the eventual ``finalize``).
+        """
+        events = list(events)
+        if not self._finalized:
+            for event in events:
+                self.add_event(event)
+            return
+        if not events:
+            return
+        base = len(self._timestamps)
+        new_ts = []
+        touched: dict[tuple[str, str], list[int]] = {}
+        for offset, event in enumerate(events):
+            if event.kind not in EVENT_KINDS:
+                raise ValueError(f"unknown event kind: {event.kind!r}")
+            self._account_ids.append(event.account_id)
+            self._kinds.append(event.kind)
+            self._timestamps.append(float(event.timestamp))
+            self._payloads.append(event.payload)
+            new_ts.append(float(event.timestamp))
+            touched.setdefault((event.account_id, event.kind), []).append(
+                base + offset
+            )
+        self._ts_array = np.concatenate(
+            [self._ts_array, np.asarray(new_ts, dtype=np.float64)]
+        )
+        for (account_id, kind), rows in touched.items():
+            row_arr = np.asarray(rows, dtype=np.int64)
+            per_kind = self._index.setdefault(account_id, {})
+            old = per_kind.get(kind)
+            if old is not None:
+                row_arr = np.concatenate([old[1], row_arr])
+            times = self._ts_array[row_arr]
+            order = np.argsort(times, kind="stable")
+            per_kind[kind] = (times[order], row_arr[order])
 
     def __len__(self) -> int:
         return len(self._timestamps)

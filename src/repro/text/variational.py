@@ -87,6 +87,10 @@ class VariationalLDA:
         self.topic_word_: np.ndarray | None = None
         self.doc_topic_: np.ndarray | None = None
         self._lambda: np.ndarray | None = None
+        # exp(E[log beta]) memo for transform(): the digamma pass over the
+        # (K, V) topic matrix dominates small transforms (online ingestion
+        # infers one account at a time), so it is computed once per fit
+        self._transform_beta: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -104,11 +108,15 @@ class VariationalLDA:
         return counts
 
     def _e_step(
-        self, counts: np.ndarray, exp_elog_beta: np.ndarray
+        self,
+        counts: np.ndarray,
+        exp_elog_beta: np.ndarray,
+        rng: np.random.Generator | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Mean-field document updates; returns (gamma, sufficient stats)."""
         num_docs = counts.shape[0]
-        gamma = self._rng.gamma(100.0, 0.01, (num_docs, self.num_topics))
+        rng = self._rng if rng is None else rng
+        gamma = rng.gamma(100.0, 0.01, (num_docs, self.num_topics))
         for _ in range(self.e_step_iterations):
             exp_elog_theta = np.exp(
                 digamma(gamma) - digamma(gamma.sum(axis=1, keepdims=True))
@@ -136,30 +144,50 @@ class VariationalLDA:
             gamma, sstats = self._e_step(counts, exp_elog_beta)
             lam = self.eta + sstats
         self._lambda = lam
+        self._transform_beta = None
         self.topic_word_ = lam / lam.sum(axis=1, keepdims=True)
         self.doc_topic_ = gamma / gamma.sum(axis=1, keepdims=True)
         return self
 
+    def __getstate__(self) -> dict:
+        # the transform memo is derived state: drop it from pickles (and
+        # from persisted artifacts) and recompute on first use
+        state = dict(self.__dict__)
+        state["_transform_beta"] = None
+        return state
+
     def transform(
-        self, documents: list[list[int] | np.ndarray], *, batch_size: int = 4096
+        self,
+        documents: list[list[int] | np.ndarray],
+        *,
+        batch_size: int = 4096,
+        rng: np.random.Generator | None = None,
     ) -> np.ndarray:
         """Per-document topic distributions for new documents.
 
         Processes in batches of ``batch_size`` documents so the dense
-        doc-term matrix never exceeds a bounded footprint.
+        doc-term matrix never exceeds a bounded footprint.  ``rng`` overrides
+        the model's (stateful) generator for the variational initialization:
+        callers that need *reproducible* inference — online ingestion infers
+        each new account's topics under a per-account derived seed — pass a
+        fresh generator instead of consuming the shared stream.
         """
         if self._lambda is None:
             raise RuntimeError("model is not fitted; call fit() first")
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
-        exp_elog_beta = np.exp(
-            digamma(self._lambda) - digamma(self._lambda.sum(axis=1, keepdims=True))
-        )
+        exp_elog_beta = getattr(self, "_transform_beta", None)
+        if exp_elog_beta is None:
+            exp_elog_beta = np.exp(
+                digamma(self._lambda)
+                - digamma(self._lambda.sum(axis=1, keepdims=True))
+            )
+            self._transform_beta = exp_elog_beta
         chunks = []
         for start in range(0, len(documents), batch_size):
             batch = documents[start : start + batch_size]
             counts = self.count_matrix(batch, self.vocab_size)
-            gamma, _ = self._e_step(counts, exp_elog_beta)
+            gamma, _ = self._e_step(counts, exp_elog_beta, rng=rng)
             theta = gamma / gamma.sum(axis=1, keepdims=True)
             # documents with no tokens carry no information: uniform
             empty = counts.sum(axis=1) == 0

@@ -1,0 +1,204 @@
+"""Tests for the incremental blocking indexes (repro.index)."""
+
+import pytest
+
+from repro.core import CandidateGenerator
+from repro.index import InvertedIndex, SignatureExtractor
+
+
+class TestInvertedIndex:
+    def test_add_query_remove(self):
+        index = InvertedIndex()
+        index.add("u1", ["a", "b", "c"])
+        index.add("u2", ["b", "c", "d"])
+        assert index.query(["a", "b"]) == {"u1": 2, "u2": 1}
+        assert set(index.postings("c")) == {"u1", "u2"}
+        index.remove("u1")
+        assert "u1" not in index
+        assert index.query(["a", "b"]) == {"u2": 1}
+        assert index.postings("a") == ()
+
+    def test_readd_replaces_keys(self):
+        index = InvertedIndex()
+        index.add("u1", ["a", "b"])
+        index.add("u1", ["c"])
+        assert index.keys_of("u1") == ("c",)
+        assert index.query(["a", "b"]) == {}
+        assert index.query(["c"]) == {"u1": 1}
+
+    def test_duplicate_keys_counted_once(self):
+        index = InvertedIndex()
+        index.add("u1", ["a", "a", "b"])
+        assert index.query(["a", "a"]) == {"u1": 1}
+
+    def test_remove_absent_is_noop(self):
+        index = InvertedIndex()
+        index.remove("ghost")
+        assert len(index) == 0
+
+
+class TestSignatureExtractor:
+    def test_signature_fields(self, small_world):
+        platform = small_world.platforms["twitter"]
+        account_id = platform.account_ids()[0]
+        sig = SignatureExtractor().signature(platform, account_id)
+        assert sig.username == platform.accounts[account_id].profile.username
+        assert sig.bigrams == SignatureExtractor.username_bigrams(sig.username)
+        assert sig.distinct_tokens == tuple(sorted(sig.token_counts))
+        assert all(count > 0 for count in sig.token_counts.values())
+
+    def test_invalid_grid(self):
+        with pytest.raises(ValueError):
+            SignatureExtractor(grid_degrees=0.0)
+
+
+@pytest.fixture(scope="module")
+def pair_signatures(small_world):
+    generator = CandidateGenerator()
+    return (
+        generator,
+        generator.platform_signatures(small_world, "facebook"),
+        generator.platform_signatures(small_world, "twitter"),
+    )
+
+
+def _assert_same_state(left, right, sigs_a, sigs_b):
+    """Two pair indexes must agree on every query-visible fact."""
+    assert left.term_freq == right.term_freq
+    for side, signatures in (("a", sigs_a), ("b", sigs_b)):
+        assert left.ids(side) == right.ids(side)
+        for account_id in left.ids(side):
+            assert left.rare_words(side, account_id) == right.rare_words(
+                side, account_id
+            )
+    for aid in left.ids("a"):
+        assert left.query("a", aid) == right.query("a", aid)
+        assert left.ranked("a", aid) == right.ranked("a", aid)
+    for bid in left.ids("b"):
+        assert left.query("b", bid) == right.query("b", bid)
+
+
+class TestPairCandidateIndexIncrementalExactness:
+    """add()/remove() must land on exactly the bulk-built state."""
+
+    def test_incremental_adds_match_bulk(self, pair_signatures):
+        generator, sigs_a, sigs_b = pair_signatures
+        bulk = generator.make_pair_index("facebook", "twitter").bulk_build(
+            sigs_a, sigs_b
+        )
+        incremental = generator.make_pair_index("facebook", "twitter")
+        incremental.bulk_build({}, {})
+        # interleave sides so cross-side rare-word maintenance is exercised
+        order = sorted(
+            [("a", account_id) for account_id in sigs_a]
+            + [("b", account_id) for account_id in sigs_b],
+            key=lambda item: item[1],
+        )
+        for side, account_id in order:
+            signatures = sigs_a if side == "a" else sigs_b
+            incremental.add(side, account_id, signatures[account_id])
+        _assert_same_state(incremental, bulk, sigs_a, sigs_b)
+
+    def test_removals_match_bulk_over_survivors(self, pair_signatures):
+        generator, sigs_a, sigs_b = pair_signatures
+        full = generator.make_pair_index("facebook", "twitter").bulk_build(
+            sigs_a, sigs_b
+        )
+        drop_a = sorted(sigs_a)[::3]
+        drop_b = sorted(sigs_b)[1::3]
+        for account_id in drop_a:
+            full.remove("a", account_id)
+        for account_id in drop_b:
+            full.remove("b", account_id)
+        kept_a = {k: v for k, v in sigs_a.items() if k not in set(drop_a)}
+        kept_b = {k: v for k, v in sigs_b.items() if k not in set(drop_b)}
+        bulk = generator.make_pair_index("facebook", "twitter").bulk_build(
+            kept_a, kept_b
+        )
+        _assert_same_state(full, bulk, kept_a, kept_b)
+
+    def test_add_reports_new_account_matches(self, pair_signatures):
+        generator, sigs_a, sigs_b = pair_signatures
+        last = sorted(sigs_b)[-1]
+        rest_b = {k: v for k, v in sigs_b.items() if k != last}
+        index = generator.make_pair_index("facebook", "twitter").bulk_build(
+            sigs_a, rest_b
+        )
+        dirty = index.add("b", last, sigs_b[last])
+        assert ("b", last) in dirty
+        for aid in index.query("b", last):
+            assert ("a", aid) in dirty
+
+    def test_duplicate_add_rejected(self, pair_signatures):
+        generator, sigs_a, sigs_b = pair_signatures
+        index = generator.make_pair_index("facebook", "twitter").bulk_build(
+            sigs_a, sigs_b
+        )
+        aid = sorted(sigs_a)[0]
+        with pytest.raises(ValueError):
+            index.add("a", aid, sigs_a[aid])
+
+    def test_remove_unknown_rejected(self, pair_signatures):
+        generator, sigs_a, sigs_b = pair_signatures
+        index = generator.make_pair_index("facebook", "twitter").bulk_build(
+            sigs_a, sigs_b
+        )
+        with pytest.raises(KeyError):
+            index.remove("a", "no_such_account")
+
+    def test_side_addressing(self, pair_signatures):
+        generator, _, _ = pair_signatures
+        index = generator.make_pair_index("facebook", "twitter")
+        assert index.side_of("facebook") == "a"
+        assert index.side_of("twitter") == "b"
+        with pytest.raises(KeyError):
+            index.side_of("myspace")
+
+    def test_budget_respected(self, pair_signatures):
+        generator, sigs_a, sigs_b = pair_signatures
+        index = generator.make_pair_index("facebook", "twitter")
+        index.max_per_account = 3
+        index.bulk_build(sigs_a, sigs_b)
+        for aid in index.ids("a"):
+            assert len(index.ranked("a", aid)) <= 3
+
+
+class TestCandidateSetMemo:
+    def test_pair_index_memoized_and_invalidated(self, small_world):
+        candidates = CandidateGenerator().generate(
+            small_world, "facebook", "twitter"
+        )
+        first = candidates.pair_index()
+        assert candidates.pair_index() is first  # memo hit
+        extra = (("facebook", "xx"), ("twitter", "yy"))
+        candidates.extend([extra], [frozenset({"email"})], [0])
+        rebuilt = candidates.pair_index()
+        assert rebuilt is not first
+        assert rebuilt[extra] == len(candidates.pairs) - 1
+        assert candidates.prematched[-1] == len(candidates.pairs) - 1
+
+    def test_stale_memo_rebuilt_after_raw_append(self, small_world):
+        candidates = CandidateGenerator().generate(
+            small_world, "facebook", "twitter"
+        )
+        candidates.pair_index()
+        extra = (("facebook", "raw"), ("twitter", "raw"))
+        candidates.pairs.append(extra)  # legacy-style mutation
+        candidates.evidence.append(frozenset())
+        assert candidates.pair_index()[extra] == len(candidates.pairs) - 1
+
+    def test_assign_replaces_rows(self, small_world):
+        candidates = CandidateGenerator().generate(
+            small_world, "facebook", "twitter"
+        )
+        pair = candidates.pairs[0]
+        candidates.assign([pair], [candidates.evidence[0]], [0])
+        assert len(candidates) == 1
+        assert candidates.pair_index() == {pair: 0}
+
+    def test_extend_length_mismatch_rejected(self, small_world):
+        candidates = CandidateGenerator().generate(
+            small_world, "facebook", "twitter"
+        )
+        with pytest.raises(ValueError):
+            candidates.extend([(("a", "1"), ("b", "2"))], [])

@@ -42,6 +42,30 @@ class TestLruCache:
         cache.get_or_compute("a", lambda: pytest.fail("a was evicted"))
         assert len(cache) == 2
 
+    def test_eviction_order_follows_recency_not_insertion(self):
+        cache = LruCache(maxsize=3)
+        for key in ("a", "b", "c"):
+            cache.get_or_compute(key, lambda k=key: k)
+        cache.get_or_compute("a", lambda: pytest.fail("a was evicted"))
+        cache.get_or_compute("b", lambda: pytest.fail("b was evicted"))
+        cache.get_or_compute("d", lambda: "d")  # "c" is least recent -> out
+        recomputed = []
+        cache.get_or_compute("c", lambda: recomputed.append("c") or "c")
+        assert recomputed == ["c"], "FIFO eviction would have kept c"
+
+    def test_invalidate_and_clear(self):
+        cache = LruCache(maxsize=4)
+        cache.get_or_compute("a", lambda: 1)
+        cache.get_or_compute("b", lambda: 2)
+        assert cache.invalidate("a") is True
+        assert cache.invalidate("a") is False  # already gone
+        recomputed = []
+        cache.get_or_compute("a", lambda: recomputed.append("a") or 1)
+        assert recomputed == ["a"]
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits + cache.misses > 0  # counters survive a clear
+
     def test_invalid_size(self):
         with pytest.raises(ValueError):
             LruCache(maxsize=0)
