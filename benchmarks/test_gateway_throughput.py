@@ -1,0 +1,156 @@
+"""Gateway throughput: requests/sec and latency, coalesced vs naive.
+
+Not a paper figure — this benchmarks the HTTP serving gateway
+(:mod:`repro.gateway`): fit once, stand the asyncio gateway up in front of
+the service, and drive the same closed-loop score workload through two
+dispatch modes on identical state:
+
+* **coalesced** — the micro-batcher merges concurrent requests into
+  grouped ``score_pairs_grouped`` calls (array-at-a-time featurization
+  across requests);
+* **naive** — every request dispatches alone (pair-at-a-time per request,
+  what a gateway without the batcher would do).
+
+Responses are bit-identical either way (asserted here against a
+sequential bare-:class:`LinkageService` replay — the same guarantee
+``tests/test_gateway.py`` checks under mixed read/ingest traffic), so
+coalescing is purely a throughput knob; the committed baseline gates both
+``requests_per_sec`` and ``p99_ms`` through
+``benchmarks/check_regression.py``, and the coalesced/naive speedup must
+stay above ``GATEWAY_BENCH_MIN_SPEEDUP`` (dedicated CI step; set 0 inside
+the tier-1 run to keep timing jitter out of ``-x``).
+
+Smoke mode (the default, and what CI runs) uses a small world; scale with
+``GATEWAY_BENCH_PERSONS`` / ``GATEWAY_BENCH_REQUESTS`` /
+``GATEWAY_BENCH_CONCURRENCY``.
+"""
+
+import os
+import threading
+
+import numpy as np
+from conftest import write_table
+
+from repro.core import HydraLinker
+from repro.datagen import WorldConfig, generate_world
+from repro.eval.harness import make_label_split
+from repro.gateway import (
+    GatewayClient,
+    GatewayConfig,
+    GatewayThread,
+    WorkloadMix,
+    loadgen_table,
+    plan_workload,
+    run_load,
+)
+from repro.serving import LinkageService
+
+PERSONS = int(os.environ.get("GATEWAY_BENCH_PERSONS", "14"))
+REQUESTS = int(os.environ.get("GATEWAY_BENCH_REQUESTS", "400"))
+CONCURRENCY = int(os.environ.get("GATEWAY_BENCH_CONCURRENCY", "24"))
+PAIRS_PER_REQUEST = int(os.environ.get("GATEWAY_BENCH_PAIRS", "2"))
+MIN_SPEEDUP = float(os.environ.get("GATEWAY_BENCH_MIN_SPEEDUP", "3.0"))
+PLATFORM_PAIRS = [("facebook", "twitter")]
+SEED = 52
+
+_MODES = {
+    "coalesced": GatewayConfig(coalesce=True),
+    "naive": GatewayConfig(coalesce=False),
+}
+
+
+def _fit():
+    world = generate_world(WorldConfig(num_persons=PERSONS, seed=SEED))
+    split = make_label_split(world, PLATFORM_PAIRS, seed=SEED)
+    linker = HydraLinker(seed=SEED, num_topics=8, max_lda_docs=1500)
+    linker.fit(
+        world, split.labeled_positive, split.labeled_negative, PLATFORM_PAIRS
+    )
+    return linker
+
+
+def _parity(gateway: GatewayThread, service: LinkageService, pairs) -> None:
+    """Concurrent gateway responses == sequential bare-service replay."""
+    slices = [pairs[i::8] for i in range(8)]
+    responses: dict[int, list[float]] = {}
+
+    def hit(index: int) -> None:
+        with GatewayClient(gateway.host, gateway.port) as client:
+            responses[index] = client.score_pairs(slices[index])["scores"]
+
+    threads = [
+        threading.Thread(target=hit, args=(i,)) for i in range(len(slices))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    for index, chunk in enumerate(slices):
+        sequential = service.score_pairs(chunk)
+        assert np.array_equal(np.array(responses[index]), sequential), (
+            f"concurrent gateway scores diverged from the sequential "
+            f"bare-service replay (slice {index})"
+        )
+
+
+def _run():
+    linker = _fit()
+    service = LinkageService(linker, batch_size=256)
+    all_pairs = [
+        pair
+        for key in service.platform_pairs()
+        for pair in service.linker.candidates_[key].pairs
+    ]
+    # warm the fill/feature memo caches once so mode order doesn't matter
+    service.score_pairs(all_pairs)
+
+    reports = {}
+    for mode, config in _MODES.items():
+        with GatewayThread(service, config) as gateway:
+            with GatewayClient(gateway.host, gateway.port) as client:
+                catalog = client.candidates(limit=len(all_pairs))
+            ops = plan_workload(
+                catalog,
+                mix=WorkloadMix(score_pairs=1.0, top_k=0.0, link_account=0.0),
+                num_requests=REQUESTS,
+                pairs_per_request=PAIRS_PER_REQUEST,
+                seed=SEED,
+            )
+            reports[mode] = run_load(
+                gateway.host, gateway.port, ops,
+                mode="closed", concurrency=CONCURRENCY,
+            )
+            if mode == "coalesced":
+                _parity(gateway, service, all_pairs)
+                stats = service.stats()  # epoch untouched by read traffic
+                assert stats.registry_epoch == 0
+    return reports
+
+
+def test_gateway_throughput(once):
+    reports = once(_run)
+    labels = list(reports)
+    rows = loadgen_table([reports[label] for label in labels], labels)
+    write_table(
+        "gateway_throughput",
+        f"Gateway throughput — {REQUESTS} score requests "
+        f"x{PAIRS_PER_REQUEST} pairs, {CONCURRENCY} closed-loop clients "
+        f"({PERSONS}-person world)",
+        ["mode", "requests", "ok", "failed", "seconds", "requests_per_sec",
+         "p50_ms", "p99_ms"],
+        rows,
+    )
+    for report in reports.values():
+        assert report.requests == REQUESTS
+        assert report.succeeded == REQUESTS  # no rejections, no errors
+        assert report.requests_per_sec > 0
+    coalesced = reports["coalesced"]
+    assert coalesced.latency.count == REQUESTS
+    if MIN_SPEEDUP > 0:
+        speedup = (
+            coalesced.requests_per_sec / reports["naive"].requests_per_sec
+        )
+        assert speedup >= MIN_SPEEDUP, (
+            f"micro-batch coalescing only {speedup:.1f}x naive per-request "
+            f"dispatch (need >= {MIN_SPEEDUP}x)"
+        )

@@ -17,7 +17,11 @@ from repro.core import HydraLinker
 from repro.datagen import WorldConfig, generate_world
 from repro.eval.harness import make_label_split
 from repro.persist import load_linker, save_linker
-from repro.serving import LinkageService, run_throughput_benchmark
+from repro.serving import (
+    LinkageService,
+    run_throughput_benchmark,
+    throughput_table,
+)
 
 PERSONS = int(os.environ.get("SERVE_BENCH_PERSONS", "18"))
 BATCH_SIZES = (16, 64, 256)
@@ -36,10 +40,7 @@ def _run(tmp_dir):
     results = run_throughput_benchmark(
         service, batch_sizes=BATCH_SIZES, repeats=3
     )
-    return [
-        [r.batch_size, r.num_pairs, r.best_seconds, r.pairs_per_sec]
-        for r in results
-    ]
+    return throughput_table(results)
 
 
 def test_serving_throughput(once, tmp_path):
@@ -47,11 +48,12 @@ def test_serving_throughput(once, tmp_path):
     write_table(
         "serving_throughput",
         f"Serving throughput — batched artifact scoring ({PERSONS}-person world)",
-        ["batch_size", "pairs", "best_seconds", "pairs_per_sec"],
+        ["batch_size", "pairs", "best_seconds", "pairs_per_sec", "p50_ms"],
         rows,
     )
     assert len(rows) >= 2  # at least two batch sizes, per the service contract
-    for _, num_pairs, seconds, pairs_per_sec in rows:
+    for _, num_pairs, seconds, pairs_per_sec, p50_ms in rows:
         assert num_pairs > 0
         assert seconds > 0
         assert pairs_per_sec > 0
+        assert p50_ms >= seconds * 1e3  # median pass can't beat the best

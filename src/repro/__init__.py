@@ -29,6 +29,8 @@ Subpackages
 ``repro.eval``       — metrics, harness, per-figure experiment configs.
 ``repro.persist``    — versioned on-disk artifacts for fitted linkers.
 ``repro.serving``    — the batch-scoring query service over artifacts.
+``repro.gateway``    — the asyncio HTTP front-end: request coalescing,
+                       admission control, client, and load harness.
 """
 
 from repro.core.hydra import HydraLinker, LinkageResult

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro.cli <command>``.
 
-Six commands cover the common workflows without writing any code:
+The subcommands cover the common workflows without writing any code:
 
 * ``generate``   — build a synthetic world and print its statistics;
 * ``link``       — fit HYDRA on a world and print the resolved linkage with
@@ -17,16 +17,29 @@ Six commands cover the common workflows without writing any code:
 * ``ingest-bench`` — hold accounts out of a world, fit on the rest, then
   measure accounts/sec for absorbing the arrivals online
   (:meth:`~repro.serving.LinkageService.add_accounts`) against a bulk
-  re-pack and a full refit.
+  re-pack and a full refit;
+* ``serve``      — expose an artifact over HTTP through the asyncio
+  gateway (:mod:`repro.gateway`): micro-batch request coalescing,
+  admission control, graceful shutdown on SIGINT/SIGTERM;
+* ``loadgen``    — drive a running gateway with an open- or closed-loop
+  mixed workload and report requests/sec and latency percentiles.
 
 ``fit``, ``score``, and ``serve-bench`` accept ``--workers N`` (and
 ``--shard-size``) to shard featurization and scoring across a process pool
 (:mod:`repro.parallel`); results are bit-identical to ``--workers 1``.
+
+The measurement commands (``serve-bench``, ``ingest-bench``, ``loadgen``)
+accept ``--json``: instead of the human table they print one JSON document
+— ``{"name", "workload", "headers", "rows", "metrics"}`` — whose
+``metrics`` block is exactly the machine-readable dict
+``benchmarks/check_regression.py`` consumes, so automation never parses
+the text tables.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -176,6 +189,29 @@ def _print_score_query(service, args) -> int:
     return 0
 
 
+def _emit_results(
+    args, *, name: str, headers: list[str], rows: list[list],
+    metrics: dict, workload: dict | None = None,
+) -> None:
+    """Print either the human table or the regression-gate JSON document.
+
+    The JSON shape — ``{"name", "workload", "headers", "rows", "metrics"}``
+    — is the one format ``benchmarks/check_regression.py`` consumes
+    directly (its ``metrics`` values gate regressions), so scripted bench
+    runs never scrape the aligned text table.
+    """
+    if getattr(args, "json", False):
+        print(json.dumps({
+            "name": name,
+            "workload": workload or {},
+            "headers": headers,
+            "rows": rows,
+            "metrics": metrics,
+        }, indent=2))
+    else:
+        print(format_table(headers, rows))
+
+
 def cmd_serve_bench(args) -> int:
     """Measure batched scoring throughput (pairs/sec) per batch size."""
     from repro.serving import LinkageService, run_throughput_benchmark, throughput_table
@@ -193,10 +229,17 @@ def cmd_serve_bench(args) -> int:
             repeats=args.repeats,
             max_pairs=args.max_pairs,
         )
-    print(format_table(
-        ["batch_size", "pairs", "best_seconds", "pairs_per_sec"],
-        throughput_table(results),
-    ))
+    _emit_results(
+        args,
+        name="serve_bench",
+        headers=["batch_size", "pairs", "best_seconds", "pairs_per_sec",
+                 "p50_ms"],
+        rows=throughput_table(results),
+        metrics={"pairs_per_sec": max(r.pairs_per_sec for r in results)},
+        workload={"batch_sizes": list(batch_sizes),
+                  "repeats": args.repeats,
+                  "pairs": results[0].num_pairs if results else 0},
+    )
     return 0
 
 
@@ -224,18 +267,154 @@ def cmd_ingest_bench(args) -> int:
     results = run_ingest_benchmark(
         world, held_refs, fit, base=base, include_refit=not args.skip_refit
     )
-    print(format_table(
-        ["mode", "accounts", "seconds", "accounts_per_sec"],
-        ingest_table(results),
-    ))
     by_mode = {r.mode: r for r in results}
-    for mode in ("repack", "refit"):
-        if mode in by_mode and by_mode["ingest"].seconds > 0:
-            print(
-                f"ingest vs {mode}: "
-                f"{by_mode[mode].seconds / by_mode['ingest'].seconds:.1f}x faster"
-            )
+    _emit_results(
+        args,
+        name="ingest_bench",
+        headers=["mode", "accounts", "seconds", "accounts_per_sec"],
+        rows=ingest_table(results),
+        metrics={
+            "accounts_per_sec": max(r.accounts_per_sec for r in results)
+        },
+        workload={"persons": args.persons, "new_per_platform": args.new},
+    )
+    if not args.json:
+        for mode in ("repack", "refit"):
+            if mode in by_mode and by_mode["ingest"].seconds > 0:
+                print(
+                    f"ingest vs {mode}: "
+                    f"{by_mode[mode].seconds / by_mode['ingest'].seconds:.1f}x"
+                    " faster"
+                )
     return 0
+
+
+def cmd_serve(args) -> int:
+    """Expose a fitted artifact over HTTP through the asyncio gateway."""
+    import asyncio
+    import signal
+
+    from repro.gateway import GatewayConfig, LinkageGateway
+    from repro.serving import LinkageService
+
+    service = LinkageService.from_artifact(
+        args.artifact, workers=args.workers, shard_size=args.shard_size
+    )
+    config = GatewayConfig(
+        host=args.host,
+        port=args.port,
+        max_batch_pairs=args.max_batch_pairs,
+        max_batch_requests=args.max_batch_requests,
+        max_wait_ms=args.batch_wait_ms,
+        coalesce=not args.no_coalesce,
+        max_pending=args.max_pending,
+        default_deadline_ms=args.deadline_ms,
+        executor_threads=args.threads,
+    )
+
+    async def _run() -> int:
+        gateway = LinkageGateway(service, config)
+        await gateway.start()
+        print(
+            f"serving {args.artifact} on http://{config.host}:{gateway.port}"
+            f" ({service.num_candidates()} candidates, "
+            f"coalesce={'on' if config.coalesce else 'off'}, "
+            f"max_pending={config.max_pending})"
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-main thread or platform without signal support
+        await stop.wait()
+        print("draining ...")
+        await gateway.stop()
+        return 0
+
+    with service:
+        return asyncio.run(_run())
+
+
+def _parse_mix(spec: str):
+    """``"score=0.8,top_k=0.1,link=0.1"`` -> a validated WorkloadMix."""
+    from repro.gateway import WorkloadMix
+
+    known = {"score", "top_k", "link"}
+    weights = {}
+    for part in spec.split(","):
+        kind, equals, weight = part.partition("=")
+        kind = kind.strip()
+        if not equals or kind not in known:
+            raise SystemExit(
+                f"error: bad --mix entry {part.strip()!r}; expected "
+                f"comma-separated name=weight with names in "
+                f"{sorted(known)}"
+            )
+        try:
+            weights[kind] = float(weight)
+        except ValueError:
+            raise SystemExit(
+                f"error: --mix weight for {kind!r} must be a number, "
+                f"got {weight!r}"
+            ) from None
+        if weights[kind] < 0:
+            raise SystemExit(
+                f"error: --mix weight for {kind!r} must be >= 0, "
+                f"got {weights[kind]:g}"
+            )
+    if sum(weights.values()) <= 0:
+        raise SystemExit("error: --mix weights must sum to more than 0")
+    return WorkloadMix(
+        score_pairs=weights.get("score", 0.0),
+        top_k=weights.get("top_k", 0.0),
+        link_account=weights.get("link", 0.0),
+    )
+
+
+def cmd_loadgen(args) -> int:
+    """Drive a running gateway with a mixed workload; report percentiles."""
+    from repro.gateway import (
+        GatewayClient,
+        loadgen_table,
+        plan_workload,
+        run_load,
+    )
+
+    mix = _parse_mix(args.mix)
+    with GatewayClient(args.host, args.port) as client:
+        catalog = client.candidates(limit=args.catalog_limit)
+    ops = plan_workload(
+        catalog,
+        mix=mix,
+        num_requests=args.requests,
+        pairs_per_request=args.pairs_per_request,
+        seed=args.seed,
+    )
+    report = run_load(
+        args.host,
+        args.port,
+        ops,
+        mode=args.mode,
+        concurrency=args.concurrency,
+        rate=args.rate,
+        deadline_ms=args.deadline_ms,
+    )
+    summary = report.latency.summary()
+    _emit_results(
+        args,
+        name="loadgen",
+        headers=["mode", "requests", "ok", "failed", "seconds",
+                 "requests_per_sec", "p50_ms", "p99_ms"],
+        rows=loadgen_table([report], [args.mode]),
+        metrics={"requests_per_sec": report.requests_per_sec,
+                 "p99_ms": summary["p99_ms"]},
+        workload={"mix": args.mix, "concurrency": args.concurrency,
+                  "rate": args.rate,
+                  "pairs_per_request": args.pairs_per_request},
+    )
+    return 0 if report.errors == 0 else 1
 
 
 def cmd_compare(args) -> int:
@@ -331,12 +510,19 @@ def build_parser() -> argparse.ArgumentParser:
     parallel_opts(p_score)
     p_score.set_defaults(func=cmd_score)
 
+    def json_opt(p):
+        p.add_argument("--json", action="store_true",
+                       help="emit the machine-readable metric document "
+                            "(the dict benchmarks/check_regression.py "
+                            "consumes) instead of the text table")
+
     p_bench = sub.add_parser(
         "serve-bench", help="measure batched scoring throughput (pairs/sec)"
     )
     common(p_bench)
     fit_opts(p_bench)
     parallel_opts(p_bench)
+    json_opt(p_bench)
     p_bench.add_argument("--artifact", default=None,
                          help="serve this artifact instead of fitting")
     p_bench.add_argument("--batch-sizes", default="16,256", dest="batch_sizes",
@@ -353,12 +539,71 @@ def build_parser() -> argparse.ArgumentParser:
     )
     common(p_ingest)
     fit_opts(p_ingest)
+    json_opt(p_ingest)
     p_ingest.add_argument("--new", type=int, default=10,
                           help="accounts to hold out per platform and "
                                "ingest online (default 10)")
     p_ingest.add_argument("--skip-refit", action="store_true", dest="skip_refit",
                           help="skip the (slow) full-refit baseline")
     p_ingest.set_defaults(func=cmd_ingest_bench)
+
+    p_serve = sub.add_parser(
+        "serve", help="expose an artifact over HTTP (asyncio gateway)"
+    )
+    p_serve.add_argument("--artifact", required=True,
+                         help="artifact directory from `fit`")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8099,
+                         help="listen port (0 picks a free one)")
+    p_serve.add_argument("--batch-wait-ms", type=float, default=2.0,
+                         dest="batch_wait_ms",
+                         help="micro-batch coalescing window (default 2ms)")
+    p_serve.add_argument("--max-batch-pairs", type=int, default=512,
+                         dest="max_batch_pairs",
+                         help="flush a batch at this many pending pairs")
+    p_serve.add_argument("--max-batch-requests", type=int, default=64,
+                         dest="max_batch_requests",
+                         help="flush a batch at this many pending requests")
+    p_serve.add_argument("--no-coalesce", action="store_true",
+                         dest="no_coalesce",
+                         help="dispatch each request alone (diagnostics)")
+    p_serve.add_argument("--max-pending", type=int, default=128,
+                         dest="max_pending",
+                         help="admitted in-flight request ceiling "
+                              "(excess gets 429 + Retry-After)")
+    p_serve.add_argument("--deadline-ms", type=float, default=None,
+                         dest="deadline_ms",
+                         help="default per-request deadline (503 when "
+                              "exceeded while queued)")
+    p_serve.add_argument("--threads", type=int, default=2,
+                         help="scoring executor threads (default 2)")
+    parallel_opts(p_serve)
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_load = sub.add_parser(
+        "loadgen", help="drive a running gateway with a mixed workload"
+    )
+    p_load.add_argument("--host", default="127.0.0.1")
+    p_load.add_argument("--port", type=int, default=8099)
+    p_load.add_argument("--requests", type=int, default=200)
+    p_load.add_argument("--concurrency", type=int, default=8)
+    p_load.add_argument("--mode", choices=("closed", "open"),
+                        default="closed")
+    p_load.add_argument("--rate", type=float, default=None,
+                        help="open-loop arrival rate (requests/sec)")
+    p_load.add_argument("--mix", default="score=0.8,top_k=0.1,link=0.1",
+                        help="comma-separated op weights "
+                             "(score/top_k/link)")
+    p_load.add_argument("--pairs-per-request", type=int, default=4,
+                        dest="pairs_per_request")
+    p_load.add_argument("--catalog-limit", type=int, default=200,
+                        dest="catalog_limit",
+                        help="candidate pairs to sample as workload seed")
+    p_load.add_argument("--deadline-ms", type=float, default=None,
+                        dest="deadline_ms")
+    p_load.add_argument("--seed", type=int, default=0)
+    json_opt(p_load)
+    p_load.set_defaults(func=cmd_loadgen)
     return parser
 
 

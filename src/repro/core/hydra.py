@@ -255,21 +255,46 @@ class HydraLinker:
     # ------------------------------------------------------------------
     # prediction
     # ------------------------------------------------------------------
+    def featurize_pairs(self, pairs: list[Pair]) -> np.ndarray:
+        """The filled feature rows for ``pairs`` (featurize + Eqn 18 fill).
+
+        Row-independent: each pair's row is bit-identical no matter which
+        other pairs share the call — the property the sharded workers and
+        the gateway's grouped scoring rely on.  Featurization runs on the
+        pipeline's batch engine (packed account store + array-at-a-time
+        kernels, see :mod:`repro.features.batch`); missing dimensions
+        resolve through the fitted filler, whose Eqn 18 friend-pair
+        vectors are batch-computed and memoized as well.
+        """
+        if self.model_ is None or self._filler is None:
+            raise RuntimeError("linker is not fitted; call fit() first")
+        x_raw = self.pipeline.matrix(pairs)
+        return self._filler.fill_matrix(pairs, x_raw)
+
+    def score_features(self, x: np.ndarray) -> np.ndarray:
+        """Decision values for already-featurized rows (one kernel chunk).
+
+        The kernel Gram evaluation is chunk-shape-sensitive at the bit
+        level (BLAS summation order), so callers that promise bit-identity
+        must present the same chunk compositions as the reference path.
+        """
+        if self.model_ is None:
+            raise RuntimeError("linker is not fitted; call fit() first")
+        return self.model_.decision_function(x)
+
     def score_pairs(self, pairs: list[Pair]) -> np.ndarray:
         """Decision values ``f(x)`` for arbitrary cross-platform pairs.
 
-        Featurization runs on the pipeline's batch engine (packed account
-        store + array-at-a-time kernels, see :mod:`repro.features.batch`);
-        missing dimensions resolve through the fitted filler, whose Eqn 18
-        friend-pair vectors are batch-computed and memoized as well.
+        Exactly :meth:`score_features` over :meth:`featurize_pairs` — the
+        two stages are exposed separately so batched callers (the gateway's
+        coalesced dispatch) can amortize featurization across requests
+        while keeping per-request decision chunking.
         """
         if self.model_ is None or self._filler is None:
             raise RuntimeError("linker is not fitted; call fit() first")
         if not pairs:
             return np.zeros(0)
-        x_raw = self.pipeline.matrix(pairs)
-        x = self._filler.fill_matrix(pairs, x_raw)
-        return self.model_.decision_function(x)
+        return self.score_features(self.featurize_pairs(pairs))
 
     def linkage(self, platform_a: str, platform_b: str) -> LinkageResult:
         """Score this platform pair's candidates and resolve the linkage.

@@ -1,0 +1,58 @@
+"""The HTTP serving gateway: network front-end for a fitted linker.
+
+This package turns the in-process :class:`~repro.serving.LinkageService`
+into a deployable network service, stdlib-only:
+
+* :mod:`repro.gateway.server` — the asyncio HTTP/JSON front-end
+  (:class:`LinkageGateway`), its config, and :class:`GatewayThread` for
+  hosting one on a background event-loop thread;
+* :mod:`repro.gateway.batcher` — micro-batch coalescing of concurrent
+  score traffic plus the reader/writer fence that serializes online
+  mutations against reads (:class:`MicroBatcher`,
+  :class:`ReadWriteFence`);
+* :mod:`repro.gateway.admission` — bounded-queue backpressure, deadlines,
+  and per-endpoint latency histograms (:class:`AdmissionController`);
+* :mod:`repro.gateway.client` — a blocking keep-alive client
+  (:class:`GatewayClient`);
+* :mod:`repro.gateway.loadgen` — the open/closed-loop load harness
+  (:func:`plan_workload`, :func:`run_load`).
+
+Start one from the CLI with ``python -m repro.cli serve --artifact ...``
+and drive it with ``python -m repro.cli loadgen``.
+"""
+
+from repro.gateway.admission import (
+    AdmissionController,
+    EndpointMetrics,
+    GatewayRejected,
+)
+from repro.gateway.batcher import MicroBatcher, ReadWriteFence
+from repro.gateway.client import GatewayClient, GatewayError
+from repro.gateway.loadgen import (
+    LoadReport,
+    Operation,
+    WorkloadMix,
+    loadgen_table,
+    plan_workload,
+    run_load,
+)
+from repro.gateway.server import GatewayConfig, GatewayThread, LinkageGateway
+
+__all__ = [
+    "AdmissionController",
+    "EndpointMetrics",
+    "GatewayClient",
+    "GatewayConfig",
+    "GatewayError",
+    "GatewayRejected",
+    "GatewayThread",
+    "LinkageGateway",
+    "LoadReport",
+    "MicroBatcher",
+    "Operation",
+    "ReadWriteFence",
+    "WorkloadMix",
+    "loadgen_table",
+    "plan_workload",
+    "run_load",
+]

@@ -1,0 +1,210 @@
+"""Admission control: bounded in-flight work, deadlines, and endpoint metrics.
+
+The gateway accepts requests faster than the scoring executor can drain
+them whenever a traffic burst exceeds capacity.  Left unchecked, the
+backlog grows without bound and *every* request's latency climbs — the
+classic overload collapse.  :class:`AdmissionController` bounds the damage:
+
+* at most ``max_pending`` admitted requests may be in flight at once —
+  request number ``max_pending + 1`` is rejected immediately with **429**
+  and a ``Retry-After`` hint, costing microseconds instead of queue time;
+* each admitted request carries a deadline (per-request via the
+  ``X-Deadline-Ms`` header, else the configured default).  Work whose
+  deadline passed while it sat in the coalescing window or the executor
+  queue is abandoned with **503** *before* the service burns cycles on an
+  answer nobody is waiting for.
+
+Every admitted request is also the unit of observability: per-endpoint
+counters and a :class:`~repro.utils.timing.LatencyRecorder` histogram
+(p50/p95/p99/max) feed the gateway's ``/stats`` payload.
+
+The controller lives on the event-loop thread: admission decisions and
+metric updates are single-owner by construction (the recorder itself is
+additionally lock-protected, so loadgen-style off-loop callers could share
+it safely).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.utils.timing import LatencyRecorder
+
+__all__ = [
+    "AdmissionController",
+    "EndpointMetrics",
+    "GatewayRejected",
+    "Ticket",
+]
+
+
+class GatewayRejected(Exception):
+    """A request the gateway refuses to serve, mapped to an HTTP status.
+
+    ``status`` is the HTTP code (429 queue full, 503 deadline passed or
+    draining), ``code`` a machine-readable error slug for the JSON body,
+    and ``retry_after`` the client back-off hint in seconds (emitted as a
+    ``Retry-After`` header) when retrying can help.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        *,
+        retry_after: float | None = None,
+    ):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+        self.retry_after = retry_after
+
+
+@dataclass
+class Ticket:
+    """One admitted request: its endpoint, clock, and deadline."""
+
+    endpoint: str
+    admitted_at: float
+    deadline_at: float | None
+
+    def check_deadline(self, *, retry_after: float | None = None) -> None:
+        """Raise 503 when this request's deadline has already passed."""
+        if self.deadline_at is not None and time.monotonic() > self.deadline_at:
+            raise GatewayRejected(
+                503,
+                "deadline_exceeded",
+                f"request exceeded its deadline before {self.endpoint} "
+                "could run",
+                retry_after=retry_after,
+            )
+
+
+@dataclass
+class EndpointMetrics:
+    """Counters and the latency histogram for one endpoint."""
+
+    requests: int = 0
+    completed: int = 0
+    errors: int = 0
+    rejected_busy: int = 0
+    rejected_deadline: int = 0
+    latency: LatencyRecorder = field(default_factory=LatencyRecorder)
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "completed": self.completed,
+            "errors": self.errors,
+            "rejected_busy": self.rejected_busy,
+            "rejected_deadline": self.rejected_deadline,
+            "latency": self.latency.summary(),
+        }
+
+
+class AdmissionController:
+    """Bounded-queue backpressure plus per-endpoint observability.
+
+    Parameters
+    ----------
+    max_pending:
+        Admitted-but-unfinished request ceiling across all endpoints.
+    default_deadline_ms:
+        Deadline applied when a request does not carry its own
+        (``None`` = no deadline).
+    retry_after_seconds:
+        The back-off hint attached to 429/503 rejections.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_pending: int = 128,
+        default_deadline_ms: float | None = None,
+        retry_after_seconds: float = 0.5,
+    ):
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self.max_pending = max_pending
+        self.default_deadline_ms = default_deadline_ms
+        self.retry_after_seconds = retry_after_seconds
+        self.pending = 0
+        self.peak_pending = 0
+        self.admitted_total = 0
+        self._endpoints: dict[str, EndpointMetrics] = {}
+
+    def metrics(self, endpoint: str) -> EndpointMetrics:
+        metrics = self._endpoints.get(endpoint)
+        if metrics is None:
+            metrics = self._endpoints[endpoint] = EndpointMetrics()
+        return metrics
+
+    def admit(self, endpoint: str, deadline_ms: float | None = None) -> Ticket:
+        """Admit one request or reject it with 429 when the queue is full."""
+        metrics = self.metrics(endpoint)
+        metrics.requests += 1
+        if self.pending >= self.max_pending:
+            metrics.rejected_busy += 1
+            raise GatewayRejected(
+                429,
+                "queue_full",
+                f"{self.pending} requests already in flight "
+                f"(max_pending={self.max_pending})",
+                retry_after=self.retry_after_seconds,
+            )
+        self.pending += 1
+        self.peak_pending = max(self.peak_pending, self.pending)
+        self.admitted_total += 1
+        now = time.monotonic()
+        effective = (
+            deadline_ms if deadline_ms is not None else self.default_deadline_ms
+        )
+        return Ticket(
+            endpoint=endpoint,
+            admitted_at=now,
+            deadline_at=None if effective is None else now + effective / 1e3,
+        )
+
+    def check_deadline(self, ticket: Ticket) -> None:
+        """Abandon expired queued work with 503 (counted per endpoint)."""
+        try:
+            ticket.check_deadline(retry_after=self.retry_after_seconds)
+        except GatewayRejected:
+            self.metrics(ticket.endpoint).rejected_deadline += 1
+            raise
+
+    def complete(self, ticket: Ticket, *, error: bool = False) -> None:
+        """Release the ticket's slot and record its end-to-end latency."""
+        self.pending -= 1
+        metrics = self.metrics(ticket.endpoint)
+        if error:
+            metrics.errors += 1
+        else:
+            metrics.completed += 1
+        metrics.latency.record(time.monotonic() - ticket.admitted_at)
+
+    def release_rejected(self, ticket: Ticket) -> None:
+        """Release a ticket that was rejected after admission (deadline).
+
+        Deadline rejections happen after the slot was taken; the slot must
+        come back without counting the request as completed or errored
+        (``rejected_deadline`` already counted it).
+        """
+        self.pending -= 1
+
+    def snapshot(self) -> dict:
+        """The JSON-ready admission + per-endpoint metrics block."""
+        return {
+            "max_pending": self.max_pending,
+            "pending": self.pending,
+            "peak_pending": self.peak_pending,
+            "admitted_total": self.admitted_total,
+            "default_deadline_ms": self.default_deadline_ms,
+            "endpoints": {
+                name: metrics.as_dict()
+                for name, metrics in sorted(self._endpoints.items())
+            },
+        }

@@ -1,0 +1,219 @@
+"""A pure-stdlib blocking client for the linkage gateway.
+
+:class:`GatewayClient` wraps one persistent ``http.client`` keep-alive
+connection and mirrors the gateway's endpoints as typed methods.  HTTP
+errors surface as :class:`GatewayError` carrying the status code, the
+structured error slug from the JSON body, and the server's ``Retry-After``
+hint — the load generator keys its backpressure accounting off exactly
+these fields.
+
+A client instance is **not** thread-safe (``http.client`` connections are
+serial); concurrent callers each construct their own — cheap, since the
+TCP connect happens lazily on first use and is reused afterwards.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import urllib.parse
+
+__all__ = ["GatewayClient", "GatewayError"]
+
+
+class GatewayError(RuntimeError):
+    """A non-2xx gateway response, decoded from the structured JSON error."""
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        *,
+        retry_after: float | None = None,
+    ):
+        super().__init__(f"[{status} {code}] {message}")
+        self.status = status
+        self.code = code
+        self.message = message
+        self.retry_after = retry_after
+
+    @property
+    def is_backpressure(self) -> bool:
+        """Whether retrying later is the intended reaction (429/503)."""
+        return self.status in (429, 503)
+
+
+class GatewayClient:
+    """Blocking JSON client over one keep-alive connection.
+
+    Parameters
+    ----------
+    host, port:
+        The gateway's bound address (see
+        :class:`~repro.gateway.server.GatewayThread` / ``repro serve``).
+    timeout:
+        Socket timeout in seconds for connect and each response.
+    """
+
+    def __init__(self, host: str, port: int, *, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    # ------------------------------------------------------------------
+    # endpoint methods
+    # ------------------------------------------------------------------
+    def score_pairs(
+        self,
+        pairs: list,
+        *,
+        batch_size: int | None = None,
+        deadline_ms: float | None = None,
+    ) -> dict:
+        """``POST /score_pairs`` — decision values for a pair batch."""
+        body: dict = {"pairs": [[list(a), list(b)] for a, b in pairs]}
+        if batch_size is not None:
+            body["batch_size"] = batch_size
+        return self._request(
+            "POST", "/score_pairs", body, deadline_ms=deadline_ms
+        )
+
+    def top_k(
+        self,
+        platform_a: str,
+        platform_b: str,
+        k: int = 10,
+        *,
+        deadline_ms: float | None = None,
+    ) -> dict:
+        """``GET /top_k`` — strongest links of one platform pair."""
+        params = urllib.parse.urlencode(
+            {"platform_a": platform_a, "platform_b": platform_b, "k": k}
+        )
+        return self._request(
+            "GET", f"/top_k?{params}", None, deadline_ms=deadline_ms
+        )
+
+    def link_account(
+        self,
+        platform: str,
+        account_id: str,
+        *,
+        other_platform: str | None = None,
+        top: int = 5,
+        deadline_ms: float | None = None,
+    ) -> dict:
+        """``POST /link_account`` — resolve one account."""
+        body: dict = {"platform": platform, "account_id": account_id,
+                      "top": top}
+        if other_platform is not None:
+            body["other_platform"] = other_platform
+        return self._request(
+            "POST", "/link_account", body, deadline_ms=deadline_ms
+        )
+
+    def ingest(self, refs: list, *, score: bool = True) -> dict:
+        """``POST /ingest`` — absorb world-registered accounts."""
+        return self._request(
+            "POST", "/ingest",
+            {"refs": [list(ref) for ref in refs], "score": score},
+        )
+
+    def remove_account(self, ref) -> dict:
+        """``DELETE /account`` — withdraw one account from serving."""
+        return self._request("DELETE", "/account", {"ref": list(ref)})
+
+    def candidates(self, limit: int = 200) -> dict:
+        """``GET /candidates`` — workload seed material for loadgen."""
+        params = urllib.parse.urlencode({"limit": limit})
+        return self._request("GET", f"/candidates?{params}", None)
+
+    def stats(self) -> dict:
+        """``GET /stats`` — service + gateway counters and histograms."""
+        return self._request("GET", "/stats", None)
+
+    def healthz(self) -> dict:
+        """``GET /healthz`` — liveness and registry epoch."""
+        return self._request("GET", "/healthz", None)
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: dict | None,
+        *,
+        deadline_ms: float | None = None,
+        _retried: bool = False,
+    ) -> dict:
+        payload = None if body is None else json.dumps(body)
+        headers = {"Content-Type": "application/json"}
+        if deadline_ms is not None:
+            headers["X-Deadline-Ms"] = f"{deadline_ms:g}"
+        conn = self._connection()
+        try:
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            data = response.read()
+        except socket.timeout:
+            # the server may have executed the request and answered late —
+            # retrying would double-apply mutations (POST /ingest, DELETE);
+            # surface the timeout and let the caller decide
+            self.close()
+            raise
+        except (
+            http.client.RemoteDisconnected,
+            ConnectionError,
+            BrokenPipeError,
+        ):
+            # a dropped connection cannot tell us whether the server
+            # executed the request before losing the socket, so only
+            # idempotent GETs are retried (usually a stale keep-alive
+            # connection); a mutation's failure must surface to the caller
+            self.close()
+            if _retried or method != "GET":
+                raise
+            return self._request(
+                method, path, body, deadline_ms=deadline_ms, _retried=True
+            )
+        try:
+            decoded = json.loads(data) if data else {}
+        except json.JSONDecodeError:
+            decoded = {}
+        if response.status >= 400:
+            error = (
+                decoded.get("error", {}) if isinstance(decoded, dict) else {}
+            )
+            retry_after = response.getheader("Retry-After")
+            raise GatewayError(
+                response.status,
+                error.get("code", "http_error"),
+                error.get("message", data.decode("utf-8", "replace")),
+                retry_after=(
+                    float(retry_after) if retry_after is not None else None
+                ),
+            )
+        return decoded
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "GatewayClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

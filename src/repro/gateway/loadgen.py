@@ -1,0 +1,322 @@
+"""Open/closed-loop load generation against a running gateway.
+
+The latency a service quotes is only meaningful under a stated arrival
+process, so the harness drives both canonical ones:
+
+* **closed loop** — ``concurrency`` workers issue requests back-to-back;
+  throughput finds the server's capacity, latency excludes queueing you
+  didn't create (the classic benchmarking loop);
+* **open loop** — requests fire on a fixed schedule (``rate`` per second)
+  regardless of completions, and each latency is measured from the
+  request's *scheduled* arrival — so server-side queueing during bursts is
+  charged to the server, the way production percentiles actually accrue
+  (avoids coordinated omission).
+
+A workload is planned first (:func:`plan_workload`, deterministic in
+``seed``) as a mix of ``score`` / ``top_k`` / ``link`` reads plus optional
+``churn`` write cycles (withdraw one account, re-ingest it — a steady-state
+mutation that exercises the writer fence without growing the world), then
+replayed (:func:`run_load`) by worker threads each owning one
+keep-alive :class:`~repro.gateway.client.GatewayClient`.  Per-thread
+:class:`~repro.utils.timing.LatencyRecorder` histograms merge into the
+:class:`LoadReport`; backpressure rejections (429/503) are counted
+separately from hard errors.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.gateway.client import GatewayClient, GatewayError
+from repro.utils.timing import LatencyRecorder
+
+__all__ = [
+    "LoadReport",
+    "Operation",
+    "WorkloadMix",
+    "loadgen_table",
+    "plan_workload",
+    "run_load",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """Relative endpoint weights of a planned workload (need not sum to 1)."""
+
+    score_pairs: float = 0.8
+    top_k: float = 0.1
+    link_account: float = 0.1
+    churn: float = 0.0
+
+    def weights(self) -> dict[str, float]:
+        weights = {
+            "score": self.score_pairs,
+            "top_k": self.top_k,
+            "link": self.link_account,
+            "churn": self.churn,
+        }
+        if any(w < 0 for w in weights.values()) or sum(weights.values()) <= 0:
+            raise ValueError(f"invalid workload mix {weights}")
+        return weights
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One planned request: the op kind plus its ready-to-send payload."""
+
+    kind: str
+    payload: tuple
+
+
+@dataclass
+class LoadReport:
+    """What one load run measured."""
+
+    mode: str
+    concurrency: int
+    rate: float | None
+    requests: int
+    succeeded: int
+    rejected: int
+    errors: int
+    seconds: float
+    latency: LatencyRecorder
+    per_op: dict[str, LatencyRecorder] = field(default_factory=dict)
+
+    @property
+    def requests_per_sec(self) -> float:
+        return self.succeeded / self.seconds if self.seconds > 0 else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "concurrency": self.concurrency,
+            "rate": self.rate,
+            "requests": self.requests,
+            "succeeded": self.succeeded,
+            "rejected": self.rejected,
+            "errors": self.errors,
+            "seconds": self.seconds,
+            "requests_per_sec": self.requests_per_sec,
+            "latency": self.latency.summary(),
+            "per_op": {
+                kind: recorder.summary()
+                for kind, recorder in sorted(self.per_op.items())
+            },
+        }
+
+
+def plan_workload(
+    catalog: dict,
+    *,
+    mix: WorkloadMix | None = None,
+    num_requests: int = 200,
+    pairs_per_request: int = 4,
+    top: int = 5,
+    seed: int = 0,
+    churn_refs: list | None = None,
+) -> list[Operation]:
+    """Build a deterministic request sequence from a ``/candidates`` payload.
+
+    ``catalog`` is the gateway's ``GET /candidates`` response (or an
+    equivalent dict): ``platform_pairs`` feeds ``top_k`` ops, the sampled
+    ``pairs`` feed ``score`` (contiguous slices of ``pairs_per_request``)
+    and ``link`` (their left accounts).  ``churn`` ops cycle through
+    ``churn_refs`` — accounts the caller guarantees are served and *absent*
+    from the sampled score pairs, so a concurrent withdrawal can never
+    invalidate a read in flight.
+    """
+    mix = mix or WorkloadMix()
+    weights = mix.weights()
+    pairs = [
+        (tuple(pair[0]), tuple(pair[1])) for pair in catalog.get("pairs", [])
+    ]
+    platform_pairs = [tuple(key) for key in catalog.get("platform_pairs", [])]
+    churn_refs = [tuple(ref) for ref in (churn_refs or [])]
+    if weights["score"] > 0 and not pairs:
+        raise ValueError("catalog has no pairs to build score ops from")
+    if weights["top_k"] > 0 and not platform_pairs:
+        raise ValueError("catalog has no platform pairs for top_k ops")
+    if weights["link"] > 0 and not pairs:
+        raise ValueError("catalog has no pairs to build link ops from")
+    if weights["churn"] > 0 and not churn_refs:
+        raise ValueError("churn ops require churn_refs")
+    if pairs_per_request < 1:
+        raise ValueError(
+            f"pairs_per_request must be >= 1, got {pairs_per_request}"
+        )
+
+    rng = random.Random(seed)
+    kinds = list(weights)
+    kind_weights = [weights[kind] for kind in kinds]
+    ops: list[Operation] = []
+    churn_cursor = 0
+    for _ in range(num_requests):
+        kind = rng.choices(kinds, weights=kind_weights)[0]
+        if kind == "score":
+            start = rng.randrange(len(pairs))
+            window = [
+                pairs[(start + i) % len(pairs)]
+                for i in range(min(pairs_per_request, len(pairs)))
+            ]
+            ops.append(Operation("score", (tuple(window),)))
+        elif kind == "top_k":
+            key = platform_pairs[rng.randrange(len(platform_pairs))]
+            ops.append(Operation("top_k", (key[0], key[1], top)))
+        elif kind == "link":
+            ref = pairs[rng.randrange(len(pairs))][0]
+            ops.append(Operation("link", (ref[0], ref[1], top)))
+        else:  # churn: withdraw + re-ingest one dedicated account
+            ref = churn_refs[churn_cursor % len(churn_refs)]
+            churn_cursor += 1
+            ops.append(Operation("churn", (ref,)))
+    return ops
+
+
+def _execute(client: GatewayClient, op: Operation, deadline_ms) -> None:
+    if op.kind == "score":
+        client.score_pairs(list(op.payload[0]), deadline_ms=deadline_ms)
+    elif op.kind == "top_k":
+        client.top_k(*op.payload, deadline_ms=deadline_ms)
+    elif op.kind == "link":
+        platform, account_id, top = op.payload
+        client.link_account(
+            platform, account_id, top=top, deadline_ms=deadline_ms
+        )
+    elif op.kind == "churn":
+        (ref,) = op.payload
+        client.remove_account(ref)
+        client.ingest([ref], score=False)
+    else:
+        raise ValueError(f"unknown operation kind {op.kind!r}")
+
+
+def run_load(
+    host: str,
+    port: int,
+    ops: list[Operation],
+    *,
+    mode: str = "closed",
+    concurrency: int = 8,
+    rate: float | None = None,
+    deadline_ms: float | None = None,
+    timeout: float = 30.0,
+) -> LoadReport:
+    """Replay ``ops`` against a gateway and measure the outcome.
+
+    ``mode="closed"`` ignores ``rate``; ``mode="open"`` requires it and
+    schedules op ``i`` at ``i / rate`` seconds after the start, measuring
+    each latency from that scheduled instant.  ``concurrency`` bounds the
+    worker threads either way (an open loop that cannot keep up reports
+    the queueing it caused as latency, exactly as intended).
+    """
+    if mode not in ("closed", "open"):
+        raise ValueError(f"mode must be 'closed' or 'open', got {mode!r}")
+    if mode == "open" and (rate is None or rate <= 0):
+        raise ValueError("open-loop mode requires a positive rate")
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    if not ops:
+        raise ValueError("no operations to run")
+
+    cursor = {"next": 0}
+    cursor_lock = threading.Lock()
+    counts_lock = threading.Lock()
+    counts = {"succeeded": 0, "rejected": 0, "errors": 0}
+    thread_recorders: list[tuple[LatencyRecorder, dict]] = []
+    start_at = time.monotonic() + 0.05  # let every worker reach the line
+
+    def worker(worker_index: int) -> None:
+        overall = LatencyRecorder(seed=worker_index)
+        per_op: dict[str, LatencyRecorder] = {}
+        thread_recorders.append((overall, per_op))
+        with GatewayClient(host, port, timeout=timeout) as client:
+            while True:
+                with cursor_lock:
+                    index = cursor["next"]
+                    if index >= len(ops):
+                        return
+                    cursor["next"] = index + 1
+                op = ops[index]
+                if mode == "open":
+                    scheduled = start_at + index / rate
+                    delay = scheduled - time.monotonic()
+                    if delay > 0:
+                        time.sleep(delay)
+                    issued = scheduled
+                else:
+                    issued = time.monotonic()
+                outcome = "succeeded"
+                try:
+                    _execute(client, op, deadline_ms)
+                except GatewayError as error:
+                    outcome = (
+                        "rejected" if error.is_backpressure else "errors"
+                    )
+                except OSError:
+                    outcome = "errors"
+                elapsed = time.monotonic() - issued
+                with counts_lock:
+                    counts[outcome] += 1
+                if outcome == "succeeded":
+                    overall.record(elapsed)
+                    recorder = per_op.get(op.kind)
+                    if recorder is None:
+                        recorder = per_op[op.kind] = LatencyRecorder(
+                            seed=worker_index
+                        )
+                    recorder.record(elapsed)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), daemon=True)
+        for i in range(concurrency)
+    ]
+    begin = time.monotonic()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    seconds = time.monotonic() - begin
+
+    latency = LatencyRecorder()
+    merged_per_op: dict[str, LatencyRecorder] = {}
+    for overall, per_op in thread_recorders:
+        latency.merge(overall)
+        for kind, recorder in per_op.items():
+            if kind not in merged_per_op:
+                merged_per_op[kind] = LatencyRecorder()
+            merged_per_op[kind].merge(recorder)
+    return LoadReport(
+        mode=mode,
+        concurrency=concurrency,
+        rate=rate,
+        requests=len(ops),
+        succeeded=counts["succeeded"],
+        rejected=counts["rejected"],
+        errors=counts["errors"],
+        seconds=seconds,
+        latency=latency,
+        per_op=merged_per_op,
+    )
+
+
+def loadgen_table(reports: list[LoadReport], labels: list[str]) -> list[list]:
+    """Rows for tabular reporting, one per labelled run."""
+    rows = []
+    for label, report in zip(labels, reports):
+        summary = report.latency.summary()
+        rows.append([
+            label,
+            report.requests,
+            report.succeeded,
+            report.rejected + report.errors,
+            report.seconds,
+            report.requests_per_sec,
+            summary["p50_ms"],
+            summary["p99_ms"],
+        ])
+    return rows

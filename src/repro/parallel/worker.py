@@ -41,6 +41,7 @@ __all__ = [
     "init_scorer_from_artifact",
     "init_scorer_from_linker",
     "score_chunked",
+    "score_grouped",
     "score_shard",
     "swap_state",
 ]
@@ -120,6 +121,44 @@ def score_chunked(linker, pairs: list, batch_size: int) -> np.ndarray:
     for lo in range(0, len(pairs), batch_size):
         chunk = pairs[lo : lo + batch_size]
         out[lo : lo + len(chunk)] = linker.score_pairs(chunk)
+    return out
+
+
+def score_grouped(
+    linker, groups: list[list], batch_size: int
+) -> list[np.ndarray]:
+    """Score several independent pair lists in one featurization sweep.
+
+    The coalescing primitive behind the gateway's micro-batcher
+    (:mod:`repro.gateway.batcher`), built on the same two stages
+    ``HydraLinker.score_pairs`` itself composes
+    (:meth:`~repro.core.hydra.HydraLinker.featurize_pairs` +
+    :meth:`~repro.core.hydra.HydraLinker.score_features`), so the paths
+    cannot drift apart: the groups' pairs are concatenated and featurized +
+    missing-filled array-at-a-time in ``batch_size`` chunks — featurization
+    is row-independent, so every feature row is bit-identical to
+    featurizing its group alone.  The kernel decision then runs per group
+    over that group's rows, chunked exactly as a standalone
+    ``score_chunked(linker, group, batch_size)`` call would chunk them, so
+    each group's scores are bit-identical to scoring the group by itself
+    while the featurization fixed costs amortize across all groups.
+    """
+    all_pairs = [pair for group in groups for pair in group]
+    if not all_pairs:
+        return [np.zeros(0) for _ in groups]
+    x = np.vstack([
+        linker.featurize_pairs(all_pairs[lo : lo + batch_size])
+        for lo in range(0, len(all_pairs), batch_size)
+    ])
+    out: list[np.ndarray] = []
+    offset = 0
+    for group in groups:
+        scores = np.empty(len(group))
+        for lo in range(0, len(group), batch_size):
+            hi = min(lo + batch_size, len(group))
+            scores[lo:hi] = linker.score_features(x[offset + lo : offset + hi])
+        out.append(scores)
+        offset += len(group)
     return out
 
 

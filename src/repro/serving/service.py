@@ -44,6 +44,7 @@ fails loudly rather than serving pre-mutation scores.
 
 from __future__ import annotations
 
+import threading
 from collections import Counter, OrderedDict
 from dataclasses import dataclass, field
 
@@ -66,7 +67,15 @@ Pair = tuple[AccountRef, AccountRef]
 
 
 class LruCache:
-    """A small least-recently-used cache with hit/miss counters."""
+    """A small least-recently-used cache with hit/miss counters.
+
+    Thread-safe: every operation holds an internal re-entrant lock, so
+    concurrent gateway reader threads cannot corrupt the recency order or
+    the hit/miss counters.  ``compute`` runs *under* the lock — fills are
+    single-flight per cache (one thread fills while the others wait and
+    then hit), which is exactly what the memoized score arrays want; keep
+    compute callbacks free of calls back into the same cache.
+    """
 
     def __init__(self, maxsize: int = 4096):
         if maxsize < 1:
@@ -75,36 +84,41 @@ class LruCache:
         self.hits = 0
         self.misses = 0
         self._data: OrderedDict = OrderedDict()
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def get_or_compute(self, key, compute):
         """Return the cached value for ``key``, computing and inserting on miss."""
-        try:
-            value = self._data[key]
-        except KeyError:
-            self.misses += 1
-            value = compute()
-            self._data[key] = value
-            if len(self._data) > self.maxsize:
-                self._data.popitem(last=False)
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.misses += 1
+                value = compute()
+                self._data[key] = value
+                if len(self._data) > self.maxsize:
+                    self._data.popitem(last=False)
+                return value
+            self.hits += 1
+            self._data.move_to_end(key)
             return value
-        self.hits += 1
-        self._data.move_to_end(key)
-        return value
 
     def invalidate(self, key) -> bool:
         """Drop one entry; True when something was actually cached."""
-        try:
-            del self._data[key]
-        except KeyError:
-            return False
-        return True
+        with self._lock:
+            try:
+                del self._data[key]
+            except KeyError:
+                return False
+            return True
 
     def clear(self) -> None:
         """Drop every entry (counters are preserved)."""
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
 
 @dataclass(frozen=True)
@@ -231,6 +245,12 @@ class LinkageService:
         self._executor: ShardedExecutor | None = None
         self._executor_epoch: int | None = None
         self._registry = None  # lazy ServingRegistry, built on first mutation
+        # workload counters and the pool handle are touched by every reader;
+        # the gateway runs readers on several threads, so both get a lock
+        # (mutations — add/remove — additionally require the gateway's
+        # writer fence: reads during a mutation are the *caller's* race)
+        self._stats_lock = threading.Lock()
+        self._pool_lock = threading.RLock()
         self._summaries = LruCache(summary_cache_size)
         self._score_cache = LruCache(score_cache_size)
         self._queries = 0
@@ -280,13 +300,45 @@ class LinkageService:
         self, pairs: list[Pair], *, batch_size: int | None = None
     ) -> np.ndarray:
         """Decision values for arbitrary pairs, featurized batch by batch."""
-        self._queries += 1
+        with self._stats_lock:
+            self._queries += 1
         if not pairs:
             return np.zeros(0)
         batch = batch_size if batch_size is not None else self.batch_size
         out = self._score(pairs, batch)
-        self._pairs_scored += len(pairs)
-        self._batches += -(-len(pairs) // batch)  # ceil division
+        with self._stats_lock:
+            self._pairs_scored += len(pairs)
+            self._batches += -(-len(pairs) // batch)  # ceil division
+        return out
+
+    def score_pairs_grouped(
+        self, groups: list[list[Pair]], *, batch_size: int | None = None
+    ) -> list[np.ndarray]:
+        """Score several independent pair batches in one featurization sweep.
+
+        The coalescing entry point for the gateway's micro-batcher
+        (:mod:`repro.gateway.batcher`): concurrent ``score_pairs`` requests
+        are concatenated and featurized array-at-a-time, amortizing the
+        per-call featurization fixed costs, while each group's kernel
+        decision runs with exactly the chunk composition a standalone
+        :meth:`score_pairs` call would use — so every group's scores are
+        **bit-identical** to scoring that group alone
+        (:func:`repro.parallel.worker.score_grouped`).  Each group counts
+        as one query.  Grouped calls always score inline; the gateway owns
+        its own concurrency and per-group work is too fine to shard.
+        """
+        batch = batch_size if batch_size is not None else self.batch_size
+        if batch < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch}")
+        with self._stats_lock:
+            self._queries += len(groups)
+        total = sum(len(group) for group in groups)
+        if total == 0:
+            return [np.zeros(0) for _ in groups]
+        out = _worker.score_grouped(self.linker, groups, batch)
+        with self._stats_lock:
+            self._pairs_scored += total
+            self._batches += -(-total // batch)  # ceil division
         return out
 
     def _score(self, pairs: list[Pair], batch: int) -> np.ndarray:
@@ -335,11 +387,12 @@ class LinkageService:
             _worker.score_shard,
             [(shard.index, shard.take(pairs), batch, epoch) for shard in plan],
         )
-        self._parallel_queries += 1
-        self._shards_dispatched += plan.num_shards
-        for result in results:
-            self._worker_pairs[result.worker] += result.num_items
-            self._worker_shards[result.worker] += 1
+        with self._stats_lock:
+            self._parallel_queries += 1
+            self._shards_dispatched += plan.num_shards
+            for result in results:
+                self._worker_pairs[result.worker] += result.num_items
+                self._worker_shards[result.worker] += 1
         return plan.merge([result.values for result in results])
 
     def _ensure_executor(self) -> ShardedExecutor:
@@ -354,30 +407,33 @@ class LinkageService:
         consistent snapshot of the mutated state — mutated linkers always
         ship by object (their ``artifact_path_`` is cleared on mutation).
         """
-        epoch = self.registry_epoch
-        if self._executor is not None and self._executor_epoch != epoch:
-            self.close()
-        if self._executor is None:
-            from repro.persist import artifact_exists
+        with self._pool_lock:
+            epoch = self.registry_epoch
+            if self._executor is not None and self._executor_epoch != epoch:
+                self.close()
+            if self._executor is None:
+                from repro.persist import artifact_exists
 
-            path = getattr(self.linker, "artifact_path_", None)
-            if path is not None and artifact_exists(path):
-                initializer = _worker.init_scorer_from_artifact
-                initargs: tuple = (str(path),)
-            else:
-                initializer = _worker.init_scorer_from_linker
-                initargs = (self.linker,)
-            self._executor = ShardedExecutor(
-                workers=self.workers, initializer=initializer, initargs=initargs
-            )
-            self._executor_epoch = epoch
-        return self._executor
+                path = getattr(self.linker, "artifact_path_", None)
+                if path is not None and artifact_exists(path):
+                    initializer = _worker.init_scorer_from_artifact
+                    initargs: tuple = (str(path),)
+                else:
+                    initializer = _worker.init_scorer_from_linker
+                    initargs = (self.linker,)
+                self._executor = ShardedExecutor(
+                    workers=self.workers, initializer=initializer,
+                    initargs=initargs,
+                )
+                self._executor_epoch = epoch
+            return self._executor
 
     def close(self) -> None:
         """Release the scoring pool (no-op for inline services)."""
-        if self._executor is not None:
-            self._executor.close()
-            self._executor = None
+        with self._pool_lock:
+            if self._executor is not None:
+                self._executor.close()
+                self._executor = None
 
     def __enter__(self) -> "LinkageService":
         return self
@@ -449,8 +505,9 @@ class LinkageService:
             self._score_cache.invalidate(key)
             added.extend(delta.added)
             removed += len(delta.removed)
-        self._accounts_ingested += len(refs)
-        self._ingest_batches += 1
+        with self._stats_lock:
+            self._accounts_ingested += len(refs)
+            self._ingest_batches += 1
         links: tuple[ScoredLink, ...] = ()
         if score and added:
             links = tuple(
@@ -491,7 +548,8 @@ class LinkageService:
             self._reindex_key(key)
             self._score_cache.invalidate(key)
         self._summaries.invalidate(ref)
-        self._accounts_removed += 1
+        with self._stats_lock:
+            self._accounts_removed += 1
         return dropped
 
     def _links_for(self, pairs: list[Pair]) -> list[ScoredLink]:
@@ -521,7 +579,8 @@ class LinkageService:
         Either orientation is accepted; returned pairs follow the requested
         orientation.
         """
-        self._queries += 1
+        with self._stats_lock:
+            self._queries += 1
         key, flipped = self._resolve(platform_a, platform_b)
         index = self._index[key]
         scores = self._cached_scores(key)
@@ -542,7 +601,8 @@ class LinkageService:
         (restricted to ``other_platform`` when given) and returns the
         strongest ``top`` links, oriented with the queried account first.
         """
-        self._queries += 1
+        with self._stats_lock:
+            self._queries += 1
         results: list[ScoredLink] = []
         for key, index in self._index.items():
             if key[0] == platform and (other_platform in (None, key[1])):
@@ -570,25 +630,37 @@ class LinkageService:
 
     def stats(self) -> ServiceStats:
         """Snapshot of the service counters."""
-        return ServiceStats(
-            queries=self._queries,
-            pairs_scored=self._pairs_scored,
-            batches=self._batches,
-            summary_cache_hits=self._summaries.hits,
-            summary_cache_misses=self._summaries.misses,
-            score_cache_entries=len(self._score_cache),
-            score_cache_hits=self._score_cache.hits,
-            score_cache_misses=self._score_cache.misses,
-            workers=self.workers,
-            parallel_queries=self._parallel_queries,
-            shards_dispatched=self._shards_dispatched,
-            worker_pairs=dict(self._worker_pairs),
-            worker_shards=dict(self._worker_shards),
-            registry_epoch=self.registry_epoch,
-            accounts_ingested=self._accounts_ingested,
-            accounts_removed=self._accounts_removed,
-            ingest_batches=self._ingest_batches,
+        # cache numbers are gathered before _stats_lock: a cache fill holds
+        # its cache lock and then takes _stats_lock (sharded bookkeeping),
+        # so taking the cache lock while holding _stats_lock would invert
+        # the order and deadlock
+        summary_hits, summary_misses = (
+            self._summaries.hits, self._summaries.misses,
         )
+        score_entries = len(self._score_cache)
+        score_hits, score_misses = (
+            self._score_cache.hits, self._score_cache.misses,
+        )
+        with self._stats_lock:
+            return ServiceStats(
+                queries=self._queries,
+                pairs_scored=self._pairs_scored,
+                batches=self._batches,
+                summary_cache_hits=summary_hits,
+                summary_cache_misses=summary_misses,
+                score_cache_entries=score_entries,
+                score_cache_hits=score_hits,
+                score_cache_misses=score_misses,
+                workers=self.workers,
+                parallel_queries=self._parallel_queries,
+                shards_dispatched=self._shards_dispatched,
+                worker_pairs=dict(self._worker_pairs),
+                worker_shards=dict(self._worker_shards),
+                registry_epoch=self.registry_epoch,
+                accounts_ingested=self._accounts_ingested,
+                accounts_removed=self._accounts_removed,
+                ingest_batches=self._ingest_batches,
+            )
 
     # ------------------------------------------------------------------
     # internals

@@ -1,7 +1,7 @@
 """Shared low-level utilities: RNG management, timing, validation helpers."""
 
 from repro.utils.rng import RngFactory, as_rng
-from repro.utils.timing import Stopwatch, timed
+from repro.utils.timing import LatencyRecorder, Stopwatch, timed
 from repro.utils.validation import (
     check_in_range,
     check_non_empty,
@@ -10,6 +10,7 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "LatencyRecorder",
     "RngFactory",
     "as_rng",
     "Stopwatch",

@@ -1,13 +1,16 @@
-"""Wall-clock measurement helpers used by the efficiency experiments (Fig 14)."""
+"""Wall-clock measurement helpers: stage timing (Fig 14) and latency histograms."""
 
 from __future__ import annotations
 
+import math
+import random
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, TypeVar
 
-__all__ = ["Stopwatch", "timed"]
+__all__ = ["LatencyRecorder", "Stopwatch", "timed"]
 
 T = TypeVar("T")
 
@@ -51,3 +54,136 @@ def timed(fn: Callable[..., T], *args, **kwargs) -> tuple[T, float]:
     start = time.perf_counter()
     result = fn(*args, **kwargs)
     return result, time.perf_counter() - start
+
+
+class LatencyRecorder:
+    """A bounded-memory latency histogram with percentile summaries.
+
+    Samples (in seconds) land in a fixed-capacity reservoir (algorithm R:
+    once full, the i-th observation replaces a random slot with probability
+    ``capacity / i``), so percentiles over arbitrarily long runs cost
+    ``capacity`` floats.  ``count`` / ``total_seconds`` / ``min`` / ``max``
+    are tracked exactly; ``p50`` / ``p95`` / ``p99`` are nearest-rank
+    percentiles of the reservoir (exact until ``count`` exceeds
+    ``capacity``, a uniform sample after).
+
+    Recorders merge: per-thread recorders in the load generator combine into
+    one report, and per-endpoint gateway histograms aggregate into totals.
+    ``record`` and ``merge`` take an internal lock, so one recorder may be
+    shared across threads.  The replacement RNG is seeded, so a single-
+    threaded run's summaries are reproducible.
+    """
+
+    def __init__(self, capacity: int = 4096, seed: int = 0):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.count = 0
+        self.total_seconds = 0.0
+        self.min_seconds = math.inf
+        self.max_seconds = 0.0
+        self._samples: list[float] = []
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def record(self, seconds: float) -> None:
+        """Add one observation (in seconds)."""
+        if seconds < 0:
+            raise ValueError(f"latency cannot be negative, got {seconds}")
+        with self._lock:
+            self.count += 1
+            self.total_seconds += seconds
+            self.min_seconds = min(self.min_seconds, seconds)
+            self.max_seconds = max(self.max_seconds, seconds)
+            if len(self._samples) < self.capacity:
+                self._samples.append(seconds)
+            else:
+                slot = self._rng.randrange(self.count)
+                if slot < self.capacity:
+                    self._samples[slot] = seconds
+
+    def merge(self, other: "LatencyRecorder") -> None:
+        """Fold another recorder's observations into this one.
+
+        Exact statistics (count, total, min, max) add exactly.  The merged
+        reservoir keeps every sample when both fit; otherwise each side
+        contributes slots proportional to its observation count, drawn
+        uniformly from its reservoir, so the merged sample stays an
+        (approximately) uniform sample of the union stream.
+        """
+        with other._lock:
+            other_samples = list(other._samples)
+            other_count = other.count
+            other_total = other.total_seconds
+            other_min, other_max = other.min_seconds, other.max_seconds
+        if other_count == 0:
+            return
+        with self._lock:
+            merged_count = self.count + other_count
+            if len(self._samples) + len(other_samples) <= self.capacity:
+                self._samples.extend(other_samples)
+            else:
+                take_self = max(
+                    1, round(self.capacity * self.count / merged_count)
+                ) if self.count else 0
+                take_self = min(take_self, len(self._samples))
+                take_other = min(self.capacity - take_self, len(other_samples))
+                keep = (
+                    self._rng.sample(self._samples, take_self)
+                    if take_self < len(self._samples)
+                    else list(self._samples)
+                )
+                keep += (
+                    self._rng.sample(other_samples, take_other)
+                    if take_other < len(other_samples)
+                    else other_samples
+                )
+                self._samples = keep
+            self.count = merged_count
+            self.total_seconds += other_total
+            self.min_seconds = min(self.min_seconds, other_min)
+            self.max_seconds = max(self.max_seconds, other_max)
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile of the reservoir; 0.0 when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        with self._lock:
+            if not self._samples:
+                return 0.0
+            ordered = sorted(self._samples)
+        rank = max(0, math.ceil(q * len(ordered)) - 1)
+        return ordered[rank]
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(0.99)
+
+    @property
+    def mean(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+    def summary(self, unit: float = 1e3) -> dict:
+        """The headline numbers as a dict (latencies scaled by ``unit``;
+        the default reports milliseconds)."""
+        empty = self.count == 0
+        return {
+            "count": self.count,
+            "mean_ms": self.mean * unit,
+            "p50_ms": self.p50 * unit,
+            "p95_ms": self.p95 * unit,
+            "p99_ms": self.p99 * unit,
+            "max_ms": (0.0 if empty else self.max_seconds) * unit,
+            "min_ms": (0.0 if empty else self.min_seconds) * unit,
+        }

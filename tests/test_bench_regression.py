@@ -1,6 +1,7 @@
 """Unit tests for the CI benchmark-regression gate."""
 
 import importlib.util
+import json
 import sys
 from pathlib import Path
 
@@ -16,11 +17,14 @@ sys.modules[_SPEC.name] = check_regression
 _SPEC.loader.exec_module(check_regression)
 
 
-def _table(name: str, rows: list[list]) -> str:
-    header = ["batch_size", "pairs", "best_seconds", "pairs_per_sec"]
+def _table(name: str, rows: list[list], header: list[str] | None = None) -> str:
+    header = header or ["batch_size", "pairs", "best_seconds", "pairs_per_sec"]
     lines = [name, "=" * len(name), "  ".join(header), "-" * 40]
     lines += ["  ".join(str(cell) for cell in row) for row in rows]
     return "\n".join(lines) + "\n"
+
+
+_GATEWAY_HEADER = ["mode", "requests", "seconds", "requests_per_sec", "p99_ms"]
 
 
 def _write(directory: Path, name: str, text: str) -> None:
@@ -39,6 +43,30 @@ class TestParsing:
 
     def test_non_table_text_is_skipped(self):
         assert check_regression.best_pairs_per_sec("free-form notes\n") is None
+
+    def test_metrics_from_table_reads_both_directions(self):
+        text = _table(
+            "t",
+            [["coalesced", 400, 0.2, 2000.0, 18.0],
+             ["naive", 400, 0.8, 500.0, 60.0]],
+            header=_GATEWAY_HEADER,
+        )
+        metrics = check_regression.metrics_from_table(text)
+        assert metrics == {"requests_per_sec": 2000.0, "p99_ms": 18.0}
+
+    def test_metrics_from_json_document(self):
+        document = json.dumps({
+            "name": "loadgen",
+            "metrics": {"requests_per_sec": 1500.0, "p99_ms": 12.5,
+                        "unrecognized": 1.0},
+        })
+        metrics = check_regression.metrics_from_json(document)
+        assert metrics == {"requests_per_sec": 1500.0, "p99_ms": 12.5}
+
+    def test_metrics_from_json_rejects_garbage(self):
+        assert check_regression.metrics_from_json("not json") == {}
+        assert check_regression.metrics_from_json("[1, 2]") == {}
+        assert check_regression.metrics_from_json('{"metrics": 3}') == {}
 
 
 class TestCompare:
@@ -76,6 +104,62 @@ class TestCompare:
         assert check_regression.compare_dirs(
             tmp_path / "base", tmp_path / "cur", threshold=0.30
         ) == []
+
+    def test_latency_regression_fails_in_the_other_direction(self, tmp_path):
+        base = _table("t", [["coalesced", 400, 0.2, 2000.0, 20.0]],
+                      header=_GATEWAY_HEADER)
+        _write(tmp_path / "base", "gateway.txt", base)
+        # throughput holds, p99 latency up 2x: must regress
+        cur = _table("t", [["coalesced", 400, 0.2, 2000.0, 40.0]],
+                     header=_GATEWAY_HEADER)
+        _write(tmp_path / "cur", "gateway.txt", cur)
+        comparisons = check_regression.compare_dirs(
+            tmp_path / "base", tmp_path / "cur", threshold=0.30
+        )
+        by_metric = {c.metric: c for c in comparisons}
+        assert set(by_metric) == {"requests_per_sec", "p99_ms"}
+        assert not by_metric["requests_per_sec"].regressed
+        assert by_metric["p99_ms"].direction == "lower"
+        assert by_metric["p99_ms"].regressed
+
+    def test_latency_improvement_passes(self, tmp_path):
+        base = _table("t", [["coalesced", 400, 0.2, 2000.0, 20.0]],
+                      header=_GATEWAY_HEADER)
+        cur = _table("t", [["coalesced", 400, 0.2, 2400.0, 5.0]],
+                     header=_GATEWAY_HEADER)
+        _write(tmp_path / "base", "gateway.txt", base)
+        _write(tmp_path / "cur", "gateway.txt", cur)
+        comparisons = check_regression.compare_dirs(
+            tmp_path / "base", tmp_path / "cur", threshold=0.30
+        )
+        assert not any(c.regressed for c in comparisons)
+
+    def test_json_documents_compare_like_tables(self, tmp_path):
+        base = json.dumps({"metrics": {"requests_per_sec": 1000.0,
+                                       "p99_ms": 10.0}})
+        cur = json.dumps({"metrics": {"requests_per_sec": 650.0,
+                                      "p99_ms": 10.0}})
+        _write(tmp_path / "base", "loadgen.json", base)
+        _write(tmp_path / "cur", "loadgen.json", cur)
+        comparisons = check_regression.compare_dirs(
+            tmp_path / "base", tmp_path / "cur", threshold=0.30
+        )
+        by_metric = {c.metric: c for c in comparisons}
+        assert by_metric["requests_per_sec"].regressed
+        assert not by_metric["p99_ms"].regressed
+
+    def test_missing_metric_in_current_is_a_regression(self, tmp_path):
+        base = _table("t", [["coalesced", 400, 0.2, 2000.0, 20.0]],
+                      header=_GATEWAY_HEADER)
+        cur = _table("t", [[256, 84, 0.004, 19569.2]])  # no latency column
+        _write(tmp_path / "base", "gateway.txt", base)
+        _write(tmp_path / "cur", "gateway.txt", cur)
+        comparisons = check_regression.compare_dirs(
+            tmp_path / "base", tmp_path / "cur", threshold=0.30
+        )
+        by_metric = {c.metric: c for c in comparisons}
+        assert by_metric["p99_ms"].current is None
+        assert by_metric["p99_ms"].regressed
 
 
 class TestMain:

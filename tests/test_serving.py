@@ -1,5 +1,7 @@
 """Tests for the batch-scoring service layer."""
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -69,6 +71,34 @@ class TestLruCache:
     def test_invalid_size(self):
         with pytest.raises(ValueError):
             LruCache(maxsize=0)
+
+    def test_concurrent_access_stays_consistent(self):
+        """Hammered from 8 threads, the cache never corrupts its order
+        bookkeeping or exceeds its bound (the gateway's reader threads)."""
+        cache = LruCache(maxsize=16)
+        errors: list[BaseException] = []
+
+        def hammer(worker: int):
+            try:
+                for i in range(400):
+                    key = (worker * 7 + i) % 40
+                    value = cache.get_or_compute(key, lambda k=key: k * 2)
+                    assert value == key * 2
+                    if i % 13 == 0:
+                        cache.invalidate(key)
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(w,)) for w in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 16
+        assert cache.hits + cache.misses == 8 * 400
 
 
 class TestLinkageService:
@@ -174,6 +204,115 @@ class TestLinkageService:
             service.score_pairs([(("a", "1"), ("b", "2"))], batch_size=0)
 
 
+class TestGroupedScoring:
+    """The gateway-coalescing primitive: grouped == per-group, bit for bit."""
+
+    def test_groups_bit_identical_to_standalone_calls(
+        self, service_and_linker
+    ):
+        service, linker = service_and_linker
+        pairs = list(linker.candidates_[("facebook", "twitter")].pairs)
+        groups = [pairs[:3], pairs[3:4], [], pairs[4:50], pairs[2:40]]
+        grouped = service.score_pairs_grouped(groups)
+        assert len(grouped) == len(groups)
+        for group, scores in zip(groups, grouped):
+            assert np.array_equal(
+                scores, service.score_pairs(list(group))
+            ), "a coalesced group's scores must match scoring it alone"
+
+    def test_groups_larger_than_batch_size_chunk_identically(
+        self, service_and_linker
+    ):
+        service, linker = service_and_linker
+        pairs = list(linker.candidates_[("facebook", "twitter")].pairs)
+        group = pairs[:50]  # spans two chunks at batch_size=32
+        (grouped,) = service.score_pairs_grouped([group], batch_size=20)
+        assert np.array_equal(
+            grouped, service.score_pairs(group, batch_size=20)
+        )
+
+    def test_counts_each_group_as_one_query(self, service_and_linker):
+        service, linker = service_and_linker
+        pairs = list(linker.candidates_[("facebook", "twitter")].pairs)
+        before = service.stats()
+        service.score_pairs_grouped([pairs[:2], pairs[2:5]])
+        after = service.stats()
+        assert after.queries == before.queries + 2
+        assert after.pairs_scored == before.pairs_scored + 5
+
+    def test_all_empty_groups(self, service_and_linker):
+        service, _ = service_and_linker
+        results = service.score_pairs_grouped([[], []])
+        assert [r.shape for r in results] == [(0,), (0,)]
+
+    def test_invalid_batch_size(self, service_and_linker):
+        service, _ = service_and_linker
+        with pytest.raises(ValueError):
+            service.score_pairs_grouped([[]], batch_size=0)
+
+    def test_stats_during_sharded_cache_fill_cannot_deadlock(
+        self, service_and_linker
+    ):
+        """Lock-order regression test: a sharded top_k cache fill holds the
+        score-cache lock and then takes the stats lock; stats() must gather
+        its cache numbers *before* taking the stats lock, or the two
+        threads deadlock (observed with workers>1 + a /stats poller)."""
+        _, linker = service_and_linker
+        service = LinkageService(linker, batch_size=32, workers=2)
+        outcome = {}
+
+        def fill():
+            outcome["top_k"] = service.top_k("facebook", "twitter", k=3)
+
+        def poll():
+            for _ in range(200):
+                outcome["stats"] = service.stats()
+
+        with service:
+            threads = [
+                threading.Thread(target=fill, daemon=True),
+                threading.Thread(target=poll, daemon=True),
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            if any(thread.is_alive() for thread in threads):
+                pytest.fail(
+                    "stats() deadlocked against a sharded cache fill"
+                )
+        assert len(outcome["top_k"]) == 3
+        assert outcome["stats"].workers == 2
+
+    def test_concurrent_reads_bit_identical(self, service_and_linker):
+        """Threaded readers (the gateway's executor shape) never corrupt
+        each other's scores or the shared caches."""
+        service, linker = service_and_linker
+        pairs = list(linker.candidates_[("facebook", "twitter")].pairs)
+        slices = [pairs[i::6] for i in range(6)]
+        expected = [service.score_pairs(chunk) for chunk in slices]
+        outputs: dict[int, np.ndarray] = {}
+        errors: list[BaseException] = []
+
+        def read(index: int):
+            try:
+                outputs[index] = service.score_pairs(slices[index])
+                service.top_k("facebook", "twitter", k=3)
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=read, args=(i,)) for i in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        for index, chunk in enumerate(slices):
+            assert np.array_equal(outputs[index], expected[index])
+
+
 class TestThroughputBenchmark:
     def test_reports_two_batch_sizes(self, service_and_linker):
         service, _ = service_and_linker
@@ -184,8 +323,10 @@ class TestThroughputBenchmark:
         for result in results:
             assert result.pairs_per_sec > 0
             assert result.num_pairs <= 40
+            assert result.latency.count == result.repeats
+            assert result.latency.min_seconds == result.best_seconds
         rows = throughput_table(results)
-        assert len(rows) == 2 and len(rows[0]) == 4
+        assert len(rows) == 2 and len(rows[0]) == 5
 
     def test_rejects_empty_workload(self, service_and_linker):
         service, _ = service_and_linker

@@ -1,6 +1,7 @@
 """Tests for the spectral linker, the tuning grid search, and the CLI."""
 
-import numpy as np
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -174,3 +175,63 @@ class TestServiceCli:
         assert len(
             [line for line in out.splitlines() if line.startswith(("4 ", "16 "))]
         ) == 2
+
+    def test_serve_bench_json_emits_metric_document(self, artifact, capsys):
+        code = main([
+            "serve-bench", "--artifact", str(artifact),
+            "--batch-sizes", "4", "--repeats", "1", "--max-pairs", "12",
+            "--json",
+        ])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["name"] == "serve_bench"
+        assert document["metrics"]["pairs_per_sec"] > 0
+        assert document["headers"][0] == "batch_size"
+        assert len(document["rows"]) == 1
+
+    def test_serve_parser_wiring(self):
+        parser = build_parser()
+        args = parser.parse_args([
+            "serve", "--artifact", "x", "--port", "0", "--no-coalesce",
+            "--max-pending", "9", "--deadline-ms", "250",
+        ])
+        assert args.command == "serve"
+        assert args.no_coalesce is True
+        assert args.max_pending == 9
+        assert args.deadline_ms == 250.0
+
+    def test_loadgen_mix_validation(self):
+        from repro.cli import _parse_mix
+
+        mix = _parse_mix("score=0.5,top_k=0.25,link=0.25")
+        assert mix.score_pairs == 0.5
+        with pytest.raises(SystemExit, match="bad --mix entry"):
+            _parse_mix("score")  # missing =weight
+        with pytest.raises(SystemExit, match="bad --mix entry"):
+            _parse_mix("scores=0.8")  # typo'd op name
+        with pytest.raises(SystemExit, match="must be a number"):
+            _parse_mix("score=lots")
+        with pytest.raises(SystemExit, match="must be >= 0"):
+            _parse_mix("score=-1,top_k=2")
+        with pytest.raises(SystemExit, match="sum to more than 0"):
+            _parse_mix("score=0,top_k=0")
+
+    def test_loadgen_cli_json_against_live_gateway(self, artifact, capsys):
+        from repro.gateway import GatewayThread
+        from repro.serving import LinkageService
+
+        service = LinkageService.from_artifact(artifact)
+        with service, GatewayThread(service) as gateway:
+            code = main([
+                "loadgen", "--host", gateway.host,
+                "--port", str(gateway.port),
+                "--requests", "12", "--concurrency", "3",
+                "--mix", "score=0.8,top_k=0.2",
+                "--pairs-per-request", "2", "--json",
+            ])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["name"] == "loadgen"
+        assert document["metrics"]["requests_per_sec"] > 0
+        assert document["metrics"]["p99_ms"] > 0
+        assert document["rows"][0][1] == 12  # requests column

@@ -1,11 +1,13 @@
 """Unit tests for repro.utils (rng, timing, validation)."""
 
+import threading
 import time
 
 import numpy as np
 import pytest
 
 from repro.utils import (
+    LatencyRecorder,
     RngFactory,
     Stopwatch,
     as_rng,
@@ -85,6 +87,102 @@ class TestStopwatch:
         result, secs = timed(lambda x: x * 2, 21)
         assert result == 42
         assert secs >= 0.0
+
+
+class TestLatencyRecorder:
+    def test_exact_percentiles_below_capacity(self):
+        recorder = LatencyRecorder(capacity=1000)
+        for ms in range(1, 101):  # 1..100 ms
+            recorder.record(ms / 1e3)
+        assert recorder.count == 100
+        assert recorder.p50 == pytest.approx(0.050)
+        assert recorder.p95 == pytest.approx(0.095)
+        assert recorder.p99 == pytest.approx(0.099)
+        assert recorder.max_seconds == pytest.approx(0.100)
+        assert recorder.min_seconds == pytest.approx(0.001)
+        assert recorder.mean == pytest.approx(0.0505)
+
+    def test_reservoir_stays_bounded_with_exact_extremes(self):
+        recorder = LatencyRecorder(capacity=64, seed=1)
+        for i in range(10_000):
+            recorder.record((i % 997) / 1e4)
+        assert len(recorder) == 64
+        assert recorder.count == 10_000
+        # exact stats are exact even after heavy sampling
+        assert recorder.max_seconds == pytest.approx(996 / 1e4)
+        assert recorder.min_seconds == 0.0
+        # the sampled median lands near the true median
+        assert abs(recorder.p50 - 498 / 1e4) < 150 / 1e4
+
+    def test_merge_combines_exact_stats_and_samples(self):
+        a = LatencyRecorder(capacity=100)
+        b = LatencyRecorder(capacity=100)
+        for ms in range(1, 51):
+            a.record(ms / 1e3)
+        for ms in range(51, 101):
+            b.record(ms / 1e3)
+        a.merge(b)
+        assert a.count == 100
+        assert a.max_seconds == pytest.approx(0.100)
+        assert a.min_seconds == pytest.approx(0.001)
+        assert a.p50 == pytest.approx(0.050)  # both reservoirs fit -> exact
+
+    def test_merge_respects_capacity(self):
+        a = LatencyRecorder(capacity=32, seed=0)
+        b = LatencyRecorder(capacity=32, seed=1)
+        for _ in range(32):
+            a.record(0.001)
+        for _ in range(64):
+            b.record(0.100)
+        a.merge(b)
+        assert len(a) <= 32
+        assert a.count == 96
+        # b contributed ~2/3 of the stream, so the sample skews to 100ms
+        assert a.percentile(0.9) == pytest.approx(0.100)
+
+    def test_merge_empty_is_noop(self):
+        a = LatencyRecorder()
+        a.record(0.005)
+        a.merge(LatencyRecorder())
+        assert a.count == 1
+        assert a.p50 == pytest.approx(0.005)
+
+    def test_summary_shape_and_empty(self):
+        empty = LatencyRecorder().summary()
+        assert empty == {
+            "count": 0, "mean_ms": 0.0, "p50_ms": 0.0, "p95_ms": 0.0,
+            "p99_ms": 0.0, "max_ms": 0.0, "min_ms": 0.0,
+        }
+        recorder = LatencyRecorder()
+        recorder.record(0.010)
+        summary = recorder.summary()
+        assert summary["count"] == 1
+        assert summary["p50_ms"] == pytest.approx(10.0)
+        assert summary["max_ms"] == pytest.approx(10.0)
+
+    def test_thread_safe_recording(self):
+        recorder = LatencyRecorder(capacity=128)
+
+        def hammer():
+            for _ in range(500):
+                recorder.record(0.001)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert recorder.count == 4000
+        assert len(recorder) == 128
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder(capacity=0)
+        recorder = LatencyRecorder()
+        with pytest.raises(ValueError):
+            recorder.record(-0.001)
+        with pytest.raises(ValueError):
+            recorder.percentile(1.5)
 
 
 class TestValidation:
