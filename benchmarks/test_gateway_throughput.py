@@ -136,8 +136,8 @@ def test_gateway_throughput(once):
         f"Gateway throughput — {REQUESTS} score requests "
         f"x{PAIRS_PER_REQUEST} pairs, {CONCURRENCY} closed-loop clients "
         f"({PERSONS}-person world)",
-        ["mode", "requests", "ok", "failed", "seconds", "requests_per_sec",
-         "p50_ms", "p99_ms"],
+        ["mode", "requests", "ok", "failed", "retried", "seconds",
+         "requests_per_sec", "p50_ms", "p99_ms"],
         rows,
     )
     for report in reports.values():

@@ -1,0 +1,131 @@
+"""Write-ahead-log overhead: online ingest throughput per fsync policy.
+
+Not a paper figure — this prices the durability layer (:mod:`repro.wal`)
+on the hot mutation path.  One linker is fitted with accounts held out;
+each mode then absorbs the identical arrivals through
+:meth:`~repro.serving.LinkageService.add_accounts` on a fresh clone:
+
+* **wal-never** — records framed, checksummed, flushed to the OS; fsync
+  left to the kernel;
+* **wal-batch** — fsync every ``fsync_batch_bytes`` and on close (the
+  serving default: a ``kill -9`` loses nothing, only power loss can);
+* **wal-always** — fsync per record (power-loss safe, the ceiling of
+  what durability can cost).
+
+The committed baseline gates ``accounts_per_sec`` through
+``benchmarks/check_regression.py`` — every row is WAL-on, so the gate
+prices the logging machinery itself, not the no-WAL path (that path is
+gated by ``ingest_throughput``).  A no-WAL control run is reported to
+stdout as the overhead ratio, informational only.  Smoke mode (the
+default, and what CI runs) uses a small world; scale with
+``WAL_BENCH_PERSONS`` / ``WAL_BENCH_NEW`` / ``WAL_BENCH_REPEATS``.
+"""
+
+import os
+import pickle
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from conftest import write_table
+
+from repro.core import HydraLinker
+from repro.datagen import WorldConfig, generate_world
+from repro.eval.harness import make_label_split
+from repro.serving import LinkageService, holdout_split
+from repro.socialnet import transplant_account
+from repro.wal import WriteAheadLog, read_wal
+
+PERSONS = int(os.environ.get("WAL_BENCH_PERSONS", "20"))
+NEW_PER_PLATFORM = int(os.environ.get("WAL_BENCH_NEW", "5"))
+REPEATS = int(os.environ.get("WAL_BENCH_REPEATS", "3"))
+PLATFORM_PAIRS = [("facebook", "twitter")]
+SEED = 47
+
+_MODES = {  # mode -> fsync policy (None = no WAL attached)
+    "no-wal": None,
+    "wal-never": "never",
+    "wal-batch": "batch",
+    "wal-always": "always",
+}
+
+
+def _fit():
+    world = generate_world(WorldConfig(num_persons=PERSONS, seed=SEED))
+    base, held = holdout_split(world, NEW_PER_PLATFORM)
+    split = make_label_split(base, PLATFORM_PAIRS, seed=SEED)
+    linker = HydraLinker(seed=SEED, num_topics=8, max_lda_docs=1500)
+    linker.fit(
+        base, split.labeled_positive, split.labeled_negative, PLATFORM_PAIRS
+    )
+    return pickle.dumps(linker), world, held
+
+
+def _ingest_once(blob, world, held, fsync, wal_dir) -> float:
+    """One timed absorption of ``held`` on a fresh clone; returns seconds."""
+    wal = None
+    if fsync is not None:
+        shutil.rmtree(wal_dir, ignore_errors=True)
+        wal = WriteAheadLog(wal_dir, fsync=fsync)
+    service = LinkageService(pickle.loads(blob), batch_size=64, wal=wal)
+    refs = [
+        transplant_account(world, service.world, platform, account_id)
+        for platform, account_id in held
+    ]
+    start = time.perf_counter()
+    for ref in refs:  # one mutation per arrival: one WAL record each
+        service.add_accounts([ref], score=False)
+    elapsed = time.perf_counter() - start
+    if wal is not None:
+        log = wal.snapshot()
+        assert len(log.records) == len(refs)  # every arrival hit the log
+        assert not log.truncated
+    service.close()
+    if wal is not None:
+        assert read_wal(wal_dir).last_epoch == len(refs)
+    return elapsed
+
+
+def _run():
+    blob, world, held = _fit()
+    timings: dict[str, float] = {}
+    with tempfile.TemporaryDirectory(prefix="walbench-") as root:
+        for mode, fsync in _MODES.items():
+            wal_dir = Path(root) / mode
+            timings[mode] = min(
+                _ingest_once(blob, world, held, fsync, wal_dir)
+                for _ in range(max(1, REPEATS))
+            )
+    return {"timings": timings, "accounts": len(held)}
+
+
+def test_wal_overhead(once):
+    result = once(_run)
+    timings, accounts = result["timings"], result["accounts"]
+    rows = [
+        [mode, accounts, timings[mode], accounts / timings[mode]]
+        for mode in _MODES
+        if mode != "no-wal"  # the gated table is WAL-on only
+    ]
+    write_table(
+        "wal_ingest_throughput",
+        f"WAL ingest overhead — {accounts} arrivals into a "
+        f"{PERSONS}-person fitted world, per fsync policy "
+        f"(best of {max(1, REPEATS)})",
+        ["mode", "accounts", "seconds", "accounts_per_sec"],
+        rows,
+    )
+    for mode, seconds in timings.items():
+        assert seconds > 0, f"{mode} did not run"
+    overhead = timings["wal-batch"] / timings["no-wal"]
+    print(
+        f"\nwal-batch overhead vs no-wal: {overhead:.2f}x "
+        f"({timings['wal-batch']:.3f}s vs {timings['no-wal']:.3f}s, "
+        f"informational)"
+    )
+    # durability must stay a bounded tax on the mutation path, not a
+    # second implementation of it — generous bound, absorbs smoke jitter
+    assert overhead < 3.0, (
+        f"WAL (fsync=batch) made ingest {overhead:.1f}x slower than no-WAL"
+    )

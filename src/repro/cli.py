@@ -20,9 +20,16 @@ The subcommands cover the common workflows without writing any code:
   re-pack and a full refit;
 * ``serve``      — expose an artifact over HTTP through the asyncio
   gateway (:mod:`repro.gateway`): micro-batch request coalescing,
-  admission control, graceful shutdown on SIGINT/SIGTERM;
+  admission control, graceful shutdown on SIGINT/SIGTERM; ``--wal DIR``
+  adds write-ahead durability for every online mutation;
+* ``recover``    — rebuild the exact pre-crash serving state from a base
+  artifact plus its write-ahead log (:mod:`repro.wal`), optionally
+  saving it as a fresh artifact;
+* ``swap``       — ask a running gateway (served with ``--wal``) to
+  blue/green cut over to a refit artifact with zero downtime;
 * ``loadgen``    — drive a running gateway with an open- or closed-loop
-  mixed workload and report requests/sec and latency percentiles.
+  mixed workload and report requests/sec, latency percentiles, and
+  per-operation failure/retry counts.
 
 ``fit``, ``score``, and ``serve-bench`` accept ``--workers N`` (and
 ``--shard-size``) to shard featurization and scoring across a process pool
@@ -191,23 +198,27 @@ def _print_score_query(service, args) -> int:
 
 def _emit_results(
     args, *, name: str, headers: list[str], rows: list[list],
-    metrics: dict, workload: dict | None = None,
+    metrics: dict, workload: dict | None = None, extra: dict | None = None,
 ) -> None:
     """Print either the human table or the regression-gate JSON document.
 
     The JSON shape — ``{"name", "workload", "headers", "rows", "metrics"}``
     — is the one format ``benchmarks/check_regression.py`` consumes
     directly (its ``metrics`` values gate regressions), so scripted bench
-    runs never scrape the aligned text table.
+    runs never scrape the aligned text table.  ``extra`` merges additional
+    top-level keys into the JSON document (e.g. loadgen's per-op outcome
+    counts) without touching the gated ``metrics`` block.
     """
     if getattr(args, "json", False):
-        print(json.dumps({
+        document = {
             "name": name,
             "workload": workload or {},
             "headers": headers,
             "rows": rows,
             "metrics": metrics,
-        }, indent=2))
+        }
+        document.update(extra or {})
+        print(json.dumps(document, indent=2))
     else:
         print(format_table(headers, rows))
 
@@ -296,9 +307,15 @@ def cmd_serve(args) -> int:
 
     from repro.gateway import GatewayConfig, LinkageGateway
     from repro.serving import LinkageService
+    from repro.wal import WriteAheadLog, arm_from_env
 
+    arm_from_env()  # chaos harnesses arm crash sites via REPRO_FAULTS
+    wal = None
+    if args.wal is not None:
+        wal = WriteAheadLog(args.wal, fsync=args.fsync)
     service = LinkageService.from_artifact(
-        args.artifact, workers=args.workers, shard_size=args.shard_size
+        args.artifact, workers=args.workers, shard_size=args.shard_size,
+        wal=wal,
     )
     config = GatewayConfig(
         host=args.host,
@@ -315,11 +332,15 @@ def cmd_serve(args) -> int:
     async def _run() -> int:
         gateway = LinkageGateway(service, config)
         await gateway.start()
+        durability = (
+            f", wal={args.wal} fsync={args.fsync}" if wal is not None else ""
+        )
         print(
             f"serving {args.artifact} on http://{config.host}:{gateway.port}"
             f" ({service.num_candidates()} candidates, "
             f"coalesce={'on' if config.coalesce else 'off'}, "
-            f"max_pending={config.max_pending})"
+            f"max_pending={config.max_pending}{durability})",
+            flush=True,  # subprocess drivers parse the bound port from this
         )
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
@@ -405,7 +426,7 @@ def cmd_loadgen(args) -> int:
     _emit_results(
         args,
         name="loadgen",
-        headers=["mode", "requests", "ok", "failed", "seconds",
+        headers=["mode", "requests", "ok", "failed", "retried", "seconds",
                  "requests_per_sec", "p50_ms", "p99_ms"],
         rows=loadgen_table([report], [args.mode]),
         metrics={"requests_per_sec": report.requests_per_sec,
@@ -413,8 +434,66 @@ def cmd_loadgen(args) -> int:
         workload={"mix": args.mix, "concurrency": args.concurrency,
                   "rate": args.rate,
                   "pairs_per_request": args.pairs_per_request},
+        extra={"outcomes": {"failed": report.failed,
+                            "retried": report.retried,
+                            "op_counts": report.op_counts}},
     )
+    if not args.json and report.op_counts:
+        for kind, outcome in sorted(report.op_counts.items()):
+            print(
+                f"  {kind}: ok={outcome['succeeded']} "
+                f"rejected={outcome['rejected']} errors={outcome['errors']} "
+                f"retried={outcome['retried']}"
+            )
     return 0 if report.errors == 0 else 1
+
+
+def cmd_recover(args) -> int:
+    """Rebuild serving state from a base artifact plus its write-ahead log."""
+    from repro.persist import save_linker
+    from repro.wal import recover
+
+    result = recover(args.artifact, args.wal, reopen=False)
+    saved = None
+    if args.out is not None:
+        saved = str(save_linker(result.service.linker, args.out))
+    if args.json:
+        print(json.dumps({
+            "name": "recover",
+            "artifact": str(args.artifact),
+            "wal": str(args.wal),
+            "base_epoch": result.base_epoch,
+            "recovered_epoch": result.recovered_epoch,
+            "records_replayed": result.records_replayed,
+            "truncated_tail": result.truncated_tail,
+            "saved": saved,
+        }, indent=2))
+    else:
+        tail = " (torn tail dropped)" if result.truncated_tail else ""
+        print(
+            f"recovered epoch {result.recovered_epoch} from "
+            f"{args.artifact} (epoch {result.base_epoch}) + "
+            f"{result.records_replayed} WAL records{tail}"
+        )
+        if saved is not None:
+            print(f"saved recovered artifact to {saved}")
+    return 0
+
+
+def cmd_swap(args) -> int:
+    """Ask a running gateway to blue/green swap to a refit artifact."""
+    from repro.gateway import GatewayClient
+
+    with GatewayClient(
+        args.host, args.port, retry_backpressure=True
+    ) as client:
+        result = client.swap(args.artifact, since_epoch=args.since_epoch)
+    print(
+        f"swapped to {result['artifact']} at epoch {result['epoch']} "
+        f"(was {result['previous_epoch']}, replayed "
+        f"{result['records_replayed']} WAL records)"
+    )
+    return 0
 
 
 def cmd_compare(args) -> int:
@@ -577,8 +656,44 @@ def build_parser() -> argparse.ArgumentParser:
                               "exceeded while queued)")
     p_serve.add_argument("--threads", type=int, default=2,
                          help="scoring executor threads (default 2)")
+    p_serve.add_argument("--wal", default=None,
+                         help="write-ahead log directory: every ingest/"
+                              "remove is logged before applying, enabling "
+                              "`repro recover` and POST /swap")
+    p_serve.add_argument("--fsync", choices=("always", "batch", "never"),
+                         default="batch",
+                         help="WAL fsync policy (default batch; 'always' "
+                              "survives power loss, 'batch' survives "
+                              "process crashes)")
     parallel_opts(p_serve)
     p_serve.set_defaults(func=cmd_serve)
+
+    p_recover = sub.add_parser(
+        "recover",
+        help="rebuild serving state from an artifact + write-ahead log",
+    )
+    p_recover.add_argument("--artifact", required=True,
+                           help="base artifact directory (repro fit)")
+    p_recover.add_argument("--wal", required=True,
+                           help="write-ahead log directory to replay")
+    p_recover.add_argument("--out", default=None,
+                           help="save the recovered state as a new artifact")
+    json_opt(p_recover)
+    p_recover.set_defaults(func=cmd_recover)
+
+    p_swap = sub.add_parser(
+        "swap",
+        help="blue/green swap a running gateway onto a refit artifact",
+    )
+    p_swap.add_argument("--host", default="127.0.0.1")
+    p_swap.add_argument("--port", type=int, default=8099)
+    p_swap.add_argument("--artifact", required=True,
+                        help="refit artifact to cut over to")
+    p_swap.add_argument("--since-epoch", type=int, default=None,
+                        dest="since_epoch",
+                        help="live epoch already contained in the refit "
+                             "snapshot (default: the artifact's own epoch)")
+    p_swap.set_defaults(func=cmd_swap)
 
     p_load = sub.add_parser(
         "loadgen", help="drive a running gateway with a mixed workload"

@@ -7,6 +7,21 @@ structured error slug from the JSON body, and the server's ``Retry-After``
 hint — the load generator keys its backpressure accounting off exactly
 these fields.
 
+Retry policy — bounded exponential backoff with jitter, two triggers:
+
+* **dropped keep-alive connections** retry idempotent GETs only: the
+  socket cannot tell us whether the server executed the request, and a
+  replayed mutation would double-apply;
+* **429 admission rejections** (``retry_backpressure=True``) retry *any*
+  method, honoring the server's ``Retry-After`` hint as the floor of the
+  jittered delay — safe even for ``POST /ingest``, because admission
+  rejects a request *before* it executes.  This is what lets the chaos
+  and swap harnesses treat backpressure as flow control rather than
+  failure.
+
+Every retry increments :attr:`GatewayClient.retries`; the load generator
+reads the deltas to report per-operation retry counts.
+
 A client instance is **not** thread-safe (``http.client`` connections are
 serial); concurrent callers each construct their own — cheap, since the
 TCP connect happens lazily on first use and is reused afterwards.
@@ -16,7 +31,9 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import socket
+import time
 import urllib.parse
 
 __all__ = ["GatewayClient", "GatewayError"]
@@ -55,12 +72,46 @@ class GatewayClient:
         :class:`~repro.gateway.server.GatewayThread` / ``repro serve``).
     timeout:
         Socket timeout in seconds for connect and each response.
+    max_attempts:
+        Total tries per request (first attempt + retries).
+    backoff_base, backoff_cap:
+        Exponential backoff schedule in seconds: attempt ``n`` sleeps
+        ``min(cap, base * 2**(n-1))`` scaled by uniform jitter in
+        ``[0.5, 1.5)``; a 429's ``Retry-After`` floors the delay.
+    retry_backpressure:
+        Retry 429 admission rejections (any method — see the module
+        docstring).  Off by default so interactive callers and the
+        admission tests see rejections immediately.
     """
 
-    def __init__(self, host: str, port: int, *, timeout: float = 30.0):
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 30.0,
+        max_attempts: int = 4,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        retry_backpressure: bool = False,
+    ):
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if backoff_base <= 0 or backoff_cap < backoff_base:
+            raise ValueError(
+                f"need 0 < backoff_base <= backoff_cap, got "
+                f"{backoff_base} / {backoff_cap}"
+            )
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.max_attempts = max_attempts
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.retry_backpressure = retry_backpressure
+        #: total retries this client performed (reconnects + 429 backoff)
+        self.retries = 0
+        self._rng = random.Random()
         self._conn: http.client.HTTPConnection | None = None
 
     # ------------------------------------------------------------------
@@ -115,16 +166,31 @@ class GatewayClient:
             "POST", "/link_account", body, deadline_ms=deadline_ms
         )
 
-    def ingest(self, refs: list, *, score: bool = True) -> dict:
-        """``POST /ingest`` — absorb world-registered accounts."""
-        return self._request(
-            "POST", "/ingest",
-            {"refs": [list(ref) for ref in refs], "score": score},
-        )
+    def ingest(
+        self, refs: list, *, accounts: list | None = None, score: bool = True
+    ) -> dict:
+        """``POST /ingest`` — absorb accounts into the running service.
+
+        ``accounts`` optionally carries inline account payloads (the
+        JSON form of :func:`repro.wal.payload.payload_to_json`) for refs
+        the server's world has never seen; omit it for accounts already
+        registered server-side.
+        """
+        body: dict = {"refs": [list(ref) for ref in refs], "score": score}
+        if accounts is not None:
+            body["accounts"] = accounts
+        return self._request("POST", "/ingest", body)
 
     def remove_account(self, ref) -> dict:
         """``DELETE /account`` — withdraw one account from serving."""
         return self._request("DELETE", "/account", {"ref": list(ref)})
+
+    def swap(self, artifact: str, *, since_epoch: int | None = None) -> dict:
+        """``POST /swap`` — blue/green cutover to a refit artifact."""
+        body: dict = {"artifact": str(artifact)}
+        if since_epoch is not None:
+            body["since_epoch"] = since_epoch
+        return self._request("POST", "/swap", body)
 
     def candidates(self, limit: int = 200) -> dict:
         """``GET /candidates`` — workload seed material for loadgen."""
@@ -149,6 +215,14 @@ class GatewayClient:
             )
         return self._conn
 
+    def _backoff(self, attempt: int, retry_after: float | None) -> None:
+        """Sleep the jittered exponential delay before retry ``attempt``."""
+        delay = min(self.backoff_cap, self.backoff_base * 2 ** (attempt - 1))
+        delay *= 0.5 + self._rng.random()  # jitter in [0.5x, 1.5x)
+        if retry_after is not None:
+            delay = max(delay, retry_after)  # the server's hint is a floor
+        time.sleep(delay)
+
     def _request(
         self,
         method: str,
@@ -156,56 +230,72 @@ class GatewayClient:
         body: dict | None,
         *,
         deadline_ms: float | None = None,
-        _retried: bool = False,
     ) -> dict:
         payload = None if body is None else json.dumps(body)
         headers = {"Content-Type": "application/json"}
         if deadline_ms is not None:
             headers["X-Deadline-Ms"] = f"{deadline_ms:g}"
-        conn = self._connection()
-        try:
-            conn.request(method, path, body=payload, headers=headers)
-            response = conn.getresponse()
-            data = response.read()
-        except socket.timeout:
-            # the server may have executed the request and answered late —
-            # retrying would double-apply mutations (POST /ingest, DELETE);
-            # surface the timeout and let the caller decide
-            self.close()
-            raise
-        except (
-            http.client.RemoteDisconnected,
-            ConnectionError,
-            BrokenPipeError,
-        ):
-            # a dropped connection cannot tell us whether the server
-            # executed the request before losing the socket, so only
-            # idempotent GETs are retried (usually a stale keep-alive
-            # connection); a mutation's failure must surface to the caller
-            self.close()
-            if _retried or method != "GET":
+        attempt = 1
+        while True:
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                data = response.read()
+            except socket.timeout:
+                # the server may have executed the request and answered
+                # late — retrying would double-apply mutations (POST
+                # /ingest, DELETE); surface the timeout, caller decides
+                self.close()
                 raise
-            return self._request(
-                method, path, body, deadline_ms=deadline_ms, _retried=True
-            )
-        try:
-            decoded = json.loads(data) if data else {}
-        except json.JSONDecodeError:
-            decoded = {}
-        if response.status >= 400:
-            error = (
-                decoded.get("error", {}) if isinstance(decoded, dict) else {}
-            )
-            retry_after = response.getheader("Retry-After")
-            raise GatewayError(
-                response.status,
-                error.get("code", "http_error"),
-                error.get("message", data.decode("utf-8", "replace")),
-                retry_after=(
-                    float(retry_after) if retry_after is not None else None
-                ),
-            )
-        return decoded
+            except (
+                http.client.RemoteDisconnected,
+                ConnectionError,
+                BrokenPipeError,
+            ):
+                # a dropped connection cannot tell us whether the server
+                # executed the request before losing the socket, so only
+                # idempotent GETs are retried (usually a stale keep-alive
+                # connection); a mutation's failure surfaces to the caller
+                self.close()
+                if method != "GET" or attempt >= self.max_attempts:
+                    raise
+                self.retries += 1
+                self._backoff(attempt, None)
+                attempt += 1
+                continue
+            try:
+                decoded = json.loads(data) if data else {}
+            except json.JSONDecodeError:
+                decoded = {}
+            if response.status >= 400:
+                error = (
+                    decoded.get("error", {})
+                    if isinstance(decoded, dict) else {}
+                )
+                retry_after = response.getheader("Retry-After")
+                gateway_error = GatewayError(
+                    response.status,
+                    error.get("code", "http_error"),
+                    error.get("message", data.decode("utf-8", "replace")),
+                    retry_after=(
+                        float(retry_after) if retry_after is not None
+                        else None
+                    ),
+                )
+                if (
+                    gateway_error.status == 429
+                    and self.retry_backpressure
+                    and attempt < self.max_attempts
+                ):
+                    # admission rejects *before* execution, so retrying a
+                    # mutation cannot double-apply it
+                    self.retries += 1
+                    self._backoff(attempt, gateway_error.retry_after)
+                    attempt += 1
+                    continue
+                raise gateway_error
+            return decoded
 
     def close(self) -> None:
         if self._conn is not None:

@@ -21,6 +21,15 @@ keep-alive :class:`~repro.gateway.client.GatewayClient`.  Per-thread
 :class:`~repro.utils.timing.LatencyRecorder` histograms merge into the
 :class:`LoadReport`; backpressure rejections (429/503) are counted
 separately from hard errors.
+
+Outcomes are tracked **per operation kind** (``op_counts``) along with
+how many client-side retries each kind consumed, so invariants like
+"zero failed requests during a blue/green swap" are machine-checkable
+from the report (and from ``repro loadgen --json``) — a retried-then-
+succeeded request counts as succeeded, never as a failure.  Workers run
+their clients with ``retry_backpressure=True`` by default: 429s are flow
+control, not failures (pass ``retry_backpressure=False`` to measure raw
+rejection rates instead).
 """
 
 from __future__ import annotations
@@ -86,10 +95,23 @@ class LoadReport:
     seconds: float
     latency: LatencyRecorder
     per_op: dict[str, LatencyRecorder] = field(default_factory=dict)
+    #: client-side retries consumed across all requests (backpressure
+    #: backoff + reconnects); a retried request still counts exactly once
+    #: under its final outcome
+    retried: int = 0
+    #: per-op-kind outcome counts:
+    #: ``{kind: {succeeded, rejected, errors, retried}}``
+    op_counts: dict[str, dict[str, int]] = field(default_factory=dict)
 
     @property
     def requests_per_sec(self) -> float:
         return self.succeeded / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def failed(self) -> int:
+        """Requests that did not succeed, retries included (the gate the
+        swap harness checks for zero)."""
+        return self.rejected + self.errors
 
     def as_dict(self) -> dict:
         return {
@@ -100,12 +122,18 @@ class LoadReport:
             "succeeded": self.succeeded,
             "rejected": self.rejected,
             "errors": self.errors,
+            "failed": self.failed,
+            "retried": self.retried,
             "seconds": self.seconds,
             "requests_per_sec": self.requests_per_sec,
             "latency": self.latency.summary(),
             "per_op": {
                 kind: recorder.summary()
                 for kind, recorder in sorted(self.per_op.items())
+            },
+            "op_counts": {
+                kind: dict(outcome)
+                for kind, outcome in sorted(self.op_counts.items())
             },
         }
 
@@ -205,6 +233,7 @@ def run_load(
     rate: float | None = None,
     deadline_ms: float | None = None,
     timeout: float = 30.0,
+    retry_backpressure: bool = True,
 ) -> LoadReport:
     """Replay ``ops`` against a gateway and measure the outcome.
 
@@ -213,6 +242,10 @@ def run_load(
     each latency from that scheduled instant.  ``concurrency`` bounds the
     worker threads either way (an open loop that cannot keep up reports
     the queueing it caused as latency, exactly as intended).
+
+    With ``retry_backpressure`` (the default) workers back off and retry
+    429s — ``rejected`` then counts only retry-exhausted backpressure,
+    and the retries show up in ``retried`` / ``op_counts``.
     """
     if mode not in ("closed", "open"):
         raise ValueError(f"mode must be 'closed' or 'open', got {mode!r}")
@@ -226,7 +259,8 @@ def run_load(
     cursor = {"next": 0}
     cursor_lock = threading.Lock()
     counts_lock = threading.Lock()
-    counts = {"succeeded": 0, "rejected": 0, "errors": 0}
+    counts = {"succeeded": 0, "rejected": 0, "errors": 0, "retried": 0}
+    op_counts: dict[str, dict[str, int]] = {}
     thread_recorders: list[tuple[LatencyRecorder, dict]] = []
     start_at = time.monotonic() + 0.05  # let every worker reach the line
 
@@ -234,7 +268,10 @@ def run_load(
         overall = LatencyRecorder(seed=worker_index)
         per_op: dict[str, LatencyRecorder] = {}
         thread_recorders.append((overall, per_op))
-        with GatewayClient(host, port, timeout=timeout) as client:
+        with GatewayClient(
+            host, port, timeout=timeout,
+            retry_backpressure=retry_backpressure,
+        ) as client:
             while True:
                 with cursor_lock:
                     index = cursor["next"]
@@ -251,6 +288,7 @@ def run_load(
                 else:
                     issued = time.monotonic()
                 outcome = "succeeded"
+                retries_before = client.retries
                 try:
                     _execute(client, op, deadline_ms)
                 except GatewayError as error:
@@ -260,8 +298,17 @@ def run_load(
                 except OSError:
                     outcome = "errors"
                 elapsed = time.monotonic() - issued
+                retried = client.retries - retries_before
                 with counts_lock:
                     counts[outcome] += 1
+                    counts["retried"] += retried
+                    kind_counts = op_counts.setdefault(
+                        op.kind,
+                        {"succeeded": 0, "rejected": 0, "errors": 0,
+                         "retried": 0},
+                    )
+                    kind_counts[outcome] += 1
+                    kind_counts["retried"] += retried
                 if outcome == "succeeded":
                     overall.record(elapsed)
                     recorder = per_op.get(op.kind)
@@ -301,6 +348,8 @@ def run_load(
         seconds=seconds,
         latency=latency,
         per_op=merged_per_op,
+        retried=counts["retried"],
+        op_counts=op_counts,
     )
 
 
@@ -313,7 +362,8 @@ def loadgen_table(reports: list[LoadReport], labels: list[str]) -> list[list]:
             label,
             report.requests,
             report.succeeded,
-            report.rejected + report.errors,
+            report.failed,
+            report.retried,
             report.seconds,
             report.requests_per_sec,
             summary["p50_ms"],

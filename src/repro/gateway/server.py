@@ -13,8 +13,9 @@ method     path                action
 ``POST``   ``/score_pairs``    decision values for a pair batch (coalesced)
 ``GET``    ``/top_k``          strongest links of one platform pair
 ``POST``   ``/link_account``   resolve one account against its candidates
-``POST``   ``/ingest``         absorb world-registered accounts (writer)
+``POST``   ``/ingest``         absorb accounts (writer; accepts inline payloads)
 ``DELETE`` ``/account``        withdraw one account from serving (writer)
+``POST``   ``/swap``           blue/green cutover to a refit artifact (writer)
 ``GET``    ``/candidates``     platform pairs + sample pairs (loadgen seed)
 ``GET``    ``/stats``          service counters + gateway metrics
 ``GET``    ``/healthz``        liveness + registry epoch
@@ -31,6 +32,16 @@ Concurrency model — reads coalesce, writes fence:
   in-flight readers drain, the mutation runs alone, the registry epoch
   bump becomes visible, then readers resume.  Every response carries the
   epoch it executed against.
+* ``/swap`` loads a refit artifact next to the live service, replays the
+  WAL delta accumulated since the refit snapshot into it off-fence (reads
+  keep flowing), then takes the write fence for the *final* catch-up and
+  an atomic cutover at an equal epoch — in-flight requests complete
+  against the service (and epoch) they started on, and the WAL handle
+  moves to the new service so logged history stays continuous.
+
+Every handler resolves ``self.service`` *inside* its fence acquisition,
+so a request that waited out a swap executes against the service that
+owns the post-cutover epoch.
 
 Admission control (:mod:`repro.gateway.admission`) caps in-flight work and
 abandons deadline-expired requests before they reach the service.
@@ -53,6 +64,9 @@ from dataclasses import dataclass
 from repro.gateway.admission import AdmissionController, GatewayRejected
 from repro.gateway.batcher import MicroBatcher, ReadWriteFence
 from repro.serving.service import LinkageService
+from repro.wal.faults import trip as _trip_fault
+from repro.wal.payload import apply_payload, payload_from_json
+from repro.wal.recovery import replay_wal_delta
 
 __all__ = ["GatewayConfig", "GatewayThread", "LinkageGateway"]
 
@@ -106,6 +120,10 @@ class LinkageGateway:
             coalesce=self.config.coalesce,
         )
         self._draining = False
+        self._swap_lock = asyncio.Lock()
+        #: True once /swap replaced the caller's service with one the
+        #: gateway loaded itself — stop() then owns its full teardown
+        self._service_swapped = False
         self._inflight_conns: set[asyncio.Task] = set()
         self._conn_writers: set[asyncio.StreamWriter] = set()
         #: writers whose connection currently has a request mid-handler —
@@ -118,6 +136,7 @@ class LinkageGateway:
             ("POST", "/link_account"): self._handle_link_account,
             ("POST", "/ingest"): self._handle_ingest,
             ("DELETE", "/account"): self._handle_remove_account,
+            ("POST", "/swap"): self._handle_swap,
             ("GET", "/candidates"): self._handle_candidates,
             ("GET", "/stats"): self._handle_stats,
             ("GET", "/healthz"): self._handle_healthz,
@@ -160,6 +179,14 @@ class LinkageGateway:
             )
             for task in pending:
                 task.cancel()
+        # every mutation has drained; a clean shutdown must never leave
+        # an unsynced WAL tail.  A service the gateway swapped in itself
+        # is fully ours to release (pool included).
+        release = (
+            self.service.close if self._service_swapped
+            else self.service.close_wal
+        )
+        await asyncio.get_running_loop().run_in_executor(None, release)
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
@@ -239,7 +266,8 @@ class LinkageGateway:
         platform_b = _require_query(query, "platform_b")
         k = _int_query(query, "k", 10)
         links, epoch = await self._read_call(
-            ticket, self.service.top_k, platform_a, platform_b, k
+            ticket,
+            lambda: self.service.top_k(platform_a, platform_b, k),
         )
         return 200, {"links": [_link_json(link) for link in links],
                      "epoch": epoch}
@@ -263,9 +291,21 @@ class LinkageGateway:
     async def _handle_ingest(self, body, query, ticket):
         refs = [_parse_ref(ref) for ref in _require(body, "refs")]
         score = body.get("score", True)
-        report, epoch = await self._write_call(
-            lambda: self.service.add_accounts(refs, score=bool(score))
-        )
+        raw_accounts = body.get("accounts", [])
+        if not isinstance(raw_accounts, list):
+            raise _BadRequest("accounts must be a list of account payloads")
+        # inline arrivals: full account state rides in the request (see
+        # repro.wal.payload), so remote producers need no prior access to
+        # the served world; decode errors surface as 400s before the fence
+        payloads = [payload_from_json(raw) for raw in raw_accounts]
+
+        def mutate():
+            service = self.service
+            for payload in payloads:
+                apply_payload(service.world, payload)
+            return service.add_accounts(refs, score=bool(score))
+
+        report, epoch = await self._write_call(mutate)
         return 200, {
             "refs": [list(ref) for ref in report.refs],
             "epoch": report.epoch,
@@ -281,6 +321,97 @@ class LinkageGateway:
         )
         return 200, {"ref": list(ref), "pairs_removed": removed,
                      "epoch": epoch}
+
+    def _load_standby(self, artifact: str) -> LinkageService:
+        """Load a refit artifact as a standby service, mirroring the live
+        service's serving knobs (a swap changes the model, not capacity)."""
+        live = self.service
+        return LinkageService(
+            type(live.linker).load(artifact),
+            batch_size=live.batch_size,
+            summary_cache_size=live._summaries.maxsize,
+            score_cache_size=live._score_cache.maxsize,
+            workers=live.workers,
+            shard_size=live.shard_size,
+        )
+
+    async def _handle_swap(self, body, query, ticket):
+        """Blue/green cutover: catch a refit artifact up, then switch.
+
+        ``since_epoch`` names the live epoch the refit snapshot already
+        contains (defaults to the epoch persisted in the artifact); WAL
+        records after it are replayed into the standby.  The bulk replay
+        runs off-fence — reads keep flowing on the live service — and
+        only the final catch-up of mutations that landed meanwhile holds
+        the write fence, so the unavailability window is one fence
+        acquisition plus the tail replay, not the whole delta.
+        """
+        artifact = _require(body, "artifact")
+        if not isinstance(artifact, str) or not artifact:
+            raise _BadRequest(f"artifact must be a path, got {artifact!r}")
+        since = body.get("since_epoch")
+        if since is not None and not isinstance(since, int):
+            raise _BadRequest(f"since_epoch must be an int, got {since!r}")
+        if self._swap_lock.locked():
+            raise _Conflict("another swap is already in progress")
+        async with self._swap_lock:
+            from repro.persist import artifact_exists
+
+            if not artifact_exists(artifact):
+                raise _BadRequest(f"no artifact at {artifact}")
+            blue = self.service
+            previous_epoch = blue.registry_epoch
+            green = await self._run_scoring(
+                lambda: self._load_standby(artifact)
+            )
+            replayed = 0
+            try:
+                applied = since if since is not None else green.registry_epoch
+                wal = blue.wal
+                if wal is not None:
+                    applied, count = await self._run_scoring(
+                        lambda: replay_wal_delta(
+                            green, wal, after_epoch=applied
+                        )
+                    )
+                    replayed += count
+                async with self._fence.write():
+                    # writers are fenced out: one last catch-up of records
+                    # that landed during the warm replay, then the epochs
+                    # must meet exactly
+                    if wal is not None:
+                        applied, count = await self._run_scoring(
+                            lambda: replay_wal_delta(
+                                green, wal, after_epoch=applied
+                            )
+                        )
+                        replayed += count
+                    if green.registry_epoch != blue.registry_epoch:
+                        raise _Conflict(
+                            f"standby caught up to epoch "
+                            f"{green.registry_epoch} but the live service "
+                            f"is at {blue.registry_epoch}; mutations are "
+                            f"not reaching the WAL"
+                        )
+                    _trip_fault("swap.cutover")
+                    if wal is not None:
+                        blue.detach_wal()
+                        green.attach_wal(wal)
+                    self.service = green
+                    self._service_swapped = True
+            except BaseException:
+                await self._run_scoring(green.close)
+                raise
+            # the displaced service releases its pool off-fence; its WAL
+            # handle already moved, so close() cannot touch the log
+            await self._run_scoring(blue.close)
+            return 200, {
+                "status": "swapped",
+                "artifact": artifact,
+                "epoch": green.registry_epoch,
+                "previous_epoch": previous_epoch,
+                "records_replayed": replayed,
+            }
 
     async def _handle_candidates(self, body, query, ticket):
         limit = _int_query(query, "limit", 200)
@@ -313,7 +444,8 @@ class LinkageGateway:
         # service.stats() takes the service's locks; keep that wait off the
         # event loop (a cache fill can hold a cache lock for seconds).  The
         # gateway-side snapshots are loop-owned state and stay here.
-        service_stats = await self._run_scoring(self.service.stats)
+        service = self.service  # one resolution: a swap must not mix services
+        service_stats = await self._run_scoring(service.stats)
         return 200, {
             "service": service_stats.as_dict(),
             "gateway": {
@@ -325,7 +457,7 @@ class LinkageGateway:
                 "batcher": self._batcher.snapshot(),
                 "admission": self._admission.snapshot(),
             },
-            "epoch": self.service.registry_epoch,
+            "epoch": service.registry_epoch,
         }
 
     async def _handle_healthz(self, body, query, ticket):
@@ -454,6 +586,8 @@ class LinkageGateway:
             return keep_alive
         except _BadRequest as bad:
             status, payload = 400, _error_json("bad_request", str(bad))
+        except _Conflict as conflict:
+            status, payload = 409, _error_json("conflict", str(conflict))
         except KeyError as missing:
             status, payload = 404, _error_json(
                 "not_found", str(missing.args[0] if missing.args else missing)
@@ -477,6 +611,10 @@ class LinkageGateway:
 # ----------------------------------------------------------------------
 class _BadRequest(Exception):
     """Malformed request payload -> HTTP 400."""
+
+
+class _Conflict(Exception):
+    """A swap that cannot proceed right now -> HTTP 409."""
 
 
 class _MalformedRequest(Exception):
@@ -582,8 +720,8 @@ async def _write_response(
     writer, status, payload, keep_alive, *, retry_after=None
 ):
     reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
-               429: "Too Many Requests", 500: "Internal Server Error",
-               503: "Service Unavailable"}
+               409: "Conflict", 429: "Too Many Requests",
+               500: "Internal Server Error", 503: "Service Unavailable"}
     data = json.dumps(payload).encode("utf-8")
     head = [
         f"HTTP/1.1 {status} {reasons.get(status, 'Unknown')}",

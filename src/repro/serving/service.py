@@ -220,6 +220,13 @@ class LinkageService:
     shard_size:
         Pins the deterministic shard length; default lets the plan derive
         it from the workload and worker count.
+    wal:
+        An open :class:`~repro.wal.log.WriteAheadLog`.  When attached,
+        every mutation (:meth:`add_accounts` / :meth:`remove_account`)
+        appends its record *before* applying — write-ahead discipline —
+        so a crash at any instant is recoverable from the base artifact
+        plus the log (:func:`repro.wal.recover`).  :meth:`close`
+        flushes and closes it.
     """
 
     def __init__(
@@ -231,6 +238,7 @@ class LinkageService:
         score_cache_size: int = 64,
         workers: int = 1,
         shard_size: int | None = None,
+        wal=None,
     ):
         if linker.model_ is None or linker._filler is None:
             raise RuntimeError("linker is not fitted; fit() or load() first")
@@ -242,6 +250,7 @@ class LinkageService:
         self.batch_size = batch_size
         self.workers = workers
         self.shard_size = shard_size
+        self._wal = wal
         self._executor: ShardedExecutor | None = None
         self._executor_epoch: int | None = None
         self._registry = None  # lazy ServingRegistry, built on first mutation
@@ -410,7 +419,7 @@ class LinkageService:
         with self._pool_lock:
             epoch = self.registry_epoch
             if self._executor is not None and self._executor_epoch != epoch:
-                self.close()
+                self._close_pool()
             if self._executor is None:
                 from repro.persist import artifact_exists
 
@@ -428,12 +437,17 @@ class LinkageService:
                 self._executor_epoch = epoch
             return self._executor
 
-    def close(self) -> None:
-        """Release the scoring pool (no-op for inline services)."""
+    def _close_pool(self) -> None:
+        """Release the scoring pool (also used to retire a stale-epoch pool)."""
         with self._pool_lock:
             if self._executor is not None:
                 self._executor.close()
                 self._executor = None
+
+    def close(self) -> None:
+        """Release the scoring pool and flush/close the attached WAL."""
+        self._close_pool()
+        self.close_wal()
 
     def __enter__(self) -> "LinkageService":
         return self
@@ -460,6 +474,75 @@ class LinkageService:
 
             self._registry = ServingRegistry(self.linker)
         return self._registry
+
+    # ------------------------------------------------------------------
+    # write-ahead log plumbing
+    # ------------------------------------------------------------------
+    @property
+    def wal(self):
+        """The attached :class:`~repro.wal.log.WriteAheadLog`, or None."""
+        return self._wal
+
+    def attach_wal(self, wal) -> None:
+        """Attach an open log; mutations append to it before applying."""
+        if self._wal is not None and wal is not self._wal:
+            raise RuntimeError("service already has a write-ahead log")
+        self._wal = wal
+
+    def detach_wal(self):
+        """Release and return the attached log without closing it.
+
+        The blue/green swap hands the log from the outgoing service to
+        the incoming one this way, so logged history stays continuous
+        across the cutover.
+        """
+        wal, self._wal = self._wal, None
+        return wal
+
+    def close_wal(self) -> None:
+        """Flush and close the attached log (idempotent, keeps it attached)."""
+        if self._wal is not None:
+            self._wal.close()
+
+    def _wal_append(self, op: str, refs):
+        """Write-ahead append of one mutation; returns the record (or None).
+
+        The record carries the post-mutation epoch and, for ingests, the
+        accounts' full world state captured *now* — the log must never
+        depend on the (about to crash?) process's memory.
+        """
+        if self._wal is None:
+            return None
+        from repro.wal.log import WalRecord
+        from repro.wal.payload import capture_payload
+
+        refs = tuple(tuple(ref) for ref in refs)
+        payloads = None
+        if op == "ingest":
+            payloads = tuple(capture_payload(self.world, ref) for ref in refs)
+        record = WalRecord(
+            op=op, epoch=self.registry_epoch + 1, refs=refs, payloads=payloads
+        )
+        self._wal.append(record)
+        return record
+
+    def _wal_abort(self, record) -> None:
+        """Cancel a write-ahead record whose apply step failed.
+
+        Replay must skip the mutation exactly like the live service did;
+        the abort append itself is best-effort — the apply failure that
+        brought us here is the error that must surface.
+        """
+        if record is None or self._wal is None:
+            return
+        from repro.wal.log import WalRecord
+
+        try:
+            self._wal.append(
+                WalRecord(op="abort", epoch=record.epoch, refs=record.refs)
+            )
+        except Exception:
+            pass
 
     def _affected_keys(self, platforms: set[str]) -> list[tuple[str, str]]:
         return [
@@ -491,20 +574,25 @@ class LinkageService:
                 refs=(), epoch=self.registry_epoch, pairs_added=0,
                 pairs_removed=0,
             )
-        registry = self._ensure_registry()
-        affected = self._affected_keys({ref[0] for ref in refs})
-        for key in affected:
-            # the live index must bootstrap from the pre-mutation store
-            registry.ensure_index(key)
-        self.linker.ingest_accounts(refs)
+        record = self._wal_append("ingest", refs)
         added: list[Pair] = []
         removed = 0
-        for key in affected:
-            delta = registry.apply_arrivals(key, refs)
-            self._reindex_key(key)
-            self._score_cache.invalidate(key)
-            added.extend(delta.added)
-            removed += len(delta.removed)
+        try:
+            registry = self._ensure_registry()
+            affected = self._affected_keys({ref[0] for ref in refs})
+            for key in affected:
+                # the live index must bootstrap from the pre-mutation store
+                registry.ensure_index(key)
+            self.linker.ingest_accounts(refs)
+            for key in affected:
+                delta = registry.apply_arrivals(key, refs)
+                self._reindex_key(key)
+                self._score_cache.invalidate(key)
+                added.extend(delta.added)
+                removed += len(delta.removed)
+        except BaseException:
+            self._wal_abort(record)
+            raise
         with self._stats_lock:
             self._accounts_ingested += len(refs)
             self._ingest_batches += 1
@@ -535,19 +623,24 @@ class LinkageService:
         """
         if ref not in self.linker.pipeline.packed_store.row_of:
             raise KeyError(f"{ref} is not served")
-        registry = self._ensure_registry()
-        affected = self._affected_keys({ref[0]})
-        for key in affected:
-            registry.ensure_index(key)
-        dropped = 0
-        for key in affected:
-            delta = registry.apply_removal(key, ref)
-            dropped += len(delta.removed)
-        self.linker.remove_accounts([ref])
-        for key in affected:
-            self._reindex_key(key)
-            self._score_cache.invalidate(key)
-        self._summaries.invalidate(ref)
+        record = self._wal_append("remove", (ref,))
+        try:
+            registry = self._ensure_registry()
+            affected = self._affected_keys({ref[0]})
+            for key in affected:
+                registry.ensure_index(key)
+            dropped = 0
+            for key in affected:
+                delta = registry.apply_removal(key, ref)
+                dropped += len(delta.removed)
+            self.linker.remove_accounts([ref])
+            for key in affected:
+                self._reindex_key(key)
+                self._score_cache.invalidate(key)
+            self._summaries.invalidate(ref)
+        except BaseException:
+            self._wal_abort(record)
+            raise
         with self._stats_lock:
             self._accounts_removed += 1
         return dropped

@@ -1,0 +1,57 @@
+"""Durable ingest write-ahead logging, crash recovery, fault injection.
+
+The serving stack's robustness layer (ROADMAP: "Replicated ingest log
+and zero-downtime updates"): :class:`WriteAheadLog` persists every
+online mutation before it applies (:mod:`repro.wal.log`),
+:func:`recover` rebuilds the exact pre-crash service from artifact +
+log (:mod:`repro.wal.recovery`), and :mod:`repro.wal.faults` provides
+the armed crash/torn-write sites the chaos harness uses to prove both.
+"""
+
+from repro.wal.faults import FaultInjected, arm, arm_from_env, reset, trip
+from repro.wal.log import (
+    FSYNC_POLICIES,
+    RecoveredLog,
+    WalError,
+    WalRecord,
+    WriteAheadLog,
+    read_wal,
+)
+from repro.wal.payload import (
+    AccountPayload,
+    apply_payload,
+    capture_payload,
+    payload_from_json,
+    payload_to_json,
+)
+from repro.wal.recovery import (
+    RecoveryError,
+    RecoveryResult,
+    recover,
+    replay_records,
+    replay_wal_delta,
+)
+
+__all__ = [
+    "AccountPayload",
+    "FSYNC_POLICIES",
+    "FaultInjected",
+    "RecoveredLog",
+    "RecoveryError",
+    "RecoveryResult",
+    "WalError",
+    "WalRecord",
+    "WriteAheadLog",
+    "apply_payload",
+    "arm",
+    "arm_from_env",
+    "capture_payload",
+    "payload_from_json",
+    "payload_to_json",
+    "read_wal",
+    "recover",
+    "replay_records",
+    "replay_wal_delta",
+    "reset",
+    "trip",
+]

@@ -1,0 +1,129 @@
+"""Fault-injection points for the durability and swap machinery.
+
+A *fault point* is a named site in the code (``"wal.append"``,
+``"wal.fsync"``, ``"swap.cutover"``) that asks the registry whether an
+armed fault should fire when execution reaches it.  Tests arm faults
+programmatically (:func:`arm`) or through the ``REPRO_FAULTS``
+environment variable (:func:`arm_from_env`) before spawning a real
+gateway subprocess — which is how the chaos harness kills a server
+mid-ingest at a *precise* point in the write-ahead protocol instead of
+at a random instant.
+
+Actions
+-------
+``crash``
+    ``kill -9`` the current process (``os.kill(getpid(), SIGKILL)``) —
+    no atexit handlers, no flushes, exactly like a power-off of the
+    process.
+``torn``
+    Returned to the call site, which is expected to emit a *partial*
+    write and then crash — simulates a record torn across the moment of
+    failure.  Only sites that know how to tear their write honor it
+    (``wal.append``); other sites ignore it (arm ``crash`` there).
+``error``
+    Raise :class:`FaultInjected` — exercises error paths (e.g. a swap
+    cutover that must leave the old service serving).
+
+``REPRO_FAULTS`` grammar: comma-separated ``site:action[:nth]`` triples;
+``nth`` (default 1) makes the fault fire on the nth trip of the site,
+letting the chaos driver crash after a chosen number of appends.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+
+__all__ = [
+    "FAULT_ACTIONS",
+    "FaultInjected",
+    "arm",
+    "arm_from_env",
+    "armed",
+    "reset",
+    "trip",
+]
+
+FAULT_ACTIONS = ("crash", "torn", "error")
+
+_lock = threading.Lock()
+_armed: dict[str, list] = {}  # site -> [action, trips_remaining]
+
+
+class FaultInjected(RuntimeError):
+    """An armed ``error`` fault fired at its site."""
+
+
+def arm(site: str, action: str = "crash", *, nth: int = 1) -> None:
+    """Arm ``site`` to fire ``action`` on its ``nth`` trip."""
+    if action not in FAULT_ACTIONS:
+        raise ValueError(f"unknown fault action {action!r}; "
+                         f"expected one of {FAULT_ACTIONS}")
+    if nth < 1:
+        raise ValueError(f"nth must be >= 1, got {nth}")
+    with _lock:
+        _armed[site] = [action, nth]
+
+
+def arm_from_env(env: dict | None = None) -> int:
+    """Arm every fault listed in ``REPRO_FAULTS``; returns how many.
+
+    Grammar: ``site:action[:nth]`` triples, comma-separated, e.g.
+    ``REPRO_FAULTS="wal.append:torn:5,swap.cutover:error"``.
+    """
+    spec = (env if env is not None else os.environ).get("REPRO_FAULTS", "")
+    count = 0
+    for entry in spec.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        parts = entry.split(":")
+        if len(parts) not in (2, 3):
+            raise ValueError(
+                f"bad REPRO_FAULTS entry {entry!r}; expected site:action[:nth]"
+            )
+        nth = int(parts[2]) if len(parts) == 3 else 1
+        arm(parts[0], parts[1], nth=nth)
+        count += 1
+    return count
+
+
+def armed(site: str) -> bool:
+    """Whether ``site`` currently has a fault armed."""
+    with _lock:
+        return site in _armed
+
+
+def reset() -> None:
+    """Disarm every fault (test teardown)."""
+    with _lock:
+        _armed.clear()
+
+
+def trip(site: str) -> str | None:
+    """Fire ``site``'s armed fault if its trip count is due.
+
+    Returns ``None`` (no fault / not yet due), raises
+    :class:`FaultInjected` for ``error``, never returns for ``crash``,
+    and returns ``"torn"`` for call sites that tear their own writes.
+    """
+    with _lock:
+        entry = _armed.get(site)
+        if entry is None:
+            return None
+        entry[1] -= 1
+        if entry[1] > 0:
+            return None
+        del _armed[site]
+        action = entry[0]
+    if action == "crash":
+        crash()
+    if action == "error":
+        raise FaultInjected(f"injected fault at {site}")
+    return action
+
+
+def crash() -> "None":
+    """SIGKILL the current process — the no-cleanup crash primitive."""
+    os.kill(os.getpid(), signal.SIGKILL)

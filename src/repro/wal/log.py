@@ -1,0 +1,362 @@
+"""The durable append-only mutation log.
+
+On-disk layout: a *directory* of segment files (``00000001.wal``,
+``00000002.wal``, ...), each starting with an 12-byte header (magic
+``REPROWAL`` + little-endian u32 format version) followed by
+length-prefixed records::
+
+    u32 payload_len | u32 crc32(payload) | payload (pickled WalRecord)
+
+Every record carries the *post-mutation* registry epoch plus enough
+serialized account state (:mod:`repro.wal.payload`) to replay the
+mutation into a freshly loaded artifact.  The framing makes two things
+cheap:
+
+* **torn-tail tolerance** — a crash mid-write leaves a short or
+  CRC-broken final frame; :func:`read_wal` stops at the first corrupt
+  byte and reports everything before it (the *longest valid prefix*),
+  and a writer reopening the log truncates that tail before appending;
+* **durability policy** — every append is flushed to the OS (so a
+  ``kill -9`` of the process loses nothing already appended; only the
+  machine dying can), while ``fsync`` is configurable: ``always``
+  (fsync per record — power-loss safe, slowest), ``batch`` (fsync every
+  ``fsync_batch_bytes`` and on close/rotate — the serving default), or
+  ``never`` (leave it to the kernel).
+
+Fault points ``wal.append`` and ``wal.fsync`` (see
+:mod:`repro.wal.faults`) let the chaos harness crash or tear a write at
+an exact record boundary.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.wal import faults
+
+__all__ = [
+    "FSYNC_POLICIES",
+    "RecoveredLog",
+    "WalError",
+    "WalRecord",
+    "WriteAheadLog",
+    "read_wal",
+]
+
+FSYNC_POLICIES = ("always", "batch", "never")
+
+_MAGIC = b"REPROWAL"
+_VERSION = 1
+_HEADER = _MAGIC + struct.pack("<I", _VERSION)
+_FRAME = struct.Struct("<II")  # payload_len, crc32(payload)
+
+
+class WalError(RuntimeError):
+    """Unrecoverable log damage (not a torn tail) or misuse."""
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One logged mutation.
+
+    ``op`` is ``"ingest"`` / ``"remove"`` / ``"abort"``; ``epoch`` is the
+    registry epoch the mutation *produces* (write-ahead: the record hits
+    the log before the service applies it).  ``payloads`` carries one
+    :class:`~repro.wal.payload.AccountPayload` per ref for ingests, so
+    replay can re-register accounts into a recovered world; removals and
+    aborts log refs only.  An ``abort`` record cancels the immediately
+    preceding record of the same epoch: the service appends it when the
+    apply step failed after the write-ahead append, so replay must skip
+    the mutation exactly like the live service did.
+    """
+
+    op: str
+    epoch: int
+    refs: tuple
+    payloads: tuple | None = None
+
+    def to_bytes(self) -> bytes:
+        return pickle.dumps(
+            {
+                "op": self.op,
+                "epoch": self.epoch,
+                "refs": tuple(tuple(ref) for ref in self.refs),
+                "payloads": self.payloads,
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "WalRecord":
+        raw = pickle.loads(data)
+        return cls(
+            op=raw["op"],
+            epoch=raw["epoch"],
+            refs=raw["refs"],
+            payloads=raw["payloads"],
+        )
+
+
+@dataclass(frozen=True)
+class RecoveredLog:
+    """What a tolerant read of the log found.
+
+    ``truncated`` is True when a torn/corrupt tail (or a segment created
+    but never written) was dropped; ``records`` is the longest valid
+    prefix.  ``last_epoch`` is the epoch of the final valid record — the
+    epoch recovery can reconstruct.
+    """
+
+    records: tuple[WalRecord, ...]
+    last_epoch: int
+    truncated: bool
+    segments: int
+
+    def effective_records(self) -> list[WalRecord]:
+        """The records replay must apply: aborted mutations cancelled out."""
+        effective: list[WalRecord] = []
+        for record in self.records:
+            if record.op == "abort":
+                if effective and effective[-1].epoch == record.epoch:
+                    effective.pop()
+                continue
+            effective.append(record)
+        return effective
+
+
+def _segment_paths(directory: Path) -> list[Path]:
+    return sorted(directory.glob("[0-9]" * 8 + ".wal"))
+
+
+def _scan_segment(path: Path) -> tuple[list[WalRecord], int, bool]:
+    """Parse one segment: (records, end of the valid prefix, ended clean)."""
+    data = path.read_bytes()
+    if len(data) < len(_HEADER) or data[: len(_MAGIC)] != _MAGIC:
+        return [], 0, False
+    version = struct.unpack("<I", data[len(_MAGIC): len(_HEADER)])[0]
+    if version != _VERSION:
+        raise WalError(f"{path}: unsupported WAL format version {version}")
+    records: list[WalRecord] = []
+    offset = len(_HEADER)
+    while offset < len(data):
+        frame_end = offset + _FRAME.size
+        if frame_end > len(data):
+            return records, offset, False
+        length, crc = _FRAME.unpack_from(data, offset)
+        payload_end = frame_end + length
+        if payload_end > len(data):
+            return records, offset, False
+        payload = data[frame_end:payload_end]
+        if zlib.crc32(payload) != crc:
+            return records, offset, False
+        try:
+            records.append(WalRecord.from_bytes(payload))
+        except Exception:
+            return records, offset, False
+        offset = payload_end
+    return records, offset, True
+
+
+def read_wal(path) -> RecoveredLog:
+    """Tolerantly read every record up to the first corruption.
+
+    Reads segments in order and stops at the first frame that is short,
+    fails its CRC, or will not decode — everything after that point
+    (including later segments) is suspect and ignored.  An empty or
+    missing directory recovers zero records at epoch 0.
+    """
+    directory = Path(path)
+    segments = _segment_paths(directory) if directory.is_dir() else []
+    records: list[WalRecord] = []
+    truncated = False
+    for segment in segments:
+        segment_records, _end, clean = _scan_segment(segment)
+        records.extend(segment_records)
+        if not clean:
+            # everything past the corruption — including any later
+            # segments — is suspect and dropped
+            truncated = True
+            break
+    return RecoveredLog(
+        records=tuple(records),
+        last_epoch=records[-1].epoch if records else 0,
+        truncated=truncated,
+        segments=len(segments),
+    )
+
+
+class WriteAheadLog:
+    """Appendable, crash-recoverable mutation log over a segment directory.
+
+    Opening an existing log validates it, *truncates* a torn tail of the
+    final segment (a clean reopen after a crash), and resumes appending;
+    damage anywhere before the final segment's tail raises
+    :class:`WalError` — that is lost history, not a torn write, and
+    silently dropping it would violate the durability contract.
+
+    Parameters
+    ----------
+    path:
+        The log directory (created if missing).
+    fsync:
+        ``"always"`` / ``"batch"`` / ``"never"`` — see the module
+        docstring for the trade-offs.
+    fsync_batch_bytes:
+        Unsynced-byte threshold that triggers an fsync under ``batch``.
+    segment_max_bytes:
+        Size at which the current segment rotates.
+    """
+
+    def __init__(
+        self,
+        path,
+        *,
+        fsync: str = "batch",
+        fsync_batch_bytes: int = 1 << 20,
+        segment_max_bytes: int = 64 << 20,
+    ):
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"fsync must be one of {FSYNC_POLICIES}, got {fsync!r}"
+            )
+        if fsync_batch_bytes < 1:
+            raise ValueError("fsync_batch_bytes must be >= 1")
+        if segment_max_bytes < len(_HEADER) + _FRAME.size:
+            raise ValueError("segment_max_bytes is too small for one record")
+        self.path = Path(path)
+        self.fsync = fsync
+        self.fsync_batch_bytes = fsync_batch_bytes
+        self.segment_max_bytes = segment_max_bytes
+        self.path.mkdir(parents=True, exist_ok=True)
+        self._file = None
+        self._unsynced = 0
+        self._last_epoch = 0
+        self._records_appended = 0
+        segments = _segment_paths(self.path)
+        if segments:
+            for segment in segments[:-1]:
+                _records, _end, clean = _scan_segment(segment)
+                if not clean:
+                    raise WalError(
+                        f"{segment}: corrupt non-final segment; refusing to "
+                        f"append after lost history"
+                    )
+            recovered = read_wal(self.path)
+            self._last_epoch = recovered.last_epoch
+            tail = segments[-1]
+            _records, valid_end, clean = _scan_segment(tail)
+            if not clean:
+                with open(tail, "r+b") as fh:
+                    fh.truncate(valid_end)
+                    if valid_end < len(_HEADER):
+                        # segment was created but its header never landed
+                        fh.seek(0)
+                        fh.truncate(0)
+                        fh.write(_HEADER)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+            self._segment_index = int(tail.stem)
+            self._file = open(tail, "ab")
+            self._size = self._file.tell()
+        else:
+            self._segment_index = 0
+            self.rotate()
+
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._file is None
+
+    @property
+    def last_epoch(self) -> int:
+        """Epoch of the newest record in the log (appended or recovered)."""
+        return self._last_epoch
+
+    @property
+    def records_appended(self) -> int:
+        """Records appended by *this* handle (recovery not included)."""
+        return self._records_appended
+
+    def _segment_path(self, index: int) -> Path:
+        return self.path / f"{index:08d}.wal"
+
+    def append(self, record: WalRecord) -> None:
+        """Frame, checksum, and write one record (flushed to the OS)."""
+        if self._file is None:
+            raise WalError("write-ahead log is closed")
+        payload = record.to_bytes()
+        frame = _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+        if faults.trip("wal.append") == "torn":
+            # a torn write: push a strict prefix of the frame to the OS,
+            # then die — the reader must stop exactly here
+            self._file.write(frame[: max(1, len(frame) // 2)])
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            faults.crash()
+        self._file.write(frame)
+        self._file.flush()  # to the OS page cache: survives SIGKILL
+        self._unsynced += len(frame)
+        self._size += len(frame)
+        self._records_appended += 1
+        if record.epoch > self._last_epoch:
+            self._last_epoch = record.epoch
+        if self.fsync == "always" or (
+            self.fsync == "batch" and self._unsynced >= self.fsync_batch_bytes
+        ):
+            self.sync()
+        if self._size >= self.segment_max_bytes:
+            self.rotate()
+
+    def flush(self) -> None:
+        """Push buffered bytes to the OS (no fsync)."""
+        if self._file is not None:
+            self._file.flush()
+
+    def sync(self) -> None:
+        """Flush and fsync the current segment."""
+        if self._file is None:
+            return
+        faults.trip("wal.fsync")
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._unsynced = 0
+
+    def rotate(self) -> None:
+        """Seal the current segment and start the next one."""
+        if self._file is not None:
+            self.sync()
+            self._file.close()
+        self._segment_index += 1
+        path = self._segment_path(self._segment_index)
+        if path.exists():
+            raise WalError(f"segment {path} already exists")
+        self._file = open(path, "ab")
+        self._file.write(_HEADER)
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._size = len(_HEADER)
+        self._unsynced = 0
+
+    def snapshot(self) -> RecoveredLog:
+        """Read the log's current contents (usable while open for append)."""
+        self.flush()
+        return read_wal(self.path)
+
+    def close(self) -> None:
+        """Flush, fsync, and close — idempotent, safe from any state."""
+        if self._file is None:
+            return
+        self.sync()
+        self._file.close()
+        self._file = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

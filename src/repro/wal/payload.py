@@ -1,0 +1,180 @@
+"""Serialized account state carried inside WAL ingest records.
+
+An :class:`AccountPayload` is everything
+:meth:`~repro.socialnet.platform.PlatformData.ingest_account` needs to
+re-enact one account's arrival into a *recovered* world: the account
+(profile included), its behavior events, its social-graph interactions,
+and its identity-oracle entry.  :func:`capture_payload` reads that state
+out of the live world at append time — so the log is self-contained and
+recovery never depends on the crashed process's memory —
+and :func:`apply_payload` replays it into another world.
+
+A JSON codec (:func:`payload_to_json` / :func:`payload_from_json`) lets
+the gateway accept account state *inline* over ``POST /ingest``, which
+is what a remote chaos driver uses to feed a gateway subprocess accounts
+its artifact has never seen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.socialnet.platform import Account, Profile, SocialWorld
+from repro.socialnet.storage import EVENT_KINDS, BehaviorEvent
+
+__all__ = [
+    "AccountPayload",
+    "apply_payload",
+    "capture_payload",
+    "payload_from_json",
+    "payload_to_json",
+]
+
+
+@dataclass(frozen=True)
+class AccountPayload:
+    """One account's world state, sufficient to replay its arrival."""
+
+    account: Account
+    events: tuple[BehaviorEvent, ...]
+    interactions: tuple[tuple[str, float], ...]
+    identity: int | None
+
+    @property
+    def ref(self) -> tuple[str, str]:
+        return (self.account.platform, self.account.account_id)
+
+
+def capture_payload(world: SocialWorld, ref) -> AccountPayload:
+    """Read one account's full state out of ``world``."""
+    platform, account_id = ref
+    data = world.platforms[platform]
+    account = data.accounts[account_id]
+    events = tuple(
+        event
+        for kind in EVENT_KINDS
+        for event in data.events.events_for(account_id, kind)
+    )
+    interactions = tuple(
+        (other, data.graph.weight(account_id, other))
+        for other in data.graph.neighbors(account_id)
+    )
+    return AccountPayload(
+        account=account,
+        events=events,
+        interactions=interactions,
+        identity=world.identity.get((platform, account_id)),
+    )
+
+
+def apply_payload(world: SocialWorld, payload: AccountPayload) -> tuple[str, str]:
+    """Re-enact the account's arrival into ``world``; returns its ref.
+
+    Already-registered accounts are left untouched (replay after a crash
+    may race a base artifact that absorbed the world mutation but not the
+    serving one; registration is idempotent here so replay converges).
+    Graph interactions are restricted to accounts present in the target
+    world, mirroring :func:`~repro.socialnet.platform.transplant_account`.
+    """
+    platform, account_id = payload.ref
+    data = world.platforms[platform]
+    if account_id not in data.accounts:
+        interactions = [
+            (other, weight)
+            for other, weight in payload.interactions
+            if other in data.accounts
+        ]
+        data.ingest_account(payload.account, payload.events, interactions)
+        if payload.identity is not None:
+            world.identity[(platform, account_id)] = payload.identity
+    return (platform, account_id)
+
+
+# ----------------------------------------------------------------------
+# JSON codec (inline accounts over POST /ingest)
+# ----------------------------------------------------------------------
+def payload_to_json(payload: AccountPayload) -> dict:
+    """A JSON-safe dict mirror of ``payload`` (numpy arrays to lists)."""
+    profile = payload.account.profile
+    face = profile.face_embedding
+    return {
+        "platform": payload.account.platform,
+        "account_id": payload.account.account_id,
+        "profile": {
+            "username": profile.username,
+            "gender": profile.gender,
+            "birth": profile.birth,
+            "bio": profile.bio,
+            "tag": list(profile.tag) if profile.tag is not None else None,
+            "edu": profile.edu,
+            "job": profile.job,
+            "email": profile.email,
+            "face_embedding": (
+                [float(x) for x in face] if face is not None else None
+            ),
+            "face_is_real": profile.face_is_real,
+        },
+        "events": [
+            [event.kind, event.timestamp,
+             list(event.payload) if isinstance(event.payload, tuple)
+             else event.payload]
+            for event in payload.events
+        ],
+        "interactions": [
+            [other, weight] for other, weight in payload.interactions
+        ],
+        "identity": payload.identity,
+    }
+
+
+def payload_from_json(raw: dict) -> AccountPayload:
+    """Decode :func:`payload_to_json` output back into a payload."""
+    if not isinstance(raw, dict):
+        raise ValueError(f"account payload must be an object, got {raw!r}")
+    for key in ("platform", "account_id", "profile"):
+        if key not in raw:
+            raise ValueError(f"account payload missing field {key!r}")
+    profile_raw = dict(raw["profile"])
+    tag = profile_raw.get("tag")
+    face = profile_raw.get("face_embedding")
+    profile = Profile(
+        username=profile_raw["username"],
+        gender=profile_raw.get("gender"),
+        birth=profile_raw.get("birth"),
+        bio=profile_raw.get("bio"),
+        tag=tuple(tag) if tag is not None else None,
+        edu=profile_raw.get("edu"),
+        job=profile_raw.get("job"),
+        email=profile_raw.get("email"),
+        face_embedding=(
+            np.asarray(face, dtype=float) if face is not None else None
+        ),
+        face_is_real=bool(profile_raw.get("face_is_real", True)),
+    )
+    account = Account(
+        account_id=raw["account_id"], platform=raw["platform"],
+        profile=profile,
+    )
+    events = []
+    for kind, timestamp, event_payload in raw.get("events", []):
+        if kind == "checkin" and isinstance(event_payload, list):
+            event_payload = tuple(float(x) for x in event_payload)
+        events.append(
+            BehaviorEvent(
+                account_id=account.account_id, kind=kind,
+                timestamp=float(timestamp), payload=event_payload,
+            )
+        )
+    interactions = tuple(
+        (other, float(weight))
+        for other, weight in raw.get("interactions", [])
+    )
+    identity = raw.get("identity")
+    return AccountPayload(
+        account=account,
+        events=tuple(events),
+        interactions=interactions,
+        identity=int(identity) if identity is not None else None,
+    )
