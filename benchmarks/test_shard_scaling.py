@@ -1,0 +1,169 @@
+"""Sharded serving capacity: closed-loop ``score_pairs`` at 1/2/4 shards.
+
+Not a paper figure — this benchmarks the scatter-gather serving tier
+(:mod:`repro.shard`): fit once, cut 2- and 4-shard plans from the
+artifact, then drive the same request stream through a single-process
+:class:`~repro.serving.LinkageService` and through
+:class:`~repro.shard.ShardedLinkageService` routers with real worker
+processes.  The router's head/featurization split makes every shard
+count produce the **same bytes** — the capacity table is only meaningful
+because the answers are identical, so bit-parity is asserted
+unconditionally, on every host.
+
+Smoke mode (the default, and what CI runs) uses a small world with a
+replicated pair workload; scale with ``SHARD_BENCH_PERSONS`` /
+``SHARD_BENCH_REQUESTS`` / ``SHARD_BENCH_PAIRS_PER_REQUEST``.  The
+≥``SHARD_BENCH_MIN_SPEEDUP`` requests/sec gate at 4 shards is enforced
+only when the host actually has ≥4 CPUs (a single-core runner cannot
+speed up CPU-bound work, but must still produce identical scores); set
+``SHARD_BENCH_MIN_SPEEDUP=0`` to disable.
+"""
+
+import itertools
+import os
+import threading
+import time
+
+import numpy as np
+from conftest import write_table
+
+from repro.core import HydraLinker
+from repro.datagen import WorldConfig, generate_world
+from repro.eval.harness import make_label_split
+from repro.persist import save_linker
+from repro.serving import LinkageService
+from repro.shard import ShardedLinkageService, plan_shards, rebalance_plan
+
+SEED = 61
+PERSONS = int(os.environ.get("SHARD_BENCH_PERSONS", "14"))
+NUM_REQUESTS = int(os.environ.get("SHARD_BENCH_REQUESTS", "12"))
+# large enough that per-shard featurization dominates router dispatch and
+# IPC — capacity headroom, not just peak single-request speed
+PAIRS_PER_REQUEST = int(
+    os.environ.get("SHARD_BENCH_PAIRS_PER_REQUEST", "2048")
+)
+MIN_SPEEDUP = float(os.environ.get("SHARD_BENCH_MIN_SPEEDUP", "1.7"))
+SHARD_COUNTS = (2, 4)
+BATCH_SIZE = 256
+CONCURRENCY = int(os.environ.get("SHARD_BENCH_CONCURRENCY", "1"))
+PLATFORM_PAIRS = [("facebook", "twitter")]
+
+
+def _drive(service, requests):
+    """Closed-loop driver: ``CONCURRENCY`` threads drain the request list."""
+    latencies: list[float] = []
+    lock = threading.Lock()
+    pending = itertools.count()
+
+    def work():
+        while True:
+            index = next(pending)
+            if index >= len(requests):
+                return
+            start = time.perf_counter()
+            service.score_pairs(requests[index])
+            elapsed = time.perf_counter() - start
+            with lock:
+                latencies.append(elapsed * 1000.0)
+
+    threads = [threading.Thread(target=work) for _ in range(CONCURRENCY)]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return time.perf_counter() - start, latencies
+
+
+def _run(artifact_dir, plan_root):
+    world = generate_world(WorldConfig(num_persons=PERSONS, seed=SEED))
+    split = make_label_split(world, PLATFORM_PAIRS, seed=SEED)
+    linker = HydraLinker(seed=SEED, num_topics=8, max_lda_docs=1500)
+    linker.fit(world, split.labeled_positive, split.labeled_negative,
+               PLATFORM_PAIRS)
+    save_linker(linker, artifact_dir)
+
+    base = linker.candidates_[tuple(PLATFORM_PAIRS[0])].pairs
+    repeat = -(-PAIRS_PER_REQUEST // len(base))  # ceil division
+    request = (base * repeat)[:PAIRS_PER_REQUEST]
+    requests = [request] * NUM_REQUESTS
+    key = tuple(PLATFORM_PAIRS[0])
+
+    rows = []
+    reference_scores = None
+    reference_links = None
+    identical = True
+
+    def measure(mode, shards, service):
+        nonlocal reference_scores, reference_links, identical
+        scores = service.score_pairs(request)  # warmup + parity probe
+        links = [
+            (link.pair, link.score) for link in service.top_k(*key, 10)
+        ]
+        if reference_scores is None:
+            reference_scores = scores
+            reference_links = links
+        else:
+            identical = identical and np.array_equal(
+                reference_scores, scores
+            ) and links == reference_links
+        wall, latencies = _drive(service, requests)
+        rows.append([
+            mode, shards, len(requests), wall,
+            len(requests) / wall,
+            float(np.percentile(latencies, 50)),
+            float(np.percentile(latencies, 99)),
+        ])
+
+    with LinkageService.from_artifact(
+        artifact_dir, batch_size=BATCH_SIZE
+    ) as single:
+        measure("single", 1, single)
+    for shards in SHARD_COUNTS:
+        # hash placement is lumpy at smoke scale — rebalance (LPT over
+        # per-account pair counts) so the capacity numbers measure the
+        # tier, not one overloaded shard
+        hashed = plan_root / f"hashed{shards}"
+        plan_dir = plan_root / f"plan{shards}"
+        plan_shards(artifact_dir, hashed, shards, seed=SEED)
+        rebalance_plan(hashed, plan_dir)
+        with ShardedLinkageService(
+            plan_dir, batch_size=BATCH_SIZE
+        ) as router:
+            measure("sharded", shards, router)
+
+    baseline = rows[0][4]
+    for row in rows:
+        row.append(row[4] / baseline)
+    return {"rows": rows, "identical": identical}
+
+
+def test_shard_scaling(once, tmp_path):
+    result = once(_run, str(tmp_path / "artifact"), tmp_path)
+    rows = result["rows"]
+    write_table(
+        "shard_scaling",
+        f"Sharded serving capacity — scatter-gather score_pairs "
+        f"({PERSONS}-person world, {NUM_REQUESTS} requests x "
+        f"{PAIRS_PER_REQUEST} pairs, concurrency {CONCURRENCY})",
+        ["mode", "shards", "requests", "seconds", "requests_per_sec",
+         "p50_ms", "p99_ms", "speedup"],
+        rows,
+    )
+    # the capacity numbers are only comparable because every topology
+    # returns the same bytes — never skip this, even on 1-CPU hosts
+    assert result["identical"], "shard counts disagreed on scores"
+    assert len(rows) == 1 + len(SHARD_COUNTS)
+    for _mode, _shards, requests, seconds, rps, p50, p99 in (
+        row[:7] for row in rows
+    ):
+        assert requests == NUM_REQUESTS
+        assert seconds > 0 and rps > 0
+        assert 0 < p50 <= p99
+    top_shards = SHARD_COUNTS[-1]
+    if MIN_SPEEDUP > 0 and (os.cpu_count() or 1) >= top_shards:
+        top_speedup = rows[-1][7]
+        assert top_speedup >= MIN_SPEEDUP, (
+            f"{top_shards} shards reached only {top_speedup:.2f}x over "
+            f"single-process (need >= {MIN_SPEEDUP}x)"
+        )

@@ -22,6 +22,12 @@ The subcommands cover the common workflows without writing any code:
   gateway (:mod:`repro.gateway`): micro-batch request coalescing,
   admission control, graceful shutdown on SIGINT/SIGTERM; ``--wal DIR``
   adds write-ahead durability for every online mutation;
+  ``--shard-plan DIR`` serves a shard plan through the scatter-gather
+  router (:mod:`repro.shard`) instead of a single-process service;
+* ``shard``      — partition a fitted artifact for distributed serving:
+  ``shard plan`` splits it into K per-shard artifacts plus a routing
+  plan, ``shard rebalance`` re-plans with an explicit load-balanced
+  assignment, ``shard info`` prints a plan's topology;
 * ``recover``    — rebuild the exact pre-crash serving state from a base
   artifact plus its write-ahead log (:mod:`repro.wal`), optionally
   saving it as a fresh artifact;
@@ -311,12 +317,24 @@ def cmd_serve(args) -> int:
 
     arm_from_env()  # chaos harnesses arm crash sites via REPRO_FAULTS
     wal = None
-    if args.wal is not None:
-        wal = WriteAheadLog(args.wal, fsync=args.fsync)
-    service = LinkageService.from_artifact(
-        args.artifact, workers=args.workers, shard_size=args.shard_size,
-        wal=wal,
-    )
+    if args.shard_plan is not None:
+        if args.wal is not None:
+            raise SystemExit(
+                "error: --wal applies to single-process serving; a sharded "
+                "deployment recovers through shard restarts instead"
+            )
+        from repro.shard import ShardedLinkageService
+
+        service = ShardedLinkageService(args.shard_plan)
+        source = args.shard_plan
+    else:
+        if args.wal is not None:
+            wal = WriteAheadLog(args.wal, fsync=args.fsync)
+        service = LinkageService.from_artifact(
+            args.artifact, workers=args.workers, shard_size=args.shard_size,
+            wal=wal,
+        )
+        source = args.artifact
     config = GatewayConfig(
         host=args.host,
         port=args.port,
@@ -335,8 +353,10 @@ def cmd_serve(args) -> int:
         durability = (
             f", wal={args.wal} fsync={args.fsync}" if wal is not None else ""
         )
+        if args.shard_plan is not None:
+            durability += f", shards={service.topology.num_shards}"
         print(
-            f"serving {args.artifact} on http://{config.host}:{gateway.port}"
+            f"serving {source} on http://{config.host}:{gateway.port}"
             f" ({service.num_candidates()} candidates, "
             f"coalesce={'on' if config.coalesce else 'off'}, "
             f"max_pending={config.max_pending}{durability})",
@@ -496,6 +516,94 @@ def cmd_swap(args) -> int:
     return 0
 
 
+def _shard_topology_rows(topology) -> list[list]:
+    return [
+        [
+            info.index,
+            str(info.path),
+            info.owned_accounts,
+            info.served_accounts,
+            info.resident_accounts,
+            info.owned_pairs,
+        ]
+        for info in topology.shards
+    ]
+
+
+_SHARD_TABLE_HEADERS = [
+    "shard", "path", "owned", "served", "resident", "owned_pairs",
+]
+
+
+def cmd_shard_plan(args) -> int:
+    """Partition a fitted artifact into K shard artifacts plus a plan."""
+    from repro.shard import plan_shards
+
+    topology = plan_shards(
+        args.artifact, args.out, args.shards, seed=args.seed
+    )
+    print(format_table(_SHARD_TABLE_HEADERS, _shard_topology_rows(topology)))
+    print(
+        f"\nplan: {topology.path} ({topology.num_shards} shards, "
+        f"{sum(len(v) for v in topology.entries.values())} routed pairs, "
+        f"assignment={topology.assignment!r})"
+    )
+    return 0
+
+
+def cmd_shard_rebalance(args) -> int:
+    """Re-plan with an explicit assignment that levels per-shard load."""
+    from repro.shard import rebalance_plan
+
+    topology = rebalance_plan(args.plan, args.out, num_shards=args.shards)
+    print(format_table(_SHARD_TABLE_HEADERS, _shard_topology_rows(topology)))
+    print(
+        f"\nrebalanced plan: {topology.path} "
+        f"({topology.num_shards} shards, assignment={topology.assignment!r})"
+    )
+    return 0
+
+
+def cmd_shard_info(args) -> int:
+    """Print (or emit as JSON) the topology of an existing shard plan."""
+    from repro.shard import load_shard_plan
+
+    topology = load_shard_plan(args.plan)
+    if args.json:
+        print(json.dumps({
+            "name": "shard_info",
+            "plan": str(topology.path),
+            "num_shards": topology.num_shards,
+            "source_artifact": topology.source_artifact,
+            "base_epoch": topology.base_epoch,
+            "assignment": topology.assignment.to_json(),
+            "routed_pairs": sum(
+                len(v) for v in topology.entries.values()
+            ),
+            "shards": [
+                {
+                    "index": info.index,
+                    "path": str(info.path),
+                    "owned_accounts": info.owned_accounts,
+                    "served_accounts": info.served_accounts,
+                    "resident_accounts": info.resident_accounts,
+                    "owned_pairs": info.owned_pairs,
+                }
+                for info in topology.shards
+            ],
+        }, indent=2))
+    else:
+        print(
+            f"plan {topology.path}: {topology.num_shards} shards from "
+            f"{topology.source_artifact} (base epoch {topology.base_epoch})"
+        )
+        print(f"assignment: {topology.assignment!r}\n")
+        print(format_table(
+            _SHARD_TABLE_HEADERS, _shard_topology_rows(topology)
+        ))
+    return 0
+
+
 def cmd_compare(args) -> int:
     """Run several methods on one world and print the comparison table."""
     world = _make_world(args)
@@ -629,8 +737,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve = sub.add_parser(
         "serve", help="expose an artifact over HTTP (asyncio gateway)"
     )
-    p_serve.add_argument("--artifact", required=True,
-                         help="artifact directory from `fit`")
+    serve_source = p_serve.add_mutually_exclusive_group(required=True)
+    serve_source.add_argument("--artifact",
+                              help="artifact directory from `fit`")
+    serve_source.add_argument("--shard-plan", dest="shard_plan", default=None,
+                              help="shard plan directory from `shard plan`: "
+                                   "serve it through the scatter-gather "
+                                   "router (one worker process per shard)")
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=8099,
                          help="listen port (0 picks a free one)")
@@ -667,6 +780,45 @@ def build_parser() -> argparse.ArgumentParser:
                               "process crashes)")
     parallel_opts(p_serve)
     p_serve.set_defaults(func=cmd_serve)
+
+    p_shard = sub.add_parser(
+        "shard",
+        help="partition a fitted artifact for distributed serving",
+    )
+    shard_sub = p_shard.add_subparsers(dest="shard_command", required=True)
+
+    p_splan = shard_sub.add_parser(
+        "plan", help="split an artifact into K shard artifacts + a plan"
+    )
+    p_splan.add_argument("--artifact", required=True,
+                         help="fitted artifact directory from `fit`")
+    p_splan.add_argument("--out", required=True,
+                         help="plan directory to write")
+    p_splan.add_argument("--shards", type=int, required=True,
+                         help="number of shards (K)")
+    p_splan.add_argument("--seed", type=int, default=0,
+                         help="hash-assignment seed (default 0)")
+    p_splan.set_defaults(func=cmd_shard_plan)
+
+    p_srebal = shard_sub.add_parser(
+        "rebalance",
+        help="re-plan with an explicit assignment that levels shard load",
+    )
+    p_srebal.add_argument("--plan", required=True,
+                          help="existing plan directory to rebalance")
+    p_srebal.add_argument("--out", required=True,
+                          help="directory for the rebalanced plan")
+    p_srebal.add_argument("--shards", type=int, default=None,
+                          help="new shard count (default: keep the plan's)")
+    p_srebal.set_defaults(func=cmd_shard_rebalance)
+
+    p_sinfo = shard_sub.add_parser(
+        "info", help="print the topology of an existing shard plan"
+    )
+    p_sinfo.add_argument("--plan", required=True,
+                         help="plan directory from `shard plan`")
+    json_opt(p_sinfo)
+    p_sinfo.set_defaults(func=cmd_shard_info)
 
     p_recover = sub.add_parser(
         "recover",

@@ -192,6 +192,10 @@ class GatewayClient:
             body["since_epoch"] = since_epoch
         return self._request("POST", "/swap", body)
 
+    def restart_shard(self, shard: int) -> dict:
+        """``POST /shards/restart`` — revive one shard of a sharded tier."""
+        return self._request("POST", "/shards/restart", {"shard": shard})
+
     def candidates(self, limit: int = 200) -> dict:
         """``GET /candidates`` — workload seed material for loadgen."""
         params = urllib.parse.urlencode({"limit": limit})

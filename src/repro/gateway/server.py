@@ -16,10 +16,19 @@ method     path                action
 ``POST``   ``/ingest``         absorb accounts (writer; accepts inline payloads)
 ``DELETE`` ``/account``        withdraw one account from serving (writer)
 ``POST``   ``/swap``           blue/green cutover to a refit artifact (writer)
+``POST``   ``/shards/restart`` rebuild one shard worker + replay (writer)
 ``GET``    ``/candidates``     platform pairs + sample pairs (loadgen seed)
 ``GET``    ``/stats``          service counters + gateway metrics
 ``GET``    ``/healthz``        liveness + registry epoch
 =========  ==================  =================================================
+
+The gateway serves a :class:`~repro.shard.ShardedLinkageService` unchanged
+(it duck-types the service interface).  Sharded deployments differ in
+three visible ways: ``/swap`` is rejected with 409 (rebalance + restart is
+the sharded model-update path), writes whose owner shard is down return
+503 with ``Retry-After``, and degraded reads carry a
+``shards_unavailable`` list next to their (partial) results — scores for
+pairs on downed shards surface as ``null``.
 
 Concurrency model — reads coalesce, writes fence:
 
@@ -64,6 +73,7 @@ from dataclasses import dataclass
 from repro.gateway.admission import AdmissionController, GatewayRejected
 from repro.gateway.batcher import MicroBatcher, ReadWriteFence
 from repro.serving.service import LinkageService
+from repro.shard.router import ShardUnavailableError
 from repro.wal.faults import trip as _trip_fault
 from repro.wal.payload import apply_payload, payload_from_json
 from repro.wal.recovery import replay_wal_delta
@@ -137,6 +147,7 @@ class LinkageGateway:
             ("POST", "/ingest"): self._handle_ingest,
             ("DELETE", "/account"): self._handle_remove_account,
             ("POST", "/swap"): self._handle_swap,
+            ("POST", "/shards/restart"): self._handle_restart_shard,
             ("GET", "/candidates"): self._handle_candidates,
             ("GET", "/stats"): self._handle_stats,
             ("GET", "/healthz"): self._handle_healthz,
@@ -230,6 +241,15 @@ class LinkageGateway:
             epoch = self.service.registry_epoch
         return result, epoch
 
+    def _shard_marker(self, payload: dict) -> dict:
+        """Annotate a response with the downed-shard list, when degraded."""
+        service = self.service
+        if getattr(service, "is_sharded", False):
+            down = service.shards_unavailable()
+            if down:
+                payload["shards_unavailable"] = down
+        return payload
+
     # ------------------------------------------------------------------
     # endpoint handlers: (body, query, ticket) -> (status, payload)
     # ------------------------------------------------------------------
@@ -256,10 +276,11 @@ class LinkageGateway:
                         pairs, batch_size=batch_size
                     )
                 )
-        return 200, {
-            "scores": [float(s) for s in scores],
+        return 200, self._shard_marker({
+            # NaN marks a pair whose owner shard is down; JSON says null
+            "scores": [None if s != s else float(s) for s in scores],
             "epoch": epoch,
-        }
+        })
 
     async def _handle_top_k(self, body, query, ticket):
         platform_a = _require_query(query, "platform_a")
@@ -269,8 +290,9 @@ class LinkageGateway:
             ticket,
             lambda: self.service.top_k(platform_a, platform_b, k),
         )
-        return 200, {"links": [_link_json(link) for link in links],
-                     "epoch": epoch}
+        return 200, self._shard_marker(
+            {"links": [_link_json(link) for link in links], "epoch": epoch}
+        )
 
     async def _handle_link_account(self, body, query, ticket):
         platform = _require(body, "platform")
@@ -285,8 +307,9 @@ class LinkageGateway:
                 platform, account_id, other_platform=other, top=top
             ),
         )
-        return 200, {"links": [_link_json(link) for link in links],
-                     "epoch": epoch}
+        return 200, self._shard_marker(
+            {"links": [_link_json(link) for link in links], "epoch": epoch}
+        )
 
     async def _handle_ingest(self, body, query, ticket):
         refs = [_parse_ref(ref) for ref in _require(body, "refs")]
@@ -299,11 +322,33 @@ class LinkageGateway:
         # the served world; decode errors surface as 400s before the fence
         payloads = [payload_from_json(raw) for raw in raw_accounts]
 
-        def mutate():
-            service = self.service
-            for payload in payloads:
-                apply_payload(service.world, payload)
-            return service.add_accounts(refs, score=bool(score))
+        if getattr(self.service, "is_sharded", False):
+            # sharded ingest routes each payload to its owner shard, so
+            # every arriving ref must carry its payload inline
+            if len(payloads) != len(refs):
+                raise _BadRequest(
+                    f"sharded ingest needs one account payload per ref "
+                    f"({len(refs)} refs, {len(payloads)} payloads)"
+                )
+            for ref, payload in zip(refs, payloads):
+                if payload.ref != ref:
+                    raise _BadRequest(
+                        f"account payload describes {payload.ref}, listed "
+                        f"as {ref}"
+                    )
+
+            def mutate():
+                return self.service.ingest_payloads(
+                    refs, raw_accounts, score=bool(score)
+                )
+
+        else:
+
+            def mutate():
+                service = self.service
+                for payload in payloads:
+                    apply_payload(service.world, payload)
+                return service.add_accounts(refs, score=bool(score))
 
         report, epoch = await self._write_call(mutate)
         return 200, {
@@ -346,6 +391,11 @@ class LinkageGateway:
         the write fence, so the unavailability window is one fence
         acquisition plus the tail replay, not the whole delta.
         """
+        if getattr(self.service, "is_sharded", False):
+            raise _Conflict(
+                "sharded deployments do not support /swap; plan against "
+                "the refit artifact and restart the shard fleet instead"
+            )
         artifact = _require(body, "artifact")
         if not isinstance(artifact, str) or not artifact:
             raise _BadRequest(f"artifact must be a path, got {artifact!r}")
@@ -413,6 +463,18 @@ class LinkageGateway:
                 "records_replayed": replayed,
             }
 
+    async def _handle_restart_shard(self, body, query, ticket):
+        """Rebuild one shard worker from its artifact + journal replay."""
+        if not getattr(self.service, "is_sharded", False):
+            raise _Conflict("not a sharded deployment")
+        shard = _require(body, "shard")
+        if not isinstance(shard, int):
+            raise _BadRequest(f"shard must be an int, got {shard!r}")
+        health, epoch = await self._write_call(
+            lambda: self.service.restart_shard(shard)
+        )
+        return 200, {"shard": shard, "health": health, "epoch": epoch}
+
     async def _handle_candidates(self, body, query, ticket):
         limit = _int_query(query, "limit", 200)
 
@@ -421,7 +483,7 @@ class LinkageGateway:
             for key in self.service.platform_pairs():
                 if len(sample) >= limit:
                     break
-                for pair in self.service.linker.candidates_[key].pairs:
+                for pair in self.service.candidate_pairs(key):
                     if len(sample) >= limit:
                         break
                     sample.append([list(pair[0]), list(pair[1])])
@@ -446,7 +508,7 @@ class LinkageGateway:
         # gateway-side snapshots are loop-owned state and stay here.
         service = self.service  # one resolution: a swap must not mix services
         service_stats = await self._run_scoring(service.stats)
-        return 200, {
+        return 200, self._shard_marker({
             "service": service_stats.as_dict(),
             "gateway": {
                 "uptime_seconds": (
@@ -458,7 +520,7 @@ class LinkageGateway:
                 "admission": self._admission.snapshot(),
             },
             "epoch": service.registry_epoch,
-        }
+        })
 
     async def _handle_healthz(self, body, query, ticket):
         status = "draining" if self._draining else "ok"
@@ -572,6 +634,7 @@ class LinkageGateway:
             return keep_alive
 
         rejected_after_admit = False
+        retry_after = None
         status, payload = 500, _error_json("internal_error", "not handled")
         try:
             status, payload = await handler(body, query, ticket)
@@ -588,6 +651,13 @@ class LinkageGateway:
             status, payload = 400, _error_json("bad_request", str(bad))
         except _Conflict as conflict:
             status, payload = 409, _error_json("conflict", str(conflict))
+        except ShardUnavailableError as down:
+            # the write's owner shard is down: recoverable via
+            # /shards/restart, so tell the client to come back
+            status = 503
+            payload = _error_json("shard_unavailable", str(down))
+            payload["shards_unavailable"] = down.shards
+            retry_after = self.config.retry_after_seconds
         except KeyError as missing:
             status, payload = 404, _error_json(
                 "not_found", str(missing.args[0] if missing.args else missing)
@@ -602,7 +672,9 @@ class LinkageGateway:
             if not rejected_after_admit:
                 # 4xx/5xx after admission are errors; 2xx complete cleanly
                 self._admission.complete(ticket, error="error" in payload)
-        await _write_response(writer, status, payload, keep_alive)
+        await _write_response(
+            writer, status, payload, keep_alive, retry_after=retry_after
+        )
         return keep_alive
 
 
@@ -672,11 +744,14 @@ def _parse_pairs(raw) -> list:
 
 
 def _link_json(link) -> dict:
+    distance = link.behavior_distance
     return {
         "pair": [list(link.pair[0]), list(link.pair[1])],
         "score": link.score,
         "evidence": sorted(link.evidence),
-        "behavior_distance": link.behavior_distance,
+        # a degraded sharded read can lose the owner mid-flight: the score
+        # is already computed but the distance probe fails -> null
+        "behavior_distance": None if distance != distance else distance,
     }
 
 

@@ -31,7 +31,9 @@ from repro.parallel.worker import (
     init_featurizer,
     init_scorer_from_artifact,
     init_scorer_from_linker,
+    init_shard_worker,
     score_shard,
+    worker_state,
 )
 
 __all__ = [
@@ -45,5 +47,7 @@ __all__ = [
     "init_featurizer",
     "init_scorer_from_artifact",
     "init_scorer_from_linker",
+    "init_shard_worker",
     "score_shard",
+    "worker_state",
 ]

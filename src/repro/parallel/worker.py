@@ -40,10 +40,12 @@ __all__ = [
     "init_featurizer",
     "init_scorer_from_artifact",
     "init_scorer_from_linker",
+    "init_shard_worker",
     "score_chunked",
     "score_grouped",
     "score_shard",
     "swap_state",
+    "worker_state",
 ]
 
 #: Per-process worker state: ``linker`` (serving) or ``pipeline`` + ``filler``
@@ -103,6 +105,37 @@ def init_featurizer(pipeline, filler, engine: str | None = None) -> None:
     _STATE["pipeline"] = pipeline
     _STATE["filler"] = filler
     _STATE["engine"] = engine
+
+
+def init_shard_worker(path: str, batch_size: int = 256) -> None:
+    """Load one shard artifact and stand up its serving state.
+
+    The distributed serving tier (:mod:`repro.shard`) initializes each
+    per-shard worker process with this function: it reuses
+    :func:`init_scorer_from_artifact` to load the shard's packed-subset
+    linker, then wraps it in a full :class:`~repro.serving.LinkageService`
+    (caches, registry, candidate maintenance) and records the shard's
+    manifest metadata — in particular the *served* account set, the refs
+    whose Eqn 18 fill closure is fully resident on this shard and whose
+    pair scores are therefore bit-exact.
+    """
+    from repro.persist import artifact_summary
+    from repro.serving.service import LinkageService
+
+    init_scorer_from_artifact(path)
+    _STATE["shard_service"] = LinkageService(
+        _STATE["linker"], batch_size=batch_size
+    )
+    meta = artifact_summary(path).get("shard") or {}
+    _STATE["shard_meta"] = meta
+    _STATE["shard_served"] = {
+        (ref[0], ref[1]) for ref in meta.get("served", [])
+    }
+
+
+def worker_state() -> dict:
+    """The live per-process state dict (shard task functions mutate it)."""
+    return _STATE
 
 
 # ----------------------------------------------------------------------

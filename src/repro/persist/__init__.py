@@ -8,24 +8,34 @@ online-serving split that production identity-linkage deployments require.
 Entry points: :func:`save_linker`, :func:`load_linker`, or the
 :meth:`~repro.core.hydra.HydraLinker.save` /
 :meth:`~repro.core.hydra.HydraLinker.load` convenience methods.
+:func:`save_scoring_head` / :func:`load_scoring_head` persist the decision
+function alone (no pickled world state) for the sharded gateway router.
 """
 
 from repro.persist.artifact import (
     ARTIFACT_FORMAT,
     ARTIFACT_VERSION,
+    HEAD_FORMAT,
+    HEAD_VERSION,
     ArtifactError,
     artifact_exists,
     artifact_summary,
     load_linker,
+    load_scoring_head,
     save_linker,
+    save_scoring_head,
 )
 
 __all__ = [
     "ARTIFACT_FORMAT",
     "ARTIFACT_VERSION",
+    "HEAD_FORMAT",
+    "HEAD_VERSION",
     "ArtifactError",
     "artifact_exists",
     "artifact_summary",
     "load_linker",
+    "load_scoring_head",
     "save_linker",
+    "save_scoring_head",
 ]

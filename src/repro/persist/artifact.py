@@ -53,18 +53,31 @@ from repro.core.qp import QPResult
 __all__ = [
     "ARTIFACT_FORMAT",
     "ARTIFACT_VERSION",
+    "HEAD_FORMAT",
+    "HEAD_VERSION",
     "ArtifactError",
     "artifact_exists",
     "artifact_summary",
     "load_linker",
+    "load_scoring_head",
     "save_linker",
+    "save_scoring_head",
 ]
 
 ARTIFACT_FORMAT = "hydra-linker"
 ARTIFACT_VERSION = 1
 
+#: A scoring head is the decision function alone — kernel config + dual
+#: expansion arrays + bias + feature names — with no pickled world/pipeline
+#: state.  The sharded router loads one to score feature rows the shards
+#: featurized, so the gateway process never unpickles a state blob.
+HEAD_FORMAT = "hydra-scoring-head"
+HEAD_VERSION = 1
+
 _MANIFEST = "manifest.json"
 _ARRAYS = "arrays.npz"
+_HEAD_MANIFEST = "head.json"
+_HEAD_ARRAYS = "head_arrays.npz"
 
 
 class ArtifactError(RuntimeError):
@@ -140,11 +153,18 @@ def _packed_store_summary(pipeline) -> dict | None:
 # ----------------------------------------------------------------------
 # save
 # ----------------------------------------------------------------------
-def save_linker(linker: HydraLinker, path) -> Path:
+def save_linker(
+    linker: HydraLinker, path, *, extra_manifest: dict | None = None
+) -> Path:
     """Write a fitted linker to the artifact directory ``path``.
 
     The directory is created if needed; existing artifact files are
     overwritten.  Returns the artifact path.
+
+    ``extra_manifest`` merges additional top-level sections into the
+    manifest (e.g. the shard planner's ``shard`` section recording the
+    shard's index and served account set); keys must not collide with the
+    standard sections.
     """
     if linker.model_ is None or linker._filler is None or linker._world is None:
         raise ArtifactError("linker is not fitted; fit() before save()")
@@ -221,6 +241,14 @@ def save_linker(linker: HydraLinker, path) -> Path:
             "epoch": getattr(linker, "ingest_epoch_", 0),
         },
     }
+    if extra_manifest:
+        collisions = set(extra_manifest) & set(manifest)
+        if collisions:
+            raise ArtifactError(
+                f"extra_manifest collides with standard sections: "
+                f"{sorted(collisions)}"
+            )
+        manifest.update(extra_manifest)
     (path / _MANIFEST).write_text(json.dumps(manifest, indent=2, sort_keys=True))
 
     arrays: dict[str, np.ndarray] = {
@@ -389,7 +417,7 @@ def artifact_summary(path) -> dict:
     """Cheap artifact inspection: manifest facts without loading arrays."""
     path = Path(path)
     manifest = _read_manifest(path)
-    return {
+    summary = {
         "path": str(path),
         "format": manifest["format"],
         "version": manifest["version"],
@@ -401,4 +429,105 @@ def artifact_summary(path) -> dict:
         "kernel": manifest["config"]["moo"]["kernel"],
         "feature_dim": len(manifest["feature_names"]),
         "ingest_epoch": manifest.get("ingest", {}).get("epoch", 0),
+    }
+    if "shard" in manifest:
+        summary["shard"] = manifest["shard"]
+    return summary
+
+
+# ----------------------------------------------------------------------
+# scoring head: the decision function without the world
+# ----------------------------------------------------------------------
+def save_scoring_head(linker: HydraLinker, path) -> Path:
+    """Write ``linker``'s decision function alone to directory ``path``.
+
+    The head carries the kernel/MOO config, the dual expansion arrays, the
+    bias, the decision threshold, and the feature-name schema — everything
+    needed to turn featurized rows into scores, and nothing else.  Unlike a
+    full artifact there is no pickled state blob, so loading a head is
+    cheap and safe (pure JSON + arrays).
+    """
+    if linker.model_ is None:
+        raise ArtifactError("linker is not fitted; fit() before save")
+    model = linker.model_
+    if model.x_train_ is None or model.alpha_ is None:
+        raise ArtifactError("fitted model is missing its dual expansion state")
+
+    from repro import __version__
+
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    manifest = {
+        "format": HEAD_FORMAT,
+        "version": HEAD_VERSION,
+        "repro_version": __version__,
+        "moo": {
+            "gamma_l": model.config.gamma_l,
+            "gamma_m": model.config.gamma_m,
+            "p": model.config.p,
+            "kernel": model.config.kernel,
+            "kernel_params": dict(model.config.kernel_params),
+            "max_smo_iterations": model.config.max_smo_iterations,
+            "smo_tol": model.config.smo_tol,
+            "reweight_iterations": model.config.reweight_iterations,
+            "jitter": model.config.jitter,
+        },
+        "bias": model.bias_,
+        "threshold": linker.threshold,
+        "feature_names": list(linker.pipeline.feature_names),
+    }
+    (path / _HEAD_MANIFEST).write_text(
+        json.dumps(manifest, indent=2, sort_keys=True)
+    )
+    np.savez_compressed(
+        path / _HEAD_ARRAYS,
+        x_train=model.x_train_,
+        alpha=model.alpha_,
+        beta=model.beta_ if model.beta_ is not None else np.zeros(0),
+    )
+    return path
+
+
+def load_scoring_head(path) -> dict:
+    """Load a scoring head saved by :func:`save_scoring_head`.
+
+    Returns ``{"model": MultiObjectiveModel, "feature_names": [...],
+    "threshold": float}``; ``model.decision_function(x)`` reproduces the
+    source linker's ``score_features`` bit for bit on identical feature
+    rows (same chunk shapes, same operands).
+    """
+    path = Path(path)
+    manifest_path = path / _HEAD_MANIFEST
+    if not manifest_path.is_file():
+        raise ArtifactError(f"no scoring head at {manifest_path}")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ArtifactError(f"corrupt scoring head at {manifest_path}: {exc}")
+    if manifest.get("format") != HEAD_FORMAT:
+        raise ArtifactError(
+            f"unknown head format {manifest.get('format')!r} "
+            f"(expected {HEAD_FORMAT!r})"
+        )
+    if manifest.get("version") != HEAD_VERSION:
+        raise ArtifactError(
+            f"unsupported head version {manifest.get('version')!r} "
+            f"(this build reads version {HEAD_VERSION})"
+        )
+    arrays_path = path / _HEAD_ARRAYS
+    if not arrays_path.is_file():
+        raise ArtifactError(f"scoring head arrays missing at {arrays_path}")
+    with np.load(arrays_path) as arrays:
+        x_train = arrays["x_train"]
+        alpha = arrays["alpha"]
+        beta = arrays["beta"]
+    model = MultiObjectiveModel(MooConfig(**manifest["moo"]))
+    model.x_train_ = x_train
+    model.alpha_ = alpha
+    model.beta_ = beta if beta.size else None
+    model.bias_ = float(manifest["bias"])
+    return {
+        "model": model,
+        "feature_names": list(manifest["feature_names"]),
+        "threshold": float(manifest["threshold"]),
     }

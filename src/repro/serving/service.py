@@ -305,6 +305,19 @@ class LinkageService:
         """Total indexed candidate pairs across all platform pairs."""
         return sum(len(index.pairs) for index in self._index.values())
 
+    def candidate_pairs(self, key: tuple[str, str]) -> list[Pair]:
+        """The indexed candidate pairs of one platform pair, in index order.
+
+        Part of the serving interface the sharded router
+        (:class:`repro.shard.ShardedLinkageService`) also implements; the
+        gateway's ``/candidates`` endpoint goes through it rather than
+        reaching into ``linker.candidates_``.
+        """
+        key = (key[0], key[1])
+        if key not in self._index:
+            raise KeyError(f"platform pair {key} was not fitted")
+        return list(self._index[key].pairs)
+
     def score_pairs(
         self, pairs: list[Pair], *, batch_size: int | None = None
     ) -> np.ndarray:

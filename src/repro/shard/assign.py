@@ -1,0 +1,137 @@
+"""Deterministic shard assignment: which shard owns which account.
+
+Ownership must be a pure function of the account reference — the planner,
+the gateway router, and every shard worker each derive it independently
+(from the persisted plan), and they must always agree.  Python's builtin
+``hash`` is salted per process, so assignment hashes are ``blake2b`` over a
+seed-qualified key instead.
+
+Two strategies:
+
+:class:`HashAssignment`
+    ``blake2b(f"{seed}:{platform}:{id}") % num_shards`` — uniform in
+    expectation, stable across processes, machines, and Python versions.
+
+:class:`ExplicitAssignment`
+    A persisted ``ref -> shard`` mapping (the output of
+    :func:`repro.shard.planner.rebalance_assignment`) with a fallback
+    strategy for refs outside the mapping, so accounts ingested after a
+    rebalance still route deterministically.
+
+Both serialize to/from plain JSON (:meth:`to_json` /
+:func:`assignment_from_json`) for persistence in ``shard_plan.json``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = [
+    "ExplicitAssignment",
+    "HashAssignment",
+    "assignment_from_json",
+]
+
+AccountRef = tuple[str, str]
+
+
+class HashAssignment:
+    """Uniform hash partitioning of account refs into ``num_shards``."""
+
+    kind = "hash"
+
+    def __init__(self, num_shards: int, *, seed: int = 0):
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        self.num_shards = int(num_shards)
+        self.seed = int(seed)
+
+    def shard_of(self, ref: AccountRef) -> int:
+        key = f"{self.seed}:{ref[0]}:{ref[1]}".encode()
+        digest = hashlib.blake2b(key, digest_size=8).digest()
+        return int.from_bytes(digest, "big") % self.num_shards
+
+    def to_json(self) -> dict:
+        return {
+            "kind": self.kind,
+            "num_shards": self.num_shards,
+            "seed": self.seed,
+        }
+
+    def __repr__(self) -> str:
+        return f"HashAssignment(num_shards={self.num_shards}, seed={self.seed})"
+
+
+class ExplicitAssignment:
+    """A pinned ``ref -> shard`` mapping with a deterministic fallback.
+
+    The mapping wins for refs it names; anything else (accounts that arrive
+    after the rebalance that produced the mapping) falls through to the
+    fallback strategy.
+    """
+
+    kind = "explicit"
+
+    def __init__(
+        self,
+        mapping: dict[AccountRef, int],
+        num_shards: int,
+        *,
+        fallback: HashAssignment | None = None,
+    ):
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        self.num_shards = int(num_shards)
+        self.mapping = dict(mapping)
+        for ref, shard in self.mapping.items():
+            if not 0 <= shard < self.num_shards:
+                raise ValueError(
+                    f"mapping sends {ref} to shard {shard}, outside "
+                    f"[0, {self.num_shards})"
+                )
+        self.fallback = fallback or HashAssignment(num_shards)
+        if self.fallback.num_shards != self.num_shards:
+            raise ValueError("fallback shard count disagrees with mapping")
+
+    def shard_of(self, ref: AccountRef) -> int:
+        shard = self.mapping.get((ref[0], ref[1]))
+        if shard is not None:
+            return shard
+        return self.fallback.shard_of(ref)
+
+    def to_json(self) -> dict:
+        return {
+            "kind": self.kind,
+            "num_shards": self.num_shards,
+            # json object keys must be strings; "platform/id" is unambiguous
+            # because platform names never contain "/"
+            "mapping": {
+                f"{ref[0]}/{ref[1]}": shard
+                for ref, shard in sorted(self.mapping.items())
+            },
+            "fallback": self.fallback.to_json(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ExplicitAssignment({len(self.mapping)} pinned refs, "
+            f"num_shards={self.num_shards})"
+        )
+
+
+def assignment_from_json(data: dict):
+    """Rebuild an assignment strategy from its :meth:`to_json` form."""
+    kind = data.get("kind")
+    if kind == "hash":
+        return HashAssignment(data["num_shards"], seed=data.get("seed", 0))
+    if kind == "explicit":
+        mapping = {}
+        for key, shard in data["mapping"].items():
+            platform, _, account_id = key.partition("/")
+            mapping[(platform, account_id)] = int(shard)
+        return ExplicitAssignment(
+            mapping,
+            data["num_shards"],
+            fallback=assignment_from_json(data["fallback"]),
+        )
+    raise ValueError(f"unknown assignment kind {kind!r}")

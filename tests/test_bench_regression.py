@@ -148,6 +148,72 @@ class TestCompare:
         assert by_metric["requests_per_sec"].regressed
         assert not by_metric["p99_ms"].regressed
 
+    def test_metric_only_in_current_is_ignored(self, tmp_path):
+        # the baseline predates the p99_ms column: a current table that
+        # gains it must not be gated on it until the baseline is refreshed
+        base = _table("t", [["coalesced", 400, 0.2, 1000.0]],
+                      header=_GATEWAY_HEADER[:-1])
+        cur = _table("t", [["coalesced", 400, 0.2, 990.0, 20.0]],
+                     header=_GATEWAY_HEADER)
+        _write(tmp_path / "base", "gateway.txt", base)
+        _write(tmp_path / "cur", "gateway.txt", cur)
+        comparisons = check_regression.compare_dirs(
+            tmp_path / "base", tmp_path / "cur", threshold=0.30
+        )
+        assert {c.metric for c in comparisons} == {"requests_per_sec"}
+        assert not comparisons[0].regressed
+
+    def test_file_only_in_current_is_not_compared(self, tmp_path):
+        # a brand-new benchmark has no baseline yet: it must ride along
+        # ungated instead of failing the build
+        (tmp_path / "base").mkdir()
+        _write(tmp_path / "cur", "shard.txt",
+               _table("t", [[256, 84, 0.004, 1000.0]]))
+        assert check_regression.compare_dirs(
+            tmp_path / "base", tmp_path / "cur", threshold=0.30
+        ) == []
+
+    def test_malformed_current_json_is_a_regression(self, tmp_path):
+        base = json.dumps({"metrics": {"requests_per_sec": 1000.0}})
+        _write(tmp_path / "base", "loadgen.json", base)
+        _write(tmp_path / "cur", "loadgen.json", "{truncated")
+        comparisons = check_regression.compare_dirs(
+            tmp_path / "base", tmp_path / "cur", threshold=0.30
+        )
+        assert comparisons[0].current is None
+        assert comparisons[0].regressed
+
+    def test_non_numeric_json_metric_values_are_skipped(self):
+        document = json.dumps({
+            "metrics": {"requests_per_sec": "fast", "p99_ms": 12.5},
+        })
+        metrics = check_regression.metrics_from_json(document)
+        assert metrics == {"p99_ms": 12.5}
+
+    def test_non_numeric_table_cells_are_skipped(self):
+        text = _table("t", [[256, 84, 0.004, "n/a"], [16, 84, 0.01, 750.0]])
+        assert check_regression.best_pairs_per_sec(text) == 750.0
+
+    def test_inverted_threshold_direction_latency_gain_throughput_loss(
+        self, tmp_path
+    ):
+        # both metrics move 2x in the numerically *upward* direction:
+        # throughput up is fine, latency up must regress — proving the
+        # gate applies the direction per metric, not per table
+        base = _table("t", [["coalesced", 400, 0.2, 1000.0, 20.0]],
+                      header=_GATEWAY_HEADER)
+        cur = _table("t", [["coalesced", 400, 0.2, 2000.0, 40.0]],
+                     header=_GATEWAY_HEADER)
+        _write(tmp_path / "base", "gateway.txt", base)
+        _write(tmp_path / "cur", "gateway.txt", cur)
+        comparisons = check_regression.compare_dirs(
+            tmp_path / "base", tmp_path / "cur", threshold=0.30
+        )
+        by_metric = {c.metric: c for c in comparisons}
+        assert not by_metric["requests_per_sec"].regressed
+        assert by_metric["p99_ms"].regressed
+        assert by_metric["p99_ms"].ratio == pytest.approx(2.0)
+
     def test_missing_metric_in_current_is_a_regression(self, tmp_path):
         base = _table("t", [["coalesced", 400, 0.2, 2000.0, 20.0]],
                       header=_GATEWAY_HEADER)

@@ -15,6 +15,13 @@ Three scenarios prove the durability contract the WAL exists for:
 * **cutover fault** — an ``error`` fault armed at ``swap.cutover``
   turns the swap into a 500 and the live service keeps serving with
   its WAL intact; the retried swap then succeeds.
+* **shard worker SIGKILL** — a gateway over a 3-shard
+  :class:`~repro.shard.ShardedLinkageService` with real worker
+  processes; one worker is killed ``-9`` mid-load.  Reads must keep
+  answering (degraded, ``shards_unavailable`` marked, zero failed
+  requests), writes to the dead owner must 503, and after
+  ``POST /shards/restart`` the rejoined shard must be bit-identical to
+  a never-crashed sharded deployment that applied the same mutations.
 
 Set ``CHAOS_ARTIFACT_DIR`` to keep the WALs and summaries the scenarios
 produce (CI uploads them as build artifacts).
@@ -26,6 +33,7 @@ import pickle
 import re
 import select
 import shutil
+import signal
 import subprocess
 import sys
 import threading
@@ -49,6 +57,7 @@ from repro.gateway import (
 )
 from repro.persist import save_linker
 from repro.serving import LinkageService, holdout_split
+from repro.shard import ShardedLinkageService, plan_shards
 from repro.wal import (
     WriteAheadLog,
     apply_payload,
@@ -401,3 +410,201 @@ class TestSwapCutoverFault:
                 assert swapped["epoch"] == 2
                 assert client.healthz()["epoch"] == 2
             assert gateway.gateway.service is not blue
+
+
+# ----------------------------------------------------------------------
+# scenario 4: SIGKILL one shard worker of a sharded tier mid-load
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def shard_plan3(fitted_blob, tmp_path_factory):
+    """A 3-shard plan cut from the fitted artifact."""
+    plan_dir = tmp_path_factory.mktemp("shardchaos") / "plan3"
+    plan_shards(fitted_blob[1], plan_dir, 3)
+    return plan_dir
+
+
+class TestShardWorkerKill:
+    def test_sigkill_worker_degrades_then_rejoins_bit_identical(
+        self, fitted_blob, shard_plan3, tmp_path
+    ):
+        _, _, _, held, payloads = fitted_blob
+        raws = [payload_to_json(p) for p in payloads]
+        key = tuple(PLATFORM_PAIRS[0])
+        router = ShardedLinkageService(shard_plan3, batch_size=64)
+        # the oracle: an identical sharded deployment that never crashes
+        # and receives the same mutations
+        twin = ShardedLinkageService(
+            shard_plan3, batch_size=64, inline=True
+        )
+        try:
+            base_epoch = router.registry_epoch
+            with GatewayThread(
+                router, GatewayConfig(max_wait_ms=1.0)
+            ) as gateway, GatewayClient(
+                gateway.host, gateway.port, timeout=120
+            ) as client:
+                catalog = client.candidates(limit=200)
+                probe = [
+                    (tuple(pair[0]), tuple(pair[1]))
+                    for pair in catalog["pairs"][:8]
+                ]
+
+                # ---- healthy scatter-gather is bit-identical to
+                # single-process serving, straight through HTTP
+                single = _clone_service(fitted_blob)
+                scored = client.score_pairs(probe)
+                assert "shards_unavailable" not in scored
+                assert scored["scores"] == [
+                    float(s) for s in single.score_pairs(probe)
+                ]
+                top = client.top_k(*key, k=10)
+                assert [
+                    (link["pair"], link["score"])
+                    for link in top["links"]
+                ] == [
+                    ([list(link.pair[0]), list(link.pair[1])], link.score)
+                    for link in single.top_k(*key, 10)
+                ]
+
+                # ---- route the held accounts' arrival through the
+                # gateway; mirror it into the oracle
+                out = client.ingest(held, accounts=raws, score=False)
+                assert out["epoch"] == base_epoch + 1
+                twin.ingest_payloads(list(held), raws, score=False)
+
+                # pick a shard to murder: one that owns catalog pairs but
+                # neither arriving account, so the ingest already landed
+                # everywhere it must
+                holders = {router._route_account(ref) for ref in held}
+                dead = next(
+                    index for index in range(3) if index not in holders
+                )
+                dead_pairs = [
+                    pair for pair in router.candidate_pairs(key)
+                    if router._route_pair(pair) == dead
+                ]
+                assert dead_pairs, "dead shard owns no pairs; bad seed"
+                pid = client.stats()["service"]["shards"][dead]["pid"]
+
+                # ---- SIGKILL the worker mid-load; reads must keep
+                # answering with zero failed requests
+                ops = plan_workload(
+                    catalog,
+                    mix=WorkloadMix(
+                        score_pairs=0.8, top_k=0.15, link_account=0.05,
+                        churn=0.0,
+                    ),
+                    num_requests=200,
+                    pairs_per_request=2,
+                    seed=17,
+                )
+                report_box: dict = {}
+
+                def drive():
+                    report_box["report"] = run_load(
+                        gateway.host, gateway.port, ops,
+                        mode="closed", concurrency=4,
+                    )
+
+                loader = threading.Thread(target=drive)
+                loader.start()
+                time.sleep(0.1)
+                os.kill(pid, signal.SIGKILL)
+                loader.join(timeout=600)
+                assert not loader.is_alive()
+                report = report_box["report"]
+                assert report.requests == len(ops)
+                assert report.failed == 0, (
+                    f"shard kill dropped requests: {report.op_counts}"
+                )
+
+                # ---- the gateway reports the degradation honestly
+                stats = client.stats()
+                assert stats["shards_unavailable"] == [dead]
+                assert stats["service"]["shards"][dead]["alive"] is False
+                assert stats["service"]["degraded_queries"] > 0
+
+                # degraded partial results: exactly the live shards'
+                # slice of the full ranking, healthy rows bit-identical
+                partial = client.top_k(*key, k=10)
+                assert partial["shards_unavailable"] == [dead]
+                universe = len(twin.candidate_pairs(key))
+                live = [
+                    link for link in twin.top_k(*key, universe)
+                    if router._route_pair(link.pair) != dead
+                ][:10]
+                assert [
+                    (link["pair"], link["score"])
+                    for link in partial["links"]
+                ] == [
+                    ([list(link.pair[0]), list(link.pair[1])], link.score)
+                    for link in live
+                ]
+
+                # ---- writes to the dead owner are refused loudly;
+                # writes to live owners keep flowing
+                dead_ref = next(
+                    ref for pair in dead_pairs for ref in pair
+                    if router._route_account(ref) == dead
+                )
+                with pytest.raises(GatewayError) as err:
+                    client.remove_account(dead_ref)
+                assert err.value.status == 503
+                assert client.healthz()["epoch"] == base_epoch + 1
+
+                victim = next(
+                    ref
+                    for pair in router.candidate_pairs(key)
+                    for ref in pair
+                    if router._route_account(ref) != dead
+                    and ref not in held
+                )
+                removed = client.remove_account(victim)
+                assert removed["epoch"] == base_epoch + 2
+                assert twin.remove_account(victim) == removed["pairs_removed"]
+
+                # ---- restart: the shard rejoins at the correct epoch
+                # with the missed mutations replayed
+                revived = client.restart_shard(dead)
+                assert revived["shard"] == dead
+                assert revived["health"]["restarts"] == 1
+                assert revived["epoch"] == base_epoch + 2
+                stats = client.stats()
+                assert stats.get("shards_unavailable", []) == []
+                assert stats["service"]["shards"][dead]["alive"] is True
+                assert stats["service"]["shards"][dead]["restarts"] == 1
+
+                # ---- rejoined tier is bit-identical to the oracle
+                assert router.candidate_pairs(key) == (
+                    twin.candidate_pairs(key)
+                )
+                survivors = router.candidate_pairs(key)
+                assert np.array_equal(
+                    router.score_pairs(survivors),
+                    twin.score_pairs(survivors),
+                )
+                assert [
+                    handle.expected_epoch for handle in router._handles
+                ] == [handle.expected_epoch for handle in twin._handles]
+                final = client.top_k(*key, k=10)
+                assert "shards_unavailable" not in final
+                assert [
+                    (link["pair"], link["score"])
+                    for link in final["links"]
+                ] == [
+                    ([list(link.pair[0]), list(link.pair[1])], link.score)
+                    for link in twin.top_k(*key, 10)
+                ]
+                summary = {
+                    "scenario": "shard-worker-sigkill",
+                    "shards": 3,
+                    "killed_shard": dead,
+                    "requests": report.requests,
+                    "failed": report.failed,
+                    "degraded_queries": stats["service"]["degraded_queries"],
+                    "epoch_after_rejoin": revived["epoch"],
+                }
+        finally:
+            twin.close()
+            router.close()
+        _export_artifacts("shardkill", tmp_path / "no-wal", summary)
