@@ -47,6 +47,7 @@ __all__ = [
     "main",
     "metrics_from_json",
     "metrics_from_table",
+    "new_metric_files",
 ]
 
 #: Gated throughput columns (best = max, higher is better).
@@ -217,6 +218,27 @@ def compare_dirs(
     return comparisons
 
 
+def new_metric_files(baseline_dir: Path, current_dir: Path) -> list[str]:
+    """Current-dir metric files with no committed baseline counterpart.
+
+    ``compare_dirs`` iterates baseline files only, so a freshly added
+    benchmark would otherwise sail through the gate silently; these names
+    are reported as "new baseline adopted" so the adoption is an explicit,
+    reviewable event rather than an absence of output.
+    """
+    baseline_names = {
+        path.name
+        for pattern in ("*.txt", "*.json")
+        for path in Path(baseline_dir).glob(pattern)
+    }
+    fresh = []
+    for pattern in ("*.txt", "*.json"):
+        for path in sorted(Path(current_dir).glob(pattern)):
+            if path.name not in baseline_names and _file_metrics(path):
+                fresh.append(path.name)
+    return fresh
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="fail when benchmark metrics regress beyond a threshold"
@@ -232,6 +254,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"threshold must be in [0, 1), got {args.threshold}")
 
     comparisons = compare_dirs(args.baseline, args.current, args.threshold)
+    for name in new_metric_files(args.baseline, args.current):
+        print(f"{name}: new baseline adopted (no committed counterpart)")
     if not comparisons:
         print("no gated metrics found in the baseline directory")
         return 0

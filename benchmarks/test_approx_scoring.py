@@ -1,0 +1,157 @@
+"""Approximate scoring: the speed-vs-recall curve and its quality gates.
+
+Not a paper figure — this prices the PR's approximate-first query path.
+For each world seed the benchmark fits a linker, serves it from a
+:class:`~repro.serving.LinkageService`, and sweeps prefilter budgets:
+
+* **quality** — recall@k and NDCG@k of ``top_k(..., exact=False)``
+  against exhaustive exact scoring, via the tolerance harness
+  (:func:`repro.eval.evaluate_top_k`);
+* **speed** — best-of-``REPEATS`` cold ``top_k`` latency.  The exact
+  side clears the score cache before every call (steady-state exact
+  reads are cache hits and would make any comparison meaningless); the
+  approximate side never uses that cache by construction.
+
+Gates:
+
+* recall@k at the **default** budget must clear ``APPROX_MIN_RECALL``
+  (0.95 by default; the tier-1 CI run disables it with ``=0`` so the
+  fail-fast suite only carries bit-identity assertions — the dedicated
+  CI step enforces it);
+* the best measured speedup must clear ``APPROX_BENCH_MIN_SPEEDUP``
+  (default 0 = informational; the dedicated CI step pins the enforced
+  value).
+
+Smoke mode (the default, and what CI runs) uses small worlds; the
+nightly workflow runs 4x shapes (``APPROX_BENCH_PERSONS=28``), where
+pruning bites harder — candidate pairs grow quadratically in persons
+while the budget stays fixed.
+"""
+
+import os
+import time
+
+import numpy as np
+from conftest import write_table
+
+from repro.core import HydraLinker
+from repro.datagen import WorldConfig, generate_world
+from repro.eval import evaluate_top_k
+from repro.eval.harness import make_label_split
+from repro.persist import load_linker, save_linker
+from repro.serving import LinkageService
+
+PERSONS = int(os.environ.get("APPROX_BENCH_PERSONS", "14"))
+SEEDS = tuple(
+    int(seed) for seed in os.environ.get("APPROX_BENCH_SEEDS", "205,306").split(",")
+)
+BUDGETS = tuple(
+    int(b) for b in os.environ.get("APPROX_BENCH_BUDGETS", "8,16,32").split(",")
+)
+K = int(os.environ.get("APPROX_BENCH_K", "10"))
+REPEATS = int(os.environ.get("APPROX_BENCH_REPEATS", "3"))
+MIN_RECALL = float(os.environ.get("APPROX_MIN_RECALL", "0.95"))
+MIN_SPEEDUP = float(os.environ.get("APPROX_BENCH_MIN_SPEEDUP", "0"))
+
+PLATFORM_PAIRS = [("facebook", "twitter")]
+
+
+def _fit_service(seed: int, tmp_dir: str) -> LinkageService:
+    world = generate_world(WorldConfig(num_persons=PERSONS, seed=seed))
+    split = make_label_split(world, PLATFORM_PAIRS, seed=seed)
+    linker = HydraLinker(seed=seed, num_topics=8, max_lda_docs=1500)
+    linker.fit(
+        world, split.labeled_positive, split.labeled_negative, PLATFORM_PAIRS
+    )
+    # serve from a reloaded artifact — the production path, with the
+    # landmark fast scorer restored from the persisted approx section
+    save_linker(linker, tmp_dir)
+    return LinkageService(load_linker(tmp_dir))
+
+
+def _best_seconds(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _sweep(tmp_root: str):
+    rows = []
+    default_recalls = []
+    for seed in SEEDS:
+        service = _fit_service(seed, f"{tmp_root}/artifact-{seed}")
+        key = service.platform_pairs()[0]
+        candidates = len(service.candidate_pairs(key))
+        budgets = sorted(set(BUDGETS) | {service.approx.budget})
+
+        def exact_cold():
+            service._score_cache.clear()
+            service.top_k(key[0], key[1], K)
+
+        exact_seconds = _best_seconds(exact_cold, REPEATS)
+        points = evaluate_top_k(service, key[0], key[1], k=K, budgets=budgets)
+        for point in points:
+            if point.budget == service.approx.budget:
+                default_recalls.append(point.recall)
+            approx_seconds = _best_seconds(
+                lambda b=point.budget: service.top_k(
+                    key[0], key[1], K, exact=False, budget=b
+                ),
+                REPEATS,
+            )
+            rows.append([
+                seed, point.budget, candidates, point.recall, point.ndcg,
+                exact_seconds * 1e3, approx_seconds * 1e3,
+                exact_seconds / approx_seconds,
+                1.0 / approx_seconds,
+            ])
+    return rows, default_recalls
+
+
+def test_approx_speed_vs_recall(once, tmp_path):
+    rows, default_recalls = once(_sweep, str(tmp_path))
+    write_table(
+        "approx_scoring",
+        f"Approximate top-{K} — speed vs recall across prefilter budgets "
+        f"({PERSONS}-person worlds, seeds {','.join(map(str, SEEDS))})",
+        ["seed", "budget", "candidates", f"recall_at_{K}", f"ndcg_at_{K}",
+         "exact_ms", "approx_ms", "speedup", "requests_per_sec"],
+        rows,
+    )
+    assert rows, "budget sweep produced no measurements"
+    for _seed, budget, candidates, recall, ndcg, *_rest in rows:
+        assert 0.0 <= recall <= 1.0 and 0.0 <= ndcg <= 1.0 + 1e-9
+        # a budget covering the whole candidate set must be lossless
+        if budget >= candidates:
+            assert recall == 1.0
+    if MIN_RECALL > 0:
+        worst = min(default_recalls)
+        assert worst >= MIN_RECALL, (
+            f"recall@{K} at the default budget fell to {worst:.3f} "
+            f"(need >= {MIN_RECALL})"
+        )
+    if MIN_SPEEDUP > 0:
+        best = max(row[7] for row in rows)
+        assert best >= MIN_SPEEDUP, (
+            f"best approximate speedup {best:.2f}x over cold exact top_k "
+            f"(need >= {MIN_SPEEDUP}x)"
+        )
+
+
+def _exact_bytes_check(tmp_dir: str) -> tuple[list[float], list[float]]:
+    service = _fit_service(SEEDS[0], tmp_dir)
+    key = service.platform_pairs()[0]
+    links = service.top_k(key[0], key[1], K, exact=False)
+    rescored = service.score_pairs([link.pair for link in links])
+    return [link.score for link in links], [float(s) for s in rescored]
+
+
+def test_approx_scores_stay_exact_bytes(once, tmp_path):
+    """The returned approximate scores must be the exact float64 bytes —
+    at bench scale too, not just the unit worlds."""
+    returned, rescored = once(_exact_bytes_check, str(tmp_path / "bytes"))
+    assert returned == rescored
+    assert not any(np.isnan(score) for score in rescored)

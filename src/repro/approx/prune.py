@@ -1,0 +1,48 @@
+"""Layer 1 of approximate scoring: prune candidates by blocking evidence.
+
+The exact serving paths score *every* indexed candidate of a platform
+pair.  The prefilter here keeps only the top-``budget`` rows ranked by
+blocking-rule strength — the same ``(-evidence count, ascending pair id)``
+ordering discipline :meth:`repro.index.PairCandidateIndex.ranked` applies
+inside each per-account candidate group, lifted to a whole candidate
+list.  A pair that matched on more independent blocking rules (username
+bigrams, shared emails, shared media, rare words, location cells) carries
+strictly more prior evidence of being a true link, so the survivors are
+where the strong scores live; the recall@k cost of the cutoff is measured
+by :mod:`repro.eval.approx_quality`.
+
+The rankings stay correct under ingest for free: every mutation rewrites
+the touched candidate groups through the live index (exactly equal to a
+from-scratch rebuild — the property test in ``tests/test_index.py``
+pins this), and the serving layers re-derive their evidence lists from
+the mutated candidate sets.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterable, Sequence
+
+__all__ = ["prune_rows"]
+
+
+def prune_rows(
+    evidence: Sequence[frozenset],
+    pairs: Sequence,
+    budget: int,
+    rows: Iterable[int] | None = None,
+) -> list[int]:
+    """The top-``budget`` candidate rows by blocking-rule strength.
+
+    ``evidence[row]`` is the set of blocking rules that proposed the
+    candidate at ``row``; ``pairs[row]`` its account-ref pair, used as the
+    deterministic tiebreak.  ``rows`` restricts the pool (one account's
+    candidate rows, a shard's owned rows); default is every row.  Returns
+    rows strongest-first.
+    """
+    if budget < 1:
+        raise ValueError(f"budget must be >= 1, got {budget}")
+    pool = range(len(evidence)) if rows is None else list(rows)
+    return heapq.nsmallest(
+        budget, pool, key=lambda row: (-len(evidence[row]), pairs[row])
+    )

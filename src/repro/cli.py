@@ -183,15 +183,22 @@ def _print_score_query(service, args) -> int:
         f"artifact {args.artifact} ({service.num_candidates()} candidates, "
         f"kernel={linker.moo_config.kernel}, missing={linker.missing_strategy})"
     )
+    exact = not args.approx
     if args.account is not None:
         platform, account_id = args.account
-        links = service.link_account(platform, account_id, top=args.top)
+        links = service.link_account(
+            platform, account_id, top=args.top,
+            exact=exact, budget=args.budget,
+        )
         header = f"{platform}/{account_id}"
     else:
         pair = service.platform_pairs()[0] if args.pair is None else tuple(args.pair)
-        links = service.top_k(pair[0], pair[1], k=args.top)
+        links = service.top_k(
+            pair[0], pair[1], k=args.top, exact=exact, budget=args.budget
+        )
         header = f"{pair[0]} <-> {pair[1]}"
-    print(f"\ntop {len(links)} links for {header}:")
+    mode = "approximate cutoff, exact scores" if args.approx else "exact"
+    print(f"\ntop {len(links)} links for {header} ({mode}):")
     rows = [
         [link.pair[0][1], link.pair[1][1], link.score,
          ",".join(sorted(link.evidence)) or "-", link.behavior_distance]
@@ -694,6 +701,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="resolve one account instead of a platform pair")
     p_score.add_argument("--top", type=int, default=5,
                          help="number of links to print")
+    p_score.add_argument("--approx", action="store_true",
+                         help="use the approximate fast path (index-pruned "
+                              "+ landmark scorer); the ranking cutoff is "
+                              "approximate, returned scores stay exact")
+    p_score.add_argument("--budget", type=int, default=None,
+                         help="approximate prefilter budget (pairs scored "
+                              "per query; default from ApproxConfig)")
     parallel_opts(p_score)
     p_score.set_defaults(func=cmd_score)
 

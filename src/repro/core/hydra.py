@@ -172,6 +172,11 @@ class HydraLinker:
         #: ingestion/removal) so caches, worker pools, and stale artifacts
         #: keyed to the previous state invalidate exactly once per mutation.
         self.ingest_epoch_: int = 0
+        #: Fit-time Nyström fast scorer (repro.approx) for the approximate
+        #: ranking path; persisted in the artifact, rebuilt deterministically
+        #: when absent (pre-approx artifacts).  The fitted model is frozen
+        #: across online mutations, so this never invalidates with the epoch.
+        self.fast_scorer_ = None
         self.candidates_: dict[tuple[str, str], CandidateSet] = {}
         self.blocks_: list[ConsistencyBlock] = []
         self.global_pairs_: list[Pair] = []
@@ -250,7 +255,35 @@ class HydraLinker:
         self._filler = context.filler
         self.model_ = context.model
         self.stage_timings_ = dict(context.timings)
+        # landmark selection happens at fit time so every consumer of this
+        # model (service, shard router, reloaded artifact) ranks with the
+        # same compressed kernel; the solve is O(L^2 d + L^3), negligible
+        # next to the stages above
+        self.fast_scorer_ = None
+        self.ensure_fast_scorer()
         return self
+
+    def ensure_fast_scorer(self):
+        """The Nyström fast scorer for this model, built once (deterministic).
+
+        Rebuilding from the same fitted model always reproduces the same
+        scorer bytes (seeded landmark selection over the frozen training
+        rows), so artifacts saved before the approximate path existed get
+        an identical scorer on first use.
+        """
+        if self.model_ is None:
+            raise RuntimeError("linker is not fitted; call fit() first")
+        if self.fast_scorer_ is None:
+            from repro.approx import ApproxConfig, FastScorer
+
+            defaults = ApproxConfig()
+            self.fast_scorer_ = FastScorer.from_model(
+                self.model_,
+                num_landmarks=defaults.num_landmarks,
+                seed=defaults.seed,
+                ridge=defaults.ridge,
+            )
+        return self.fast_scorer_
 
     # ------------------------------------------------------------------
     # prediction

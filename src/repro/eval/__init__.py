@@ -1,6 +1,13 @@
 """Evaluation layer: metrics, the experiment harness and per-figure configs."""
 
 from repro.eval.metrics import LinkageMetrics, precision_recall_f1
+from repro.eval.approx_quality import (
+    QualityPoint,
+    evaluate_top_k,
+    ndcg_at_k,
+    recall_at_k,
+    sweep_service,
+)
 from repro.eval.harness import (
     ExperimentHarness,
     LabelSplit,
@@ -27,6 +34,11 @@ from repro.eval.report import format_table, markdown_table, method_results_table
 __all__ = [
     "LinkageMetrics",
     "precision_recall_f1",
+    "QualityPoint",
+    "evaluate_top_k",
+    "ndcg_at_k",
+    "recall_at_k",
+    "sweep_service",
     "ExperimentHarness",
     "LabelSplit",
     "MethodResult",

@@ -138,12 +138,24 @@ class GatewayClient:
         platform_b: str,
         k: int = 10,
         *,
+        exact: bool = True,
+        budget: int | None = None,
         deadline_ms: float | None = None,
     ) -> dict:
-        """``GET /top_k`` — strongest links of one platform pair."""
-        params = urllib.parse.urlencode(
-            {"platform_a": platform_a, "platform_b": platform_b, "k": k}
-        )
+        """``GET /top_k`` — strongest links of one platform pair.
+
+        ``exact=False`` requests the approximate path (``?exact=false``,
+        optionally ``&budget=N``): the ranking cutoff is approximate but
+        returned scores are exact.
+        """
+        query: dict = {
+            "platform_a": platform_a, "platform_b": platform_b, "k": k,
+        }
+        if not exact:
+            query["exact"] = "false"
+        if budget is not None:
+            query["budget"] = budget
+        params = urllib.parse.urlencode(query)
         return self._request(
             "GET", f"/top_k?{params}", None, deadline_ms=deadline_ms
         )
@@ -155,13 +167,22 @@ class GatewayClient:
         *,
         other_platform: str | None = None,
         top: int = 5,
+        exact: bool = True,
+        budget: int | None = None,
         deadline_ms: float | None = None,
     ) -> dict:
-        """``POST /link_account`` — resolve one account."""
+        """``POST /link_account`` — resolve one account.
+
+        ``exact=False`` requests the approximate path (see :meth:`top_k`).
+        """
         body: dict = {"platform": platform, "account_id": account_id,
                       "top": top}
         if other_platform is not None:
             body["other_platform"] = other_platform
+        if not exact:
+            body["exact"] = False
+        if budget is not None:
+            body["budget"] = budget
         return self._request(
             "POST", "/link_account", body, deadline_ms=deadline_ms
         )

@@ -286,9 +286,17 @@ class LinkageGateway:
         platform_a = _require_query(query, "platform_a")
         platform_b = _require_query(query, "platform_b")
         k = _int_query(query, "k", 10)
+        # exact=false opts into the approximate path (index-pruned +
+        # landmark fast scorer, exact rescoring of the returned list);
+        # responses stay epoch-stamped either way, and the approximate
+        # path never populates the service's exact score cache
+        exact = _bool_query(query, "exact", True)
+        budget = _opt_int_query(query, "budget")
         links, epoch = await self._read_call(
             ticket,
-            lambda: self.service.top_k(platform_a, platform_b, k),
+            lambda: self.service.top_k(
+                platform_a, platform_b, k, exact=exact, budget=budget
+            ),
         )
         return 200, self._shard_marker(
             {"links": [_link_json(link) for link in links], "epoch": epoch}
@@ -301,10 +309,17 @@ class LinkageGateway:
         top = body.get("top", 5)
         if not isinstance(top, int):
             raise _BadRequest(f"top must be an int, got {top!r}")
+        exact = body.get("exact", True)
+        if not isinstance(exact, bool):
+            raise _BadRequest(f"exact must be a bool, got {exact!r}")
+        budget = body.get("budget")
+        if budget is not None and not isinstance(budget, int):
+            raise _BadRequest(f"budget must be an int, got {budget!r}")
         links, epoch = await self._read_call(
             ticket,
             lambda: self.service.link_account(
-                platform, account_id, other_platform=other, top=top
+                platform, account_id, other_platform=other, top=top,
+                exact=exact, budget=budget,
             ),
         )
         return 200, self._shard_marker(
@@ -716,6 +731,26 @@ def _int_query(query: dict, key: str, default: int) -> int:
         return int(query[key])
     except ValueError:
         raise _BadRequest(f"query parameter {key!r} must be an int") from None
+
+
+def _opt_int_query(query: dict, key: str) -> int | None:
+    if key not in query:
+        return None
+    try:
+        return int(query[key])
+    except ValueError:
+        raise _BadRequest(f"query parameter {key!r} must be an int") from None
+
+
+def _bool_query(query: dict, key: str, default: bool) -> bool:
+    if key not in query:
+        return default
+    value = query[key].lower()
+    if value in ("true", "1"):
+        return True
+    if value in ("false", "0"):
+        return False
+    raise _BadRequest(f"query parameter {key!r} must be true or false")
 
 
 def _parse_ref(raw) -> tuple[str, str]:

@@ -241,6 +241,11 @@ def save_linker(
             "epoch": getattr(linker, "ingest_epoch_", 0),
         },
     }
+    # fit-time Nyström landmark selection (repro.approx) rides in the
+    # artifact so a reload serves the approximate path without reselecting
+    fast_scorer = getattr(linker, "fast_scorer_", None)
+    if fast_scorer is not None:
+        manifest["approx"] = fast_scorer.manifest_entry()
     if extra_manifest:
         collisions = set(extra_manifest) & set(manifest)
         if collisions:
@@ -269,6 +274,8 @@ def save_linker(
         protocol=pickle.HIGHEST_PROTOCOL,
     )
     arrays["state"] = np.frombuffer(state_blob, dtype=np.uint8)
+    if fast_scorer is not None:
+        arrays.update(fast_scorer.arrays())
     np.savez_compressed(path / _ARRAYS, **arrays)
     # remember where this linker lives on disk: parallel serving hands the
     # path to worker-process initializers so each worker loads the artifact
@@ -344,6 +351,11 @@ def load_linker(path, *, linker_cls: type[HydraLinker] = HydraLinker) -> HydraLi
             )
             for i in range(len(manifest["blocks"]))
         ]
+        fast_scorer = None
+        if "approx" in manifest and "approx_landmarks" in arrays:
+            from repro.approx import FastScorer
+
+            fast_scorer = FastScorer.from_persisted(manifest["approx"], arrays)
 
     config = manifest["config"]
     linker = linker_cls(
@@ -409,6 +421,9 @@ def load_linker(path, *, linker_cls: type[HydraLinker] = HydraLinker) -> HydraLi
     ]
     linker.stage_timings_ = dict(manifest.get("stage_timings", {}))
     linker.ingest_epoch_ = int(manifest.get("ingest", {}).get("epoch", 0))
+    # pre-approx artifacts leave this None; ensure_fast_scorer() rebuilds
+    # the identical scorer (deterministic selection) on first approximate use
+    linker.fast_scorer_ = fast_scorer
     linker.artifact_path_ = str(path)
     return linker
 
@@ -476,15 +491,22 @@ def save_scoring_head(linker: HydraLinker, path) -> Path:
         "threshold": linker.threshold,
         "feature_names": list(linker.pipeline.feature_names),
     }
+    head_arrays = {
+        "x_train": model.x_train_,
+        "alpha": model.alpha_,
+        "beta": model.beta_ if model.beta_ is not None else np.zeros(0),
+    }
+    # the head carries the fit-time landmark selection too, so a sharded
+    # router's approximate ranking uses the very same compressed kernel as
+    # the single-process service
+    fast_scorer = getattr(linker, "fast_scorer_", None)
+    if fast_scorer is not None:
+        manifest["approx"] = fast_scorer.manifest_entry()
+        head_arrays.update(fast_scorer.arrays())
     (path / _HEAD_MANIFEST).write_text(
         json.dumps(manifest, indent=2, sort_keys=True)
     )
-    np.savez_compressed(
-        path / _HEAD_ARRAYS,
-        x_train=model.x_train_,
-        alpha=model.alpha_,
-        beta=model.beta_ if model.beta_ is not None else np.zeros(0),
-    )
+    np.savez_compressed(path / _HEAD_ARRAYS, **head_arrays)
     return path
 
 
@@ -492,7 +514,9 @@ def load_scoring_head(path) -> dict:
     """Load a scoring head saved by :func:`save_scoring_head`.
 
     Returns ``{"model": MultiObjectiveModel, "feature_names": [...],
-    "threshold": float}``; ``model.decision_function(x)`` reproduces the
+    "threshold": float, "fast_scorer": FastScorer | None}`` (the fast
+    scorer is the fit-time Nyström landmark state when the head carries
+    one); ``model.decision_function(x)`` reproduces the
     source linker's ``score_features`` bit for bit on identical feature
     rows (same chunk shapes, same operands).
     """
@@ -521,6 +545,11 @@ def load_scoring_head(path) -> dict:
         x_train = arrays["x_train"]
         alpha = arrays["alpha"]
         beta = arrays["beta"]
+        fast_scorer = None
+        if "approx" in manifest and "approx_landmarks" in arrays:
+            from repro.approx import FastScorer
+
+            fast_scorer = FastScorer.from_persisted(manifest["approx"], arrays)
     model = MultiObjectiveModel(MooConfig(**manifest["moo"]))
     model.x_train_ = x_train
     model.alpha_ = alpha
@@ -530,4 +559,5 @@ def load_scoring_head(path) -> dict:
         "model": model,
         "feature_names": list(manifest["feature_names"]),
         "threshold": float(manifest["threshold"]),
+        "fast_scorer": fast_scorer,
     }

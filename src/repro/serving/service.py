@@ -50,10 +50,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.approx import ApproxConfig, prune_rows
 from repro.core.hydra import HydraLinker
 from repro.features.pipeline import AccountRef
 from repro.parallel import ShardPlan, ShardedExecutor
 from repro.parallel import worker as _worker
+from repro.utils.ranking import top_k_indices
 
 __all__ = [
     "IngestReport",
@@ -105,6 +107,38 @@ class LruCache:
             self.hits += 1
             self._data.move_to_end(key)
             return value
+
+    def get_many(self, keys, compute_one) -> tuple[dict, int, int]:
+        """Resolve several keys under **one** lock acquisition.
+
+        Returns ``(values, hits, misses)``.  The batched form exists for
+        response assembly (``link_account`` resolving every returned
+        link's summaries at once): deduplicated keys, a single pass over
+        the recency order, and one lock round-trip instead of one per
+        link.  ``compute_one`` runs under the lock, like
+        :meth:`get_or_compute`'s fill does.
+        """
+        values: dict = {}
+        hits = misses = 0
+        with self._lock:
+            for key in keys:
+                if key in values:
+                    continue
+                try:
+                    value = self._data[key]
+                except KeyError:
+                    self.misses += 1
+                    misses += 1
+                    value = compute_one(key)
+                    self._data[key] = value
+                    if len(self._data) > self.maxsize:
+                        self._data.popitem(last=False)
+                else:
+                    self.hits += 1
+                    hits += 1
+                    self._data.move_to_end(key)
+                values[key] = value
+        return values, hits, misses
 
     def invalidate(self, key) -> bool:
         """Drop one entry; True when something was actually cached."""
@@ -162,6 +196,18 @@ class ServiceStats:
     mutation epoch (0 = pristine fit state), and ``accounts_ingested`` /
     ``accounts_removed`` / ``ingest_batches`` count this service's online
     mutations.
+
+    The response-assembly block: ``distance_batches`` counts batched
+    behavior-distance lookups (one per served response needing them) and
+    ``summary_batch_hits`` how many of those batched summary fetches were
+    already cached — the measure of what batching saves over per-link
+    lookups.
+
+    The approximate-scoring block: ``approx_queries`` counts ``top_k`` /
+    ``link_account`` calls served with ``exact=False`` and
+    ``approx_pairs_scored`` the pruned candidates their fast-path kernel
+    ranked (compare against ``pairs_scored`` × the candidate-set size to
+    see the pruning win).
     """
 
     queries: int = 0
@@ -181,6 +227,10 @@ class ServiceStats:
     accounts_ingested: int = 0
     accounts_removed: int = 0
     ingest_batches: int = 0
+    distance_batches: int = 0
+    summary_batch_hits: int = 0
+    approx_queries: int = 0
+    approx_pairs_scored: int = 0
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)
@@ -227,6 +277,12 @@ class LinkageService:
         so a crash at any instant is recoverable from the base artifact
         plus the log (:func:`repro.wal.recover`).  :meth:`close`
         flushes and closes it.
+    approx:
+        Defaults for the approximate scoring path
+        (:class:`~repro.approx.ApproxConfig`): the prefilter budget when
+        a ``top_k(..., exact=False)`` caller does not pass one, the
+        landmark count, and the rescore window.  The approximate path is
+        **opt-in per call** — construction never changes exact behavior.
     """
 
     def __init__(
@@ -239,6 +295,7 @@ class LinkageService:
         workers: int = 1,
         shard_size: int | None = None,
         wal=None,
+        approx: ApproxConfig | None = None,
     ):
         if linker.model_ is None or linker._filler is None:
             raise RuntimeError("linker is not fitted; fit() or load() first")
@@ -272,6 +329,11 @@ class LinkageService:
         self._accounts_ingested = 0
         self._accounts_removed = 0
         self._ingest_batches = 0
+        self.approx = approx if approx is not None else ApproxConfig()
+        self._distance_batches = 0
+        self._summary_batch_hits = 0
+        self._approx_queries = 0
+        self._approx_pairs_scored = 0
 
         self._index: dict[tuple[str, str], _PairIndex] = {}
         for key in linker.candidates_:
@@ -668,30 +730,52 @@ class LinkageService:
             cand = self.linker.candidates_[key]
             row_of = cand.pair_index()
             scores = self._score(key_pairs, self.batch_size)
-            for pair, score in zip(key_pairs, scores):
+            distances = self.behavior_distances(key_pairs)
+            for pair, score, distance in zip(key_pairs, scores, distances):
                 links.append(
                     ScoredLink(
                         pair=pair,
                         score=float(score),
                         evidence=cand.evidence[row_of[pair]],
-                        behavior_distance=self.behavior_distance(*pair),
+                        behavior_distance=distance,
                     )
                 )
         return links
 
-    def top_k(self, platform_a: str, platform_b: str, k: int = 10) -> list[ScoredLink]:
+    def top_k(
+        self,
+        platform_a: str,
+        platform_b: str,
+        k: int = 10,
+        *,
+        exact: bool = True,
+        budget: int | None = None,
+    ) -> list[ScoredLink]:
         """The ``k`` strongest candidate links for one platform pair.
 
         Either orientation is accepted; returned pairs follow the requested
         orientation.
+
+        With ``exact=False`` the ranking goes through the approximate path
+        (:mod:`repro.approx`): only the top-``budget`` blocking-rule
+        survivors are scored, through the float32 landmark fast scorer,
+        and the resulting short list is rescored exactly.  Returned
+        *scores* are always exact bytes — only the cutoff (which pairs
+        make the list) is approximate.  ``budget=None`` uses the
+        service-level :class:`~repro.approx.ApproxConfig` default.
+        ``exact=True`` (the default) is byte-identical to exhaustive
+        scoring and is never affected by the approximate machinery.
         """
         with self._stats_lock:
             self._queries += 1
         key, flipped = self._resolve(platform_a, platform_b)
-        index = self._index[key]
+        if not exact:
+            items, scores = self._approx_top_k(key, k, budget, flipped)
+            return self._scored_links(items, scores)
         scores = self._cached_scores(key)
-        order = np.argsort(-scores, kind="stable")[: max(k, 0)]
-        return [self._link(index, int(row), scores, flipped) for row in order]
+        order = top_k_indices(scores, max(k, 0))
+        items = [(key, int(row), flipped) for row in order]
+        return self._scored_links(items, scores[order])
 
     def link_account(
         self,
@@ -700,16 +784,25 @@ class LinkageService:
         *,
         other_platform: str | None = None,
         top: int = 5,
+        exact: bool = True,
+        budget: int | None = None,
     ) -> list[ScoredLink]:
         """Resolve one account against its indexed candidates.
 
         Searches every fitted platform pair that involves ``platform``
         (restricted to ``other_platform`` when given) and returns the
         strongest ``top`` links, oriented with the queried account first.
+
+        With ``exact=False`` each platform pair prunes the account's
+        candidate rows to the index's top-``budget`` survivors and the
+        union is ranked through the approximate fast path with exact
+        rescoring of the final list — same contract as :meth:`top_k`:
+        approximate cutoff, exact returned scores.
         """
         with self._stats_lock:
             self._queries += 1
-        results: list[ScoredLink] = []
+        scored: list[tuple[tuple[tuple[str, str], int, bool], float]] = []
+        candidates: list[tuple[tuple[str, str], int, bool]] = []
         for key, index in self._index.items():
             if key[0] == platform and (other_platform in (None, key[1])):
                 rows, flipped = index.by_left.get(account_id, []), False
@@ -717,10 +810,27 @@ class LinkageService:
                 rows, flipped = index.by_right.get(account_id, []), True
             else:
                 continue
+            if not exact:
+                pruned = prune_rows(
+                    index.evidence, index.pairs, self._budget(budget),
+                    rows=rows,
+                )
+                candidates.extend((key, int(row), flipped) for row in pruned)
+                continue
             scores = self._cached_scores(key)
-            results.extend(self._link(index, row, scores, flipped) for row in rows)
-        results.sort(key=lambda link: -link.score)
-        return results[: max(top, 0)]
+            scored.extend(
+                ((key, int(row), flipped), float(scores[row])) for row in rows
+            )
+        if not exact:
+            items, approx_scores = self._approx_select(
+                candidates, max(top, 0)
+            )
+            return self._scored_links(items, approx_scores)
+        scored.sort(key=lambda entry: -entry[1])
+        scored = scored[: max(top, 0)]
+        return self._scored_links(
+            [entry[0] for entry in scored], [entry[1] for entry in scored]
+        )
 
     def account_summary(self, ref: AccountRef) -> np.ndarray:
         """Behavior summary of one account, via the bounded LRU cache."""
@@ -733,6 +843,38 @@ class LinkageService:
         va = np.nan_to_num(self.account_summary(ref_a), nan=0.0)
         vb = np.nan_to_num(self.account_summary(ref_b), nan=0.0)
         return float(np.linalg.norm(va - vb))
+
+    def behavior_distances(self, pairs: list[Pair]) -> list[float]:
+        """Behavior distances for many pairs with one batched cache pass.
+
+        The accounts' summaries are deduplicated and fetched through a
+        single :meth:`LruCache.get_many` call — one lock acquisition per
+        response instead of two per link — and the batch's cache hits are
+        recorded on :class:`ServiceStats` (``distance_batches`` /
+        ``summary_batch_hits``).  Values are identical to calling
+        :meth:`behavior_distance` per pair.
+        """
+        if not pairs:
+            return []
+        refs: list[AccountRef] = []
+        seen: set[AccountRef] = set()
+        for ref_a, ref_b in pairs:
+            for ref in (ref_a, ref_b):
+                if ref not in seen:
+                    seen.add(ref)
+                    refs.append(ref)
+        summaries, hits, _ = self._summaries.get_many(
+            refs, lambda ref: self.linker.pipeline.behavior_summary(ref)
+        )
+        with self._stats_lock:
+            self._distance_batches += 1
+            self._summary_batch_hits += hits
+        out: list[float] = []
+        for ref_a, ref_b in pairs:
+            va = np.nan_to_num(summaries[ref_a], nan=0.0)
+            vb = np.nan_to_num(summaries[ref_b], nan=0.0)
+            out.append(float(np.linalg.norm(va - vb)))
+        return out
 
     def stats(self) -> ServiceStats:
         """Snapshot of the service counters."""
@@ -766,6 +908,10 @@ class LinkageService:
                 accounts_ingested=self._accounts_ingested,
                 accounts_removed=self._accounts_removed,
                 ingest_batches=self._ingest_batches,
+                distance_batches=self._distance_batches,
+                summary_batch_hits=self._summary_batch_hits,
+                approx_queries=self._approx_queries,
+                approx_pairs_scored=self._approx_pairs_scored,
             )
 
     # ------------------------------------------------------------------
@@ -791,14 +937,117 @@ class LinkageService:
             key, lambda: self._score(self._index[key].pairs, self.batch_size)
         )
 
-    def _link(
-        self, index: _PairIndex, row: int, scores: np.ndarray, flipped: bool
-    ) -> ScoredLink:
-        ref_a, ref_b = index.pairs[row]
-        pair = (ref_b, ref_a) if flipped else (ref_a, ref_b)
-        return ScoredLink(
-            pair=pair,
-            score=float(scores[row]),
-            evidence=index.evidence[row],
-            behavior_distance=self.behavior_distance(ref_a, ref_b),
+    # ------------------------------------------------------------------
+    # approximate fast path (exact=False)
+    # ------------------------------------------------------------------
+    def _budget(self, budget: int | None) -> int:
+        """The effective prefilter budget for one approximate query."""
+        budget = self.approx.budget if budget is None else int(budget)
+        if budget < 1:
+            raise ValueError(f"budget must be >= 1, got {budget}")
+        return budget
+
+    def _fast_scorer(self):
+        """The linker's landmark fast scorer (built lazily, deterministic)."""
+        return self.linker.ensure_fast_scorer()
+
+    def _featurize_chunked(self, pairs: list[Pair]) -> np.ndarray:
+        """Exact float64 feature rows, chunked like the serial score loop.
+
+        Featurized rows are row-independent (bit-identical regardless of
+        co-batched pairs), so these rows can be sliced and rescored in any
+        subset without breaking the exactness contract.
+        """
+        blocks = [
+            self.linker.featurize_pairs(pairs[lo : lo + self.batch_size])
+            for lo in range(0, len(pairs), self.batch_size)
+        ]
+        return np.vstack(blocks)
+
+    def _exact_rescore(self, x: np.ndarray) -> np.ndarray:
+        """Exact float64 decision values for featurized rows.
+
+        Chunked at ``batch_size`` — the same chunk compositions
+        :func:`repro.parallel.worker.score_chunked` presents — so rescoring
+        the final ``k`` rows yields bytes identical to
+        ``score_pairs(final_pairs)``.
+        """
+        out = np.empty(x.shape[0])
+        for lo in range(0, x.shape[0], self.batch_size):
+            out[lo : lo + self.batch_size] = self.linker.score_features(
+                x[lo : lo + self.batch_size]
+            )
+        return out
+
+    def _approx_top_k(
+        self,
+        key: tuple[str, str],
+        k: int,
+        budget: int | None,
+        flipped: bool,
+    ) -> tuple[list[tuple[tuple[str, str], int, bool]], np.ndarray]:
+        """Prune one platform pair's candidates and rank approximately."""
+        index = self._index[key]
+        rows = prune_rows(
+            index.evidence, index.pairs, self._budget(budget)
         )
+        items = [(key, int(row), flipped) for row in rows]
+        return self._approx_select(items, max(k, 0))
+
+    def _approx_select(
+        self,
+        items: list[tuple[tuple[str, str], int, bool]],
+        k: int,
+    ) -> tuple[list[tuple[tuple[str, str], int, bool]], np.ndarray]:
+        """The two-layer approximate ranking over pruned candidates.
+
+        Layer 2 of the fast path: featurize the pruned pool once (exact
+        float64 rows), rank it with the float32 landmark scorer, exactly
+        rescore a ``rescore_multiple * k`` short list to place the cutoff,
+        then rescore the **final** ``k`` rows once more so the returned
+        bytes match ``score_pairs`` on exactly those pairs (kernel chunks
+        are shape-sensitive, so the short-list rescore cannot be reused
+        for the returned values).  Never touches the exact score cache.
+        """
+        if not items or k == 0:
+            return [], np.zeros(0)
+        pairs = [self._index[key].pairs[row] for key, row, _ in items]
+        x = self._featurize_chunked(pairs)
+        fast = self._fast_scorer().score(x)
+        shortlist = top_k_indices(
+            fast, min(len(items), k * self.approx.rescore_multiple)
+        )
+        mid = self._exact_rescore(x[shortlist])
+        keep = top_k_indices(mid, k)
+        final = shortlist[keep]
+        final_scores = self._exact_rescore(x[final])
+        order = top_k_indices(final_scores, final_scores.shape[0])
+        with self._stats_lock:
+            self._approx_queries += 1
+            self._approx_pairs_scored += len(items)
+        chosen = [items[int(final[int(i)])] for i in order]
+        return chosen, final_scores[order]
+
+    def _scored_links(
+        self,
+        items: list[tuple[tuple[str, str], int, bool]],
+        scores,
+    ) -> list[ScoredLink]:
+        """Assemble a response's links with one batched distance pass."""
+        raw_pairs = [self._index[key].pairs[row] for key, row, _ in items]
+        distances = self.behavior_distances(raw_pairs)
+        links: list[ScoredLink] = []
+        for (key, row, flipped), raw, score, distance in zip(
+            items, raw_pairs, scores, distances
+        ):
+            ref_a, ref_b = raw
+            pair = (ref_b, ref_a) if flipped else (ref_a, ref_b)
+            links.append(
+                ScoredLink(
+                    pair=pair,
+                    score=float(score),
+                    evidence=self._index[key].evidence[row],
+                    behavior_distance=distance,
+                )
+            )
+        return links

@@ -40,12 +40,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.approx import ApproxConfig, FastScorer, prune_rows
 from repro.parallel import worker as _worker
 from repro.parallel.engine import default_mp_context
 from repro.persist import load_scoring_head
 from repro.serving.service import IngestReport, LruCache, ScoredLink
 from repro.shard import tasks as _tasks
 from repro.shard.planner import ShardTopology, load_shard_plan
+from repro.utils.ranking import top_k_indices
 
 __all__ = [
     "RouterStats",
@@ -85,6 +87,8 @@ class RouterStats:
     num_shards: int = 0
     shards: list[dict] = field(default_factory=list)
     shards_unavailable: list[int] = field(default_factory=list)
+    approx_queries: int = 0
+    approx_pairs_scored: int = 0
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)
@@ -157,6 +161,12 @@ class ShardedLinkageService:
     request_timeout:
         Seconds to wait on any one shard task before declaring the shard
         down.
+    approx:
+        Defaults for the approximate path (``top_k(..., exact=False)``):
+        router-side prefilter budget, rescore window, landmark count.
+        The fast scorer itself comes from the scoring head when the plan
+        persisted one, so the router's approximate ranking bit-agrees
+        with the single-process service over the same artifact.
     """
 
     #: lets the gateway distinguish sharded deployments (no /swap, 503s)
@@ -170,6 +180,7 @@ class ShardedLinkageService:
         inline: bool = False,
         score_cache_size: int = 64,
         request_timeout: float = 600.0,
+        approx: ApproxConfig | None = None,
     ):
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -180,10 +191,12 @@ class ShardedLinkageService:
         self.batch_size = batch_size
         self.inline = inline
         self.request_timeout = request_timeout
+        self.approx = approx if approx is not None else ApproxConfig()
         head = load_scoring_head(topology.head_path)
         self._model = head["model"]
         self.feature_names = head["feature_names"]
         self.threshold = head["threshold"]
+        self._fast_scorer = head.get("fast_scorer")
         self._assignment = topology.assignment
 
         self._entries: dict[tuple[str, str], list[_Entry]] = {
@@ -209,6 +222,8 @@ class ShardedLinkageService:
         self._accounts_ingested = 0
         self._accounts_removed = 0
         self._ingest_batches = 0
+        self._approx_queries = 0
+        self._approx_pairs_scored = 0
 
         self._handles = [
             _ShardHandle(info.index, str(topology.shard_path(info.index)))
@@ -586,15 +601,133 @@ class ShardedLinkageService:
             )
         return links
 
-    def top_k(
-        self, platform_a: str, platform_b: str, k: int = 10
+    def _ensure_fast_scorer(self) -> FastScorer:
+        """The landmark fast scorer for the approximate path.
+
+        Prefer the scoring head's persisted scorer (identical bytes to the
+        single-process service over the same artifact); otherwise rebuild
+        deterministically from the head model with the default seed — the
+        same fallback :meth:`repro.core.HydraLinker.ensure_fast_scorer`
+        uses, so both deployments still agree.
+        """
+        if self._fast_scorer is None:
+            defaults = ApproxConfig()
+            self._fast_scorer = FastScorer.from_model(
+                self._model,
+                num_landmarks=defaults.num_landmarks,
+                seed=defaults.seed,
+                ridge=defaults.ridge,
+            )
+        return self._fast_scorer
+
+    def _budget(self, budget: int | None) -> int:
+        budget = self.approx.budget if budget is None else int(budget)
+        if budget < 1:
+            raise ValueError(f"budget must be >= 1, got {budget}")
+        return budget
+
+    def _approx_select(
+        self,
+        items: list[tuple[tuple[str, str], int, bool]],
+        k: int,
     ) -> list[ScoredLink]:
-        """The ``k`` strongest links; pairs on down shards are omitted."""
+        """Approximate ranking over pruned routed candidates.
+
+        Mirrors the single-process service: one scatter featurizes the
+        pruned pool (rows stay bit-identical — row independence), the
+        float32 landmark scorer ranks it, a ``rescore_multiple * k`` short
+        list is head-rescored exactly to place the cutoff, and the final
+        rows are rescored once more so returned bytes equal
+        ``score_pairs`` on exactly those pairs.  Degraded rows (down
+        shards) carry NaN through the fast scorer, sort last, and are
+        omitted — the same contract as the exact path.  Results never
+        enter the exact score cache.
+        """
+        if not items or k == 0:
+            return []
+        pairs = [self._entries[key][row].pair for key, row, _ in items]
+        x, down = self._featurize(pairs)
+        fast = self._ensure_fast_scorer().score(x)
+        shortlist = top_k_indices(
+            fast, min(len(items), k * self.approx.rescore_multiple)
+        )
+        mid = self._score_rows(x[shortlist], self.batch_size)
+        keep = top_k_indices(mid, k)
+        final = shortlist[keep]
+        final_scores = self._score_rows(x[final], self.batch_size)
+        order = top_k_indices(final_scores, final_scores.shape[0])
+        with self._stats_lock:
+            self._approx_queries += 1
+            self._approx_pairs_scored += len(items)
+            if down:
+                self._degraded_queries += 1
+        chosen: list[tuple[tuple[str, str], int, bool]] = []
+        scores: list[float] = []
+        for position in order:
+            score = final_scores[int(position)]
+            if np.isnan(score):
+                continue
+            chosen.append(items[int(final[int(position)])])
+            scores.append(float(score))
+        return self._assemble_links(chosen, scores)
+
+    def _assemble_links(
+        self,
+        items: list[tuple[tuple[str, str], int, bool]],
+        scores: list[float],
+    ) -> list[ScoredLink]:
+        """Build a response's links with one batched distance scatter."""
+        entries = [self._entries[key][row] for key, row, _ in items]
+        distances = self._distances([entry.pair for entry in entries])
+        links: list[ScoredLink] = []
+        for (key, row, flipped), entry, score, distance in zip(
+            items, entries, scores, distances
+        ):
+            pair = (
+                (entry.pair[1], entry.pair[0]) if flipped else entry.pair
+            )
+            links.append(
+                ScoredLink(
+                    pair=pair,
+                    score=float(score),
+                    evidence=entry.evidence,
+                    behavior_distance=float(distance),
+                )
+            )
+        return links
+
+    def top_k(
+        self,
+        platform_a: str,
+        platform_b: str,
+        k: int = 10,
+        *,
+        exact: bool = True,
+        budget: int | None = None,
+    ) -> list[ScoredLink]:
+        """The ``k`` strongest links; pairs on down shards are omitted.
+
+        ``exact=False`` prunes to the top-``budget`` blocking-rule
+        survivors at the router, scatter-featurizes only those, ranks with
+        the head's landmark fast scorer and exactly rescores the final
+        list — approximate cutoff, exact returned scores, same contract
+        as :meth:`repro.serving.LinkageService.top_k`.
+        """
         with self._stats_lock:
             self._queries += 1
         key, flipped = self._resolve(platform_a, platform_b)
+        if not exact:
+            entries = self._entries[key]
+            rows = prune_rows(
+                [entry.evidence for entry in entries],
+                [entry.pair for entry in entries],
+                self._budget(budget),
+            )
+            return self._approx_select(
+                [(key, int(row), flipped) for row in rows], max(k, 0)
+            )
         scores = self._cached_scores(key)
-        order = np.argsort(-scores, kind="stable")[: max(k, 0)]
+        order = top_k_indices(scores, max(k, 0))
         rows = [int(row) for row in order if not np.isnan(scores[row])]
         return self._links(key, rows, scores, flipped)
 
@@ -605,11 +738,20 @@ class ShardedLinkageService:
         *,
         other_platform: str | None = None,
         top: int = 5,
+        exact: bool = True,
+        budget: int | None = None,
     ) -> list[ScoredLink]:
-        """Resolve one account against its routed candidates."""
+        """Resolve one account against its routed candidates.
+
+        ``exact=False`` prunes each platform pair's rows for this account
+        to the budget's strongest blocking survivors before ranking the
+        union through the approximate path (exact rescoring of the final
+        list, as in :meth:`top_k`).
+        """
         with self._stats_lock:
             self._queries += 1
         found: list[tuple[tuple[str, str], int, bool, float]] = []
+        candidates: list[tuple[tuple[str, str], int, bool]] = []
         for key, index in self._index.items():
             if key[0] == platform and (other_platform in (None, key[1])):
                 rows, flipped = index.by_left.get(account_id, []), False
@@ -617,17 +759,28 @@ class ShardedLinkageService:
                 rows, flipped = index.by_right.get(account_id, []), True
             else:
                 continue
+            if not exact:
+                entries = self._entries[key]
+                pruned = prune_rows(
+                    [entry.evidence for entry in entries],
+                    [entry.pair for entry in entries],
+                    self._budget(budget),
+                    rows=rows,
+                )
+                candidates.extend((key, int(row), flipped) for row in pruned)
+                continue
             scores = self._cached_scores(key)
             for row in rows:
                 if not np.isnan(scores[row]):
                     found.append((key, row, flipped, float(scores[row])))
+        if not exact:
+            return self._approx_select(candidates, max(top, 0))
         found.sort(key=lambda item: -item[3])
         found = found[: max(top, 0)]
-        links: list[ScoredLink] = []
-        for key, row, flipped, _score in found:
-            scores = self._cached_scores(key)
-            links.extend(self._links(key, [row], scores, flipped))
-        return links
+        return self._assemble_links(
+            [(key, row, flipped) for key, row, flipped, _score in found],
+            [score for _key, _row, _flipped, score in found],
+        )
 
     # ------------------------------------------------------------------
     # mutations
@@ -879,4 +1032,6 @@ class ShardedLinkageService:
                 num_shards=len(self._handles),
                 shards=[handle.as_dict() for handle in self._handles],
                 shards_unavailable=self.shards_unavailable(),
+                approx_queries=self._approx_queries,
+                approx_pairs_scored=self._approx_pairs_scored,
             )

@@ -1,5 +1,6 @@
 """Shared low-level utilities: RNG management, timing, validation helpers."""
 
+from repro.utils.ranking import top_k_indices
 from repro.utils.rng import RngFactory, as_rng
 from repro.utils.timing import LatencyRecorder, Stopwatch, timed
 from repro.utils.validation import (
@@ -19,4 +20,5 @@ __all__ = [
     "check_non_empty",
     "check_positive",
     "check_probability_vector",
+    "top_k_indices",
 ]

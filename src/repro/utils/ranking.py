@@ -1,0 +1,53 @@
+"""Top-k selection helpers shared by the serving paths.
+
+:func:`top_k_indices` replaces the ``np.argsort(-scores, kind="stable")``
+full sorts in the serving hot paths with an ``np.argpartition``-based
+selection that is **bit-identical in output**: the returned index order is
+exactly ``np.argsort(-scores, kind="stable")[:k]`` — descending score,
+ties broken by ascending index, NaN last — while only paying an O(n)
+partition plus an O(k log k) tail sort instead of O(n log n).
+
+The tie handling is the subtle part: ``argpartition`` may place an
+*arbitrary* subset of boundary-tied elements inside the partition, whereas
+the stable argsort always keeps the lowest-indexed ones.  The selection
+therefore splits into strictly-better elements plus the lowest-indexed
+slice of the boundary ties before ordering the survivors.
+
+NaN scores (the sharded router's degraded rows) compare as the smallest
+possible value here, matching where ``argsort(-scores)`` puts them — at
+the very end — so the router's NaN-last filtering keeps working unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["top_k_indices"]
+
+
+def top_k_indices(scores: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` largest scores, bit-identical in order to
+    ``np.argsort(-scores, kind="stable")[:k]``.
+
+    Descending score, ties broken by ascending index, NaN sorted last.
+    ``k`` is clamped to ``[0, len(scores)]``.
+    """
+    scores = np.asarray(scores)
+    n = scores.shape[0]
+    k = min(max(k, 0), n)
+    if k == 0:
+        return np.empty(0, dtype=np.intp)
+    neg = -scores
+    if k == n:
+        return np.argsort(neg, kind="stable")
+    boundary = np.partition(neg, k - 1)[k - 1]
+    if np.isnan(boundary):
+        # fewer than k comparable values: the degenerate (degraded) case,
+        # where the full stable sort is both simplest and rare
+        return np.argsort(neg, kind="stable")[:k]
+    strict = np.flatnonzero(neg < boundary)  # NaN compares False: excluded
+    tied = np.flatnonzero(neg == boundary)[: k - strict.shape[0]]
+    selected = np.concatenate([strict, tied])
+    # order the survivors the way the stable argsort would: by (-score,
+    # index); lexsort's last key is primary
+    return selected[np.lexsort((selected, neg[selected]))]

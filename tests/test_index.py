@@ -1,6 +1,8 @@
 """Tests for the incremental blocking indexes (repro.index)."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core import CandidateGenerator
 from repro.index import InvertedIndex, SignatureExtractor
@@ -202,3 +204,61 @@ class TestCandidateSetMemo:
         )
         with pytest.raises(ValueError):
             candidates.extend([(("a", "1"), ("b", "2"))], [])
+
+
+class TestRankedBudgetProperty:
+    """Property: mutations never disturb the budgeted ranking.
+
+    The approximate serving path prunes to the blocking index's ranked
+    survivors, so ``ranked()`` after arbitrary add/remove churn must equal
+    a fresh ``bulk_build`` over the surviving accounts at *every* budget —
+    otherwise the prefilter would rank mutated deployments differently
+    from freshly loaded ones.
+    """
+
+    @settings(max_examples=12, deadline=None)
+    @given(data=st.data())
+    def test_post_mutation_ranked_matches_bulk_at_every_budget(
+        self, pair_signatures, data
+    ):
+        generator, sigs_a, sigs_b = pair_signatures
+        index = generator.make_pair_index("facebook", "twitter").bulk_build(
+            sigs_a, sigs_b
+        )
+        removed: dict[str, list[str]] = {}
+        for side, signatures in (("a", sigs_a), ("b", sigs_b)):
+            removed[side] = data.draw(
+                st.lists(
+                    st.sampled_from(sorted(signatures)),
+                    unique=True, max_size=8,
+                ),
+                label=f"remove_{side}",
+            )
+            for account_id in removed[side]:
+                index.remove(side, account_id)
+        for side, signatures in (("a", sigs_a), ("b", sigs_b)):
+            if not removed[side]:
+                continue
+            readd = data.draw(
+                st.lists(
+                    st.sampled_from(removed[side]), unique=True,
+                    max_size=len(removed[side]),
+                ),
+                label=f"readd_{side}",
+            )
+            for account_id in readd:
+                index.add(side, account_id, signatures[account_id])
+                removed[side].remove(account_id)
+        kept_a = {k: v for k, v in sigs_a.items() if k not in set(removed["a"])}
+        kept_b = {k: v for k, v in sigs_b.items() if k not in set(removed["b"])}
+        bulk = generator.make_pair_index("facebook", "twitter").bulk_build(
+            kept_a, kept_b
+        )
+        for budget in (1, 2, 3, 5, 10, 25):
+            index.max_per_account = budget
+            bulk.max_per_account = budget
+            for side in ("a", "b"):
+                for account_id in index.ids(side):
+                    assert index.ranked(side, account_id) == bulk.ranked(
+                        side, account_id
+                    ), f"budget={budget} side={side} id={account_id}"

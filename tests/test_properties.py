@@ -264,3 +264,47 @@ class TestSolverProperties:
         reference = np.abs(np.linalg.eigvalsh(m)).max()
         assert val <= reference + 1e-6
         assert val >= reference - 1e-4
+
+
+class TestTopKIndicesProperty:
+    """top_k_indices must be bit-identical to stable full-sort truncation.
+
+    Both serving tiers (LinkageService.top_k and the sharded router's
+    NaN-last degraded sort) replaced ``np.argsort(-s, kind="stable")[:k]``
+    with the partition-based selector, so any divergence — tie handling,
+    NaN placement, k edge cases — silently breaks the bit-parity suites.
+    """
+
+    @given(
+        scores=hnp.arrays(
+            np.float64,
+            st.integers(0, 60),
+            elements=st.one_of(
+                st.floats(-1e6, 1e6, allow_subnormal=False),
+                st.just(float("nan")),
+            ),
+        ),
+        k=st.integers(-2, 70),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_matches_stable_argsort(self, scores, k):
+        from repro.utils.ranking import top_k_indices
+
+        want = np.argsort(-scores, kind="stable")[: max(k, 0)]
+        got = top_k_indices(scores, k)
+        assert got.dtype == want.dtype or got.size == want.size
+        assert np.array_equal(got, want)
+
+    @given(
+        values=st.lists(
+            st.sampled_from([0.0, 1.0, 1.0, 2.0, -3.5]), max_size=40
+        ),
+        k=st.integers(0, 40),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_heavy_ties_keep_lowest_indices(self, values, k):
+        from repro.utils.ranking import top_k_indices
+
+        scores = np.array(values, dtype=float)
+        want = np.argsort(-scores, kind="stable")[:k]
+        assert np.array_equal(top_k_indices(scores, k), want)
