@@ -1,0 +1,224 @@
+"""Replicated read capacity: closed-loop ``score_pairs`` at 0/1/2 followers.
+
+Not a paper figure — this benchmarks the follower-replica serving tier
+(:mod:`repro.replica`): fit once, stand up real ``repro replica``
+subprocesses tailing the primary's WAL, then drive the same HTTP request
+stream through a primary-only gateway and through primaries spreading
+reads over 1 and 2 followers.  Every topology must return the **same
+bytes** — capacity comparisons are only meaningful because the answers
+are identical, so bit-parity is asserted unconditionally, on every host.
+
+The workload is ``score_pairs`` on purpose: it re-featurizes and
+re-scores on every call (no per-pair score cache), so follower fan-out
+buys real CPU, not cache hits.
+
+Smoke mode (the default, and what CI runs) uses a small world; scale
+with ``REPLICA_BENCH_PERSONS`` / ``REPLICA_BENCH_REQUESTS`` /
+``REPLICA_BENCH_PAIRS_PER_REQUEST`` / ``REPLICA_BENCH_CONCURRENCY``.
+The ≥``REPLICA_BENCH_MIN_SPEEDUP`` requests/sec gate at 2 followers is
+enforced only when the host actually has ≥4 CPUs (the primary plus two
+follower processes cannot scale CPU-bound work on fewer cores, but must
+still produce identical scores); set ``REPLICA_BENCH_MIN_SPEEDUP=0`` to
+disable.
+"""
+
+import itertools
+import os
+import re
+import select
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+from conftest import write_table
+
+from repro.core import HydraLinker
+from repro.datagen import WorldConfig, generate_world
+from repro.eval.harness import make_label_split
+from repro.gateway import GatewayClient, GatewayConfig, GatewayThread
+from repro.persist import save_linker
+from repro.serving import LinkageService
+from repro.wal import WriteAheadLog
+
+SEED = 71
+PERSONS = int(os.environ.get("REPLICA_BENCH_PERSONS", "14"))
+NUM_REQUESTS = int(os.environ.get("REPLICA_BENCH_REQUESTS", "12"))
+# large enough that featurization+scoring dominates HTTP dispatch —
+# capacity headroom, not just routing overhead
+PAIRS_PER_REQUEST = int(
+    os.environ.get("REPLICA_BENCH_PAIRS_PER_REQUEST", "2048")
+)
+MIN_SPEEDUP = float(os.environ.get("REPLICA_BENCH_MIN_SPEEDUP", "1.7"))
+# enough in-flight reads that the rotation keeps every backend busy
+CONCURRENCY = int(os.environ.get("REPLICA_BENCH_CONCURRENCY", "6"))
+FOLLOWER_COUNTS = (1, 2)
+BATCH_SIZE = 256
+PLATFORM_PAIRS = [("facebook", "twitter")]
+SRC_DIR = Path(__file__).resolve().parents[1] / "src"
+
+
+def _spawn_follower(artifact, wal_dir):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "replica",
+            "--artifact", str(artifact), "--wal", str(wal_dir),
+            "--host", "127.0.0.1", "--port", "0",
+            "--threads", "2",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+
+def _wait_for_port(proc, timeout: float = 300.0) -> int:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError(
+                f"follower exited during startup:\n{proc.stdout.read()}"
+            )
+        ready, _, _ = select.select([proc.stdout], [], [], 0.5)
+        if not ready:
+            continue
+        line = proc.stdout.readline()
+        match = re.search(r"http://127\.0\.0\.1:(\d+)", line)
+        if line.startswith("serving") and match:
+            return int(match.group(1))
+    raise TimeoutError("follower never reported its port")
+
+
+def _drive(host, port, requests):
+    """Closed-loop driver: ``CONCURRENCY`` clients drain the request list."""
+    latencies: list[float] = []
+    lock = threading.Lock()
+    pending = itertools.count()
+
+    def work():
+        with GatewayClient(host, port, timeout=600) as client:
+            while True:
+                index = next(pending)
+                if index >= len(requests):
+                    return
+                start = time.perf_counter()
+                client.score_pairs(requests[index])
+                elapsed = time.perf_counter() - start
+                with lock:
+                    latencies.append(elapsed * 1000.0)
+
+    threads = [threading.Thread(target=work) for _ in range(CONCURRENCY)]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return time.perf_counter() - start, latencies
+
+
+def _run(artifact_dir, wal_dir):
+    world = generate_world(WorldConfig(num_persons=PERSONS, seed=SEED))
+    split = make_label_split(world, PLATFORM_PAIRS, seed=SEED)
+    linker = HydraLinker(seed=SEED, num_topics=8, max_lda_docs=1500)
+    linker.fit(world, split.labeled_positive, split.labeled_negative,
+               PLATFORM_PAIRS)
+    save_linker(linker, artifact_dir)
+
+    base = linker.candidates_[tuple(PLATFORM_PAIRS[0])].pairs
+    repeat = -(-PAIRS_PER_REQUEST // len(base))  # ceil division
+    request = (base * repeat)[:PAIRS_PER_REQUEST]
+    requests = [request] * NUM_REQUESTS
+
+    followers = [
+        _spawn_follower(artifact_dir, wal_dir)
+        for _ in range(max(FOLLOWER_COUNTS))
+    ]
+    rows = []
+    reference = None
+    identical = True
+    try:
+        ports = [_wait_for_port(proc) for proc in followers]
+
+        def measure(label, count):
+            nonlocal reference, identical
+            endpoints = tuple(
+                f"127.0.0.1:{port}" for port in ports[:count]
+            )
+            service = LinkageService.from_artifact(
+                artifact_dir,
+                batch_size=BATCH_SIZE,
+                wal=WriteAheadLog(wal_dir),
+            )
+            with GatewayThread(
+                service,
+                GatewayConfig(max_wait_ms=1.0, read_replicas=endpoints),
+            ) as gateway:
+                with GatewayClient(gateway.host, gateway.port) as probe:
+                    # parity probe covers every backend in the rotation
+                    scores = [
+                        probe.score_pairs(request)["scores"]
+                        for _ in range(count + 1)
+                    ]
+                if reference is None:
+                    reference = scores[0]
+                for answer in scores:
+                    identical = identical and answer == reference
+                wall, latencies = _drive(
+                    gateway.host, gateway.port, requests
+                )
+            rows.append([
+                label, count, len(requests), wall,
+                len(requests) / wall,
+                float(np.percentile(latencies, 50)),
+                float(np.percentile(latencies, 99)),
+            ])
+
+        measure("primary-only", 0)
+        for count in FOLLOWER_COUNTS:
+            measure("replicated", count)
+    finally:
+        for proc in followers:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=60)
+
+    baseline = rows[0][4]
+    for row in rows:
+        row.append(row[4] / baseline)
+    return {"rows": rows, "identical": identical}
+
+
+def test_replica_read_scaling(once, tmp_path):
+    result = once(_run, str(tmp_path / "artifact"), tmp_path / "wal")
+    rows = result["rows"]
+    write_table(
+        "replica_read_scaling",
+        f"Replicated read capacity — freshness-routed score_pairs "
+        f"({PERSONS}-person world, {NUM_REQUESTS} requests x "
+        f"{PAIRS_PER_REQUEST} pairs, concurrency {CONCURRENCY})",
+        ["mode", "followers", "requests", "seconds", "requests_per_sec",
+         "p50_ms", "p99_ms", "speedup"],
+        rows,
+    )
+    # the capacity numbers are only comparable because every topology
+    # returns the same bytes — never skip this, even on 1-CPU hosts
+    assert result["identical"], "topologies disagreed on scores"
+    assert len(rows) == 1 + len(FOLLOWER_COUNTS)
+    for _mode, _followers, requests, seconds, rps, p50, p99 in (
+        row[:7] for row in rows
+    ):
+        assert requests == NUM_REQUESTS
+        assert seconds > 0 and rps > 0
+        assert 0 < p50 <= p99
+    # primary + 2 followers needs at least ~4 cores to show real gain
+    if MIN_SPEEDUP > 0 and (os.cpu_count() or 1) >= 4:
+        top_speedup = rows[-1][7]
+        assert top_speedup >= MIN_SPEEDUP, (
+            f"2 followers reached only {top_speedup:.2f}x over "
+            f"primary-only (need >= {MIN_SPEEDUP}x)"
+        )

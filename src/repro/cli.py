@@ -24,6 +24,12 @@ The subcommands cover the common workflows without writing any code:
   adds write-ahead durability for every online mutation;
   ``--shard-plan DIR`` serves a shard plan through the scatter-gather
   router (:mod:`repro.shard`) instead of a single-process service;
+  ``--replica-of WALDIR`` serves the artifact as a read-only follower
+  tailing a primary's WAL, and ``--read-replicas host:port,...`` makes
+  a primary spread reads across follower gateways (:mod:`repro.replica`);
+* ``replica``    — serve a read-only follower replica that bootstraps
+  from the primary's artifact and tails its WAL directory, with an
+  optional ``--state`` directory for cursor + checkpoint resume;
 * ``shard``      — partition a fitted artifact for distributed serving:
   ``shard plan`` splits it into K per-shard artifacts plus a routing
   plan, ``shard rebalance`` re-plans with an explicit load-balanced
@@ -31,11 +37,16 @@ The subcommands cover the common workflows without writing any code:
 * ``recover``    — rebuild the exact pre-crash serving state from a base
   artifact plus its write-ahead log (:mod:`repro.wal`), optionally
   saving it as a fresh artifact;
+* ``wal info``   — inspect a write-ahead log directory: per-segment
+  stats, record/abort counts, epoch range, and (with ``--cursor``) a
+  follower cursor's position within the log;
 * ``swap``       — ask a running gateway (served with ``--wal``) to
   blue/green cut over to a refit artifact with zero downtime;
 * ``loadgen``    — drive a running gateway with an open- or closed-loop
-  mixed workload and report requests/sec, latency percentiles, and
-  per-operation failure/retry counts.
+  mixed workload and report requests/sec, latency percentiles,
+  per-operation failure/retry counts, and read staleness (observed
+  epoch vs last acked write); ``--min-epoch`` turns on read-your-writes
+  floors and ``--read-replicas`` exercises client-side GET failover.
 
 ``fit``, ``score``, and ``serve-bench`` accept ``--workers N`` (and
 ``--shard-size``) to shard featurization and scoring across a process pool
@@ -313,36 +324,10 @@ def cmd_ingest_bench(args) -> int:
     return 0
 
 
-def cmd_serve(args) -> int:
-    """Expose a fitted artifact over HTTP through the asyncio gateway."""
-    import asyncio
-    import signal
+def _gateway_config(args, read_replicas: tuple = ()):
+    from repro.gateway import GatewayConfig
 
-    from repro.gateway import GatewayConfig, LinkageGateway
-    from repro.serving import LinkageService
-    from repro.wal import WriteAheadLog, arm_from_env
-
-    arm_from_env()  # chaos harnesses arm crash sites via REPRO_FAULTS
-    wal = None
-    if args.shard_plan is not None:
-        if args.wal is not None:
-            raise SystemExit(
-                "error: --wal applies to single-process serving; a sharded "
-                "deployment recovers through shard restarts instead"
-            )
-        from repro.shard import ShardedLinkageService
-
-        service = ShardedLinkageService(args.shard_plan)
-        source = args.shard_plan
-    else:
-        if args.wal is not None:
-            wal = WriteAheadLog(args.wal, fsync=args.fsync)
-        service = LinkageService.from_artifact(
-            args.artifact, workers=args.workers, shard_size=args.shard_size,
-            wal=wal,
-        )
-        source = args.artifact
-    config = GatewayConfig(
+    return GatewayConfig(
         host=args.host,
         port=args.port,
         max_batch_pairs=args.max_batch_pairs,
@@ -352,21 +337,26 @@ def cmd_serve(args) -> int:
         max_pending=args.max_pending,
         default_deadline_ms=args.deadline_ms,
         executor_threads=args.threads,
+        read_replicas=read_replicas,
+        replica_poll_ms=getattr(args, "poll_ms", 25.0),
     )
+
+
+def _serve_gateway(service, config, source: str, detail: str) -> int:
+    """Run one gateway until SIGINT/SIGTERM (shared by serve/replica)."""
+    import asyncio
+    import signal
+
+    from repro.gateway import LinkageGateway
 
     async def _run() -> int:
         gateway = LinkageGateway(service, config)
         await gateway.start()
-        durability = (
-            f", wal={args.wal} fsync={args.fsync}" if wal is not None else ""
-        )
-        if args.shard_plan is not None:
-            durability += f", shards={service.topology.num_shards}"
         print(
             f"serving {source} on http://{config.host}:{gateway.port}"
             f" ({service.num_candidates()} candidates, "
             f"coalesce={'on' if config.coalesce else 'off'}, "
-            f"max_pending={config.max_pending}{durability})",
+            f"max_pending={config.max_pending}{detail})",
             flush=True,  # subprocess drivers parse the bound port from this
         )
         stop = asyncio.Event()
@@ -383,6 +373,98 @@ def cmd_serve(args) -> int:
 
     with service:
         return asyncio.run(_run())
+
+
+def _parse_replica_list(spec: str | None) -> tuple:
+    if not spec:
+        return ()
+    return tuple(part.strip() for part in spec.split(",") if part.strip())
+
+
+def cmd_serve(args) -> int:
+    """Expose a fitted artifact over HTTP through the asyncio gateway."""
+    from repro.serving import LinkageService
+    from repro.wal import WriteAheadLog, arm_from_env
+
+    arm_from_env()  # chaos harnesses arm crash sites via REPRO_FAULTS
+    wal = None
+    if args.shard_plan is not None:
+        if args.wal is not None:
+            raise SystemExit(
+                "error: --wal applies to single-process serving; a sharded "
+                "deployment recovers through shard restarts instead"
+            )
+        if args.replica_of is not None:
+            raise SystemExit(
+                "error: --replica-of needs --artifact (the replay base), "
+                "not --shard-plan"
+            )
+        from repro.shard import ShardedLinkageService
+
+        service = ShardedLinkageService(args.shard_plan)
+        source = args.shard_plan
+        detail = f", shards={service.topology.num_shards}"
+    elif args.replica_of is not None:
+        if args.wal is not None:
+            raise SystemExit(
+                "error: a follower tails the primary's --replica-of log; "
+                "it cannot write its own --wal"
+            )
+        from repro.replica import FollowerService
+
+        service = FollowerService(
+            args.artifact,
+            args.replica_of,
+            state_dir=args.replica_state,
+            checkpoint_every=args.checkpoint_every,
+            workers=args.workers,
+            shard_size=args.shard_size,
+        )
+        source = args.artifact
+        detail = (
+            f", replica-of={args.replica_of} epoch={service.registry_epoch}"
+            f"{' resumed' if service.status(poll=False)['resumed'] else ''}"
+        )
+    else:
+        if args.wal is not None:
+            wal = WriteAheadLog(args.wal, fsync=args.fsync)
+        service = LinkageService.from_artifact(
+            args.artifact, workers=args.workers, shard_size=args.shard_size,
+            wal=wal,
+        )
+        source = args.artifact
+        detail = (
+            f", wal={args.wal} fsync={args.fsync}" if wal is not None else ""
+        )
+    read_replicas = _parse_replica_list(args.read_replicas)
+    if read_replicas:
+        detail += f", read_replicas={len(read_replicas)}"
+    return _serve_gateway(
+        service, _gateway_config(args, read_replicas), source, detail
+    )
+
+
+def cmd_replica(args) -> int:
+    """Serve a read-only follower that tails a primary's WAL."""
+    from repro.replica import FollowerService
+    from repro.wal import arm_from_env
+
+    arm_from_env()
+    service = FollowerService(
+        args.artifact,
+        args.wal,
+        state_dir=args.state,
+        checkpoint_every=args.checkpoint_every,
+        workers=args.workers,
+        shard_size=args.shard_size,
+    )
+    status = service.status(poll=False)
+    detail = (
+        f", replica-of={args.wal} epoch={service.registry_epoch}"
+        f"{' resumed' if status['resumed'] else ''}"
+    )
+    return _serve_gateway(service, _gateway_config(args), args.artifact,
+                          detail)
 
 
 def _parse_mix(spec: str):
@@ -448,22 +530,30 @@ def cmd_loadgen(args) -> int:
         concurrency=args.concurrency,
         rate=args.rate,
         deadline_ms=args.deadline_ms,
+        min_epoch=args.min_epoch,
+        read_endpoints=_parse_replica_list(args.read_replicas),
     )
     summary = report.latency.summary()
     _emit_results(
         args,
         name="loadgen",
         headers=["mode", "requests", "ok", "failed", "retried", "seconds",
-                 "requests_per_sec", "p50_ms", "p99_ms"],
-        rows=loadgen_table([report], [args.mode]),
+                 "requests_per_sec", "p50_ms", "p99_ms", "max_stale"],
+        rows=loadgen_table([report], [args.mode], staleness=True),
         metrics={"requests_per_sec": report.requests_per_sec,
                  "p99_ms": summary["p99_ms"]},
         workload={"mix": args.mix, "concurrency": args.concurrency,
                   "rate": args.rate,
-                  "pairs_per_request": args.pairs_per_request},
+                  "pairs_per_request": args.pairs_per_request,
+                  "min_epoch": args.min_epoch},
         extra={"outcomes": {"failed": report.failed,
                             "retried": report.retried,
-                            "op_counts": report.op_counts}},
+                            "op_counts": report.op_counts},
+               "staleness": {"stale_reads": report.stale_reads,
+                             "staleness_max": report.staleness_max,
+                             "staleness_mean": report.staleness_mean,
+                             "min_epoch_violations":
+                                 report.min_epoch_violations}},
     )
     if not args.json and report.op_counts:
         for kind, outcome in sorted(report.op_counts.items()):
@@ -472,6 +562,14 @@ def cmd_loadgen(args) -> int:
                 f"rejected={outcome['rejected']} errors={outcome['errors']} "
                 f"retried={outcome['retried']}"
             )
+    if not args.json:
+        print(
+            f"  staleness: stale_reads={report.stale_reads} "
+            f"max={report.staleness_max} mean={report.staleness_mean:.3f} "
+            f"min_epoch_violations={report.min_epoch_violations}"
+        )
+    if report.min_epoch_violations:
+        return 1
     return 0 if report.errors == 0 else 1
 
 
@@ -504,6 +602,82 @@ def cmd_recover(args) -> int:
         )
         if saved is not None:
             print(f"saved recovered artifact to {saved}")
+    return 0
+
+
+def cmd_wal_info(args) -> int:
+    """Inspect a write-ahead log directory without replaying it."""
+    from repro.wal import load_cursor, read_wal, segment_stats
+
+    segments = segment_stats(args.wal)
+    recovered = read_wal(args.wal)
+    effective = recovered.effective_records()
+    aborts = sum(1 for r in recovered.records if r.op == "abort")
+    cancelled = len(recovered.records) - aborts - len(effective)
+    first_epoch = recovered.records[0].epoch if recovered.records else 0
+    cursor = None
+    if args.cursor is not None:
+        loaded = load_cursor(args.cursor)
+        cursor = loaded.as_dict() if loaded is not None else None
+    if args.json:
+        print(json.dumps({
+            "name": "wal_info",
+            "wal": str(args.wal),
+            "segments": [
+                {
+                    "index": info.index,
+                    "path": str(info.path),
+                    "records": info.records,
+                    "valid_bytes": info.valid_bytes,
+                    "size_bytes": info.size_bytes,
+                    "first_epoch": info.first_epoch,
+                    "last_epoch": info.last_epoch,
+                    "clean": info.clean,
+                }
+                for info in segments
+            ],
+            "records": len(recovered.records),
+            "effective_records": len(effective),
+            "aborts": aborts,
+            "cancelled_records": cancelled,
+            "first_epoch": first_epoch,
+            "last_epoch": recovered.last_epoch,
+            "truncated_tail": recovered.truncated,
+            "cursor": cursor,
+        }, indent=2))
+        return 0
+    rows = [
+        [info.index, info.records, info.valid_bytes, info.size_bytes,
+         info.first_epoch, info.last_epoch, "yes" if info.clean else "TORN"]
+        for info in segments
+    ]
+    print(format_table(
+        ["segment", "records", "valid_bytes", "size_bytes", "first_epoch",
+         "last_epoch", "clean"],
+        rows,
+    ))
+    tail = " (torn tail pending truncation)" if recovered.truncated else ""
+    print(
+        f"\n{len(recovered.records)} records in {len(segments)} segments, "
+        f"epochs {first_epoch}..{recovered.last_epoch}{tail}"
+    )
+    print(
+        f"effective {len(effective)} = {len(recovered.records)} logged "
+        f"- {aborts} aborts - {cancelled} cancelled"
+    )
+    if args.cursor is not None:
+        if cursor is None:
+            print(f"cursor {args.cursor}: not written yet")
+        else:
+            behind = sum(
+                info.records for info in segments
+                if info.index > cursor["segment"]
+            )
+            print(
+                f"cursor {args.cursor}: segment {cursor['segment']} "
+                f"offset {cursor['offset']} "
+                f"(<= {behind} records in later segments)"
+            )
     return 0
 
 
@@ -748,6 +922,33 @@ def build_parser() -> argparse.ArgumentParser:
                           help="skip the (slow) full-refit baseline")
     p_ingest.set_defaults(func=cmd_ingest_bench)
 
+    def gateway_opts(p):
+        p.add_argument("--host", default="127.0.0.1")
+        p.add_argument("--port", type=int, default=8099,
+                       help="listen port (0 picks a free one)")
+        p.add_argument("--batch-wait-ms", type=float, default=2.0,
+                       dest="batch_wait_ms",
+                       help="micro-batch coalescing window (default 2ms)")
+        p.add_argument("--max-batch-pairs", type=int, default=512,
+                       dest="max_batch_pairs",
+                       help="flush a batch at this many pending pairs")
+        p.add_argument("--max-batch-requests", type=int, default=64,
+                       dest="max_batch_requests",
+                       help="flush a batch at this many pending requests")
+        p.add_argument("--no-coalesce", action="store_true",
+                       dest="no_coalesce",
+                       help="dispatch each request alone (diagnostics)")
+        p.add_argument("--max-pending", type=int, default=128,
+                       dest="max_pending",
+                       help="admitted in-flight request ceiling "
+                            "(excess gets 429 + Retry-After)")
+        p.add_argument("--deadline-ms", type=float, default=None,
+                       dest="deadline_ms",
+                       help="default per-request deadline (503 when "
+                            "exceeded while queued)")
+        p.add_argument("--threads", type=int, default=2,
+                       help="scoring executor threads (default 2)")
+
     p_serve = sub.add_parser(
         "serve", help="expose an artifact over HTTP (asyncio gateway)"
     )
@@ -758,31 +959,7 @@ def build_parser() -> argparse.ArgumentParser:
                               help="shard plan directory from `shard plan`: "
                                    "serve it through the scatter-gather "
                                    "router (one worker process per shard)")
-    p_serve.add_argument("--host", default="127.0.0.1")
-    p_serve.add_argument("--port", type=int, default=8099,
-                         help="listen port (0 picks a free one)")
-    p_serve.add_argument("--batch-wait-ms", type=float, default=2.0,
-                         dest="batch_wait_ms",
-                         help="micro-batch coalescing window (default 2ms)")
-    p_serve.add_argument("--max-batch-pairs", type=int, default=512,
-                         dest="max_batch_pairs",
-                         help="flush a batch at this many pending pairs")
-    p_serve.add_argument("--max-batch-requests", type=int, default=64,
-                         dest="max_batch_requests",
-                         help="flush a batch at this many pending requests")
-    p_serve.add_argument("--no-coalesce", action="store_true",
-                         dest="no_coalesce",
-                         help="dispatch each request alone (diagnostics)")
-    p_serve.add_argument("--max-pending", type=int, default=128,
-                         dest="max_pending",
-                         help="admitted in-flight request ceiling "
-                              "(excess gets 429 + Retry-After)")
-    p_serve.add_argument("--deadline-ms", type=float, default=None,
-                         dest="deadline_ms",
-                         help="default per-request deadline (503 when "
-                              "exceeded while queued)")
-    p_serve.add_argument("--threads", type=int, default=2,
-                         help="scoring executor threads (default 2)")
+    gateway_opts(p_serve)
     p_serve.add_argument("--wal", default=None,
                          help="write-ahead log directory: every ingest/"
                               "remove is logged before applying, enabling "
@@ -792,8 +969,49 @@ def build_parser() -> argparse.ArgumentParser:
                          help="WAL fsync policy (default batch; 'always' "
                               "survives power loss, 'batch' survives "
                               "process crashes)")
+    p_serve.add_argument("--replica-of", dest="replica_of", default=None,
+                         help="serve --artifact as a read-only follower "
+                              "tailing this primary WAL directory "
+                              "(see also `repro replica`)")
+    p_serve.add_argument("--replica-state", dest="replica_state",
+                         default=None,
+                         help="follower state directory (cursor + "
+                              "checkpoint) for restart resume")
+    p_serve.add_argument("--checkpoint-every", type=int, default=None,
+                         dest="checkpoint_every",
+                         help="follower: checkpoint after this many "
+                              "applied records (needs --replica-state)")
+    p_serve.add_argument("--poll-ms", type=float, default=25.0,
+                         dest="poll_ms",
+                         help="follower WAL poll interval (default 25ms)")
+    p_serve.add_argument("--read-replicas", dest="read_replicas",
+                         default=None,
+                         help="comma-separated follower gateways "
+                              "(host:port,...) to spread reads across")
     parallel_opts(p_serve)
     p_serve.set_defaults(func=cmd_serve)
+
+    p_replica = sub.add_parser(
+        "replica",
+        help="serve a read-only follower that tails a primary's WAL",
+    )
+    p_replica.add_argument("--artifact", required=True,
+                           help="the primary's artifact (replay base)")
+    p_replica.add_argument("--wal", required=True,
+                           help="the primary's WAL directory to tail")
+    p_replica.add_argument("--state", default=None,
+                           help="follower state directory (cursor + "
+                                "checkpoint) for restart resume")
+    p_replica.add_argument("--checkpoint-every", type=int, default=None,
+                           dest="checkpoint_every",
+                           help="checkpoint after this many applied "
+                                "records (needs --state)")
+    p_replica.add_argument("--poll-ms", type=float, default=25.0,
+                           dest="poll_ms",
+                           help="WAL poll interval (default 25ms)")
+    gateway_opts(p_replica)
+    parallel_opts(p_replica)
+    p_replica.set_defaults(func=cmd_replica)
 
     p_shard = sub.add_parser(
         "shard",
@@ -847,6 +1065,22 @@ def build_parser() -> argparse.ArgumentParser:
     json_opt(p_recover)
     p_recover.set_defaults(func=cmd_recover)
 
+    p_wal = sub.add_parser(
+        "wal", help="inspect write-ahead log directories"
+    )
+    wal_sub = p_wal.add_subparsers(dest="wal_command", required=True)
+    p_winfo = wal_sub.add_parser(
+        "info",
+        help="per-segment stats, record counts, and epoch range of a WAL",
+    )
+    p_winfo.add_argument("--wal", required=True,
+                         help="write-ahead log directory to inspect")
+    p_winfo.add_argument("--cursor", default=None,
+                         help="also report a follower cursor file's "
+                              "position within this log")
+    json_opt(p_winfo)
+    p_winfo.set_defaults(func=cmd_wal_info)
+
     p_swap = sub.add_parser(
         "swap",
         help="blue/green swap a running gateway onto a refit artifact",
@@ -883,6 +1117,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_load.add_argument("--deadline-ms", type=float, default=None,
                         dest="deadline_ms")
     p_load.add_argument("--seed", type=int, default=0)
+    p_load.add_argument("--min-epoch", action="store_true",
+                        dest="min_epoch",
+                        help="read-your-writes mode: floor every read at "
+                             "the worker's last acked write epoch "
+                             "(X-Min-Epoch)")
+    p_load.add_argument("--read-replicas", dest="read_replicas",
+                        default=None,
+                        help="comma-separated follower gateways "
+                             "(host:port,...) for client-side GET "
+                             "failover")
     json_opt(p_load)
     p_load.set_defaults(func=cmd_loadgen)
     return parser

@@ -1,7 +1,7 @@
 """A pure-stdlib blocking client for the linkage gateway.
 
-:class:`GatewayClient` wraps one persistent ``http.client`` keep-alive
-connection and mirrors the gateway's endpoints as typed methods.  HTTP
+:class:`GatewayClient` wraps persistent ``http.client`` keep-alive
+connections and mirrors the gateway's endpoints as typed methods.  HTTP
 errors surface as :class:`GatewayError` carrying the status code, the
 structured error slug from the JSON body, and the server's ``Retry-After``
 hint — the load generator keys its backpressure accounting off exactly
@@ -18,6 +18,20 @@ Retry policy — bounded exponential backoff with jitter, two triggers:
   rejects a request *before* it executes.  This is what lets the chaos
   and swap harnesses treat backpressure as flow control rather than
   failure.
+
+With ``read_endpoints`` configured (a replicated topology —
+:mod:`repro.replica`), GETs stick to one endpoint for keep-alive reuse
+but **fail over to the next endpoint immediately** when a connection
+drops, before any backoff sleep; only after a full fruitless cycle
+through every endpoint does the normal backoff schedule engage.
+Mutations always go to the primary (the constructor's ``host:port``).
+
+Freshness: reads accept ``min_epoch`` (sent as the ``X-Min-Epoch``
+header) — the server answers from state at least that new or returns
+412, and the client retries a 412 against the primary, which is never
+stale.  :attr:`last_write_epoch` tracks the newest epoch this client's
+own writes were acknowledged at; pass it back as ``min_epoch`` for
+read-your-writes.
 
 Every retry increments :attr:`GatewayClient.retries`; the load generator
 reads the deltas to report per-operation retry counts.
@@ -62,18 +76,29 @@ class GatewayError(RuntimeError):
         return self.status in (429, 503)
 
 
+def parse_endpoint(spec: str) -> tuple[str, int]:
+    """Parse a ``host:port`` endpoint spec (IPv6 hosts in brackets)."""
+    host, sep, port = spec.strip().rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(f"expected host:port, got {spec!r}")
+    return host.strip("[]") or "127.0.0.1", int(port)
+
+
 class GatewayClient:
-    """Blocking JSON client over one keep-alive connection.
+    """Blocking JSON client over keep-alive connections.
 
     Parameters
     ----------
     host, port:
         The gateway's bound address (see
         :class:`~repro.gateway.server.GatewayThread` / ``repro serve``).
+        Always the target of mutations; endpoint 0 for reads.
     timeout:
         Socket timeout in seconds for connect and each response.
     max_attempts:
-        Total tries per request (first attempt + retries).
+        Total tries per request (first attempt + retries).  With read
+        endpoints, one "try" is a full failover cycle through every
+        endpoint.
     backoff_base, backoff_cap:
         Exponential backoff schedule in seconds: attempt ``n`` sleeps
         ``min(cap, base * 2**(n-1))`` scaled by uniform jitter in
@@ -82,6 +107,11 @@ class GatewayClient:
         Retry 429 admission rejections (any method — see the module
         docstring).  Off by default so interactive callers and the
         admission tests see rejections immediately.
+    read_endpoints:
+        Additional gateway addresses (``(host, port)`` tuples or
+        ``"host:port"`` strings — follower replicas) eligible to serve
+        this client's GETs.  Reads stick to one endpoint and fail over
+        on connection drops.
     """
 
     def __init__(
@@ -94,6 +124,7 @@ class GatewayClient:
         backoff_base: float = 0.05,
         backoff_cap: float = 2.0,
         retry_backpressure: bool = False,
+        read_endpoints=(),
     ):
         if max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
@@ -104,15 +135,25 @@ class GatewayClient:
             )
         self.host = host
         self.port = port
+        self.endpoints: list[tuple[str, int]] = [(host, port)]
+        for spec in read_endpoints:
+            self.endpoints.append(
+                parse_endpoint(spec) if isinstance(spec, str)
+                else (spec[0], int(spec[1]))
+            )
         self.timeout = timeout
         self.max_attempts = max_attempts
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
         self.retry_backpressure = retry_backpressure
-        #: total retries this client performed (reconnects + 429 backoff)
+        #: total retries this client performed (reconnects, failovers,
+        #: 429 backoff)
         self.retries = 0
+        #: newest registry epoch a mutation by this client was acked at
+        self.last_write_epoch = 0
         self._rng = random.Random()
-        self._conn: http.client.HTTPConnection | None = None
+        self._read_index = 0  # sticky read endpoint (0 == primary)
+        self._conns: dict[int, http.client.HTTPConnection] = {}
 
     # ------------------------------------------------------------------
     # endpoint methods
@@ -123,13 +164,15 @@ class GatewayClient:
         *,
         batch_size: int | None = None,
         deadline_ms: float | None = None,
+        min_epoch: int | None = None,
     ) -> dict:
         """``POST /score_pairs`` — decision values for a pair batch."""
         body: dict = {"pairs": [[list(a), list(b)] for a, b in pairs]}
         if batch_size is not None:
             body["batch_size"] = batch_size
         return self._request(
-            "POST", "/score_pairs", body, deadline_ms=deadline_ms
+            "POST", "/score_pairs", body,
+            deadline_ms=deadline_ms, min_epoch=min_epoch,
         )
 
     def top_k(
@@ -141,6 +184,7 @@ class GatewayClient:
         exact: bool = True,
         budget: int | None = None,
         deadline_ms: float | None = None,
+        min_epoch: int | None = None,
     ) -> dict:
         """``GET /top_k`` — strongest links of one platform pair.
 
@@ -157,7 +201,8 @@ class GatewayClient:
             query["budget"] = budget
         params = urllib.parse.urlencode(query)
         return self._request(
-            "GET", f"/top_k?{params}", None, deadline_ms=deadline_ms
+            "GET", f"/top_k?{params}", None,
+            deadline_ms=deadline_ms, min_epoch=min_epoch,
         )
 
     def link_account(
@@ -170,6 +215,7 @@ class GatewayClient:
         exact: bool = True,
         budget: int | None = None,
         deadline_ms: float | None = None,
+        min_epoch: int | None = None,
     ) -> dict:
         """``POST /link_account`` — resolve one account.
 
@@ -184,7 +230,8 @@ class GatewayClient:
         if budget is not None:
             body["budget"] = budget
         return self._request(
-            "POST", "/link_account", body, deadline_ms=deadline_ms
+            "POST", "/link_account", body,
+            deadline_ms=deadline_ms, min_epoch=min_epoch,
         )
 
     def ingest(
@@ -200,18 +247,20 @@ class GatewayClient:
         body: dict = {"refs": [list(ref) for ref in refs], "score": score}
         if accounts is not None:
             body["accounts"] = accounts
-        return self._request("POST", "/ingest", body)
+        return self._track_write(self._request("POST", "/ingest", body))
 
     def remove_account(self, ref) -> dict:
         """``DELETE /account`` — withdraw one account from serving."""
-        return self._request("DELETE", "/account", {"ref": list(ref)})
+        return self._track_write(
+            self._request("DELETE", "/account", {"ref": list(ref)})
+        )
 
     def swap(self, artifact: str, *, since_epoch: int | None = None) -> dict:
         """``POST /swap`` — blue/green cutover to a refit artifact."""
         body: dict = {"artifact": str(artifact)}
         if since_epoch is not None:
             body["since_epoch"] = since_epoch
-        return self._request("POST", "/swap", body)
+        return self._track_write(self._request("POST", "/swap", body))
 
     def restart_shard(self, shard: int) -> dict:
         """``POST /shards/restart`` — revive one shard of a sharded tier."""
@@ -230,15 +279,33 @@ class GatewayClient:
         """``GET /healthz`` — liveness and registry epoch."""
         return self._request("GET", "/healthz", None)
 
+    def replicas(self) -> dict:
+        """``GET /replicas`` — per-follower epoch, lag, and liveness."""
+        return self._request("GET", "/replicas", None)
+
     # ------------------------------------------------------------------
     # plumbing
     # ------------------------------------------------------------------
-    def _connection(self) -> http.client.HTTPConnection:
-        if self._conn is None:
-            self._conn = http.client.HTTPConnection(
-                self.host, self.port, timeout=self.timeout
+    def _track_write(self, response: dict) -> dict:
+        epoch = response.get("epoch") if isinstance(response, dict) else None
+        if isinstance(epoch, int) and epoch > self.last_write_epoch:
+            self.last_write_epoch = epoch
+        return response
+
+    def _connection(self, index: int) -> http.client.HTTPConnection:
+        conn = self._conns.get(index)
+        if conn is None:
+            host, port = self.endpoints[index]
+            conn = http.client.HTTPConnection(
+                host, port, timeout=self.timeout
             )
-        return self._conn
+            self._conns[index] = conn
+        return conn
+
+    def _close_endpoint(self, index: int) -> None:
+        conn = self._conns.pop(index, None)
+        if conn is not None:
+            conn.close()
 
     def _backoff(self, attempt: int, retry_after: float | None) -> None:
         """Sleep the jittered exponential delay before retry ``attempt``."""
@@ -255,14 +322,21 @@ class GatewayClient:
         body: dict | None,
         *,
         deadline_ms: float | None = None,
+        min_epoch: int | None = None,
     ) -> dict:
         payload = None if body is None else json.dumps(body)
         headers = {"Content-Type": "application/json"}
         if deadline_ms is not None:
             headers["X-Deadline-Ms"] = f"{deadline_ms:g}"
+        if min_epoch is not None:
+            headers["X-Min-Epoch"] = str(int(min_epoch))
+        # reads spread across endpoints; mutations stay on the primary
+        routable = method == "GET" and min_epoch is None
         attempt = 1
+        cycle_tried = 0  # endpoints tried since the last backoff sleep
         while True:
-            conn = self._connection()
+            index = self._read_index if routable else 0
+            conn = self._connection(index)
             try:
                 conn.request(method, path, body=payload, headers=headers)
                 response = conn.getresponse()
@@ -271,7 +345,7 @@ class GatewayClient:
                 # the server may have executed the request and answered
                 # late — retrying would double-apply mutations (POST
                 # /ingest, DELETE); surface the timeout, caller decides
-                self.close()
+                self._close_endpoint(index)
                 raise
             except (
                 http.client.RemoteDisconnected,
@@ -282,12 +356,22 @@ class GatewayClient:
                 # executed the request before losing the socket, so only
                 # idempotent GETs are retried (usually a stale keep-alive
                 # connection); a mutation's failure surfaces to the caller
-                self.close()
-                if method != "GET" or attempt >= self.max_attempts:
+                self._close_endpoint(index)
+                if method != "GET":
+                    raise
+                if routable and len(self.endpoints) > 1:
+                    self._read_index = (index + 1) % len(self.endpoints)
+                cycle_tried += 1
+                if routable and cycle_tried < len(self.endpoints):
+                    # fail over to the next endpoint before backing off
+                    self.retries += 1
+                    continue
+                if attempt >= self.max_attempts:
                     raise
                 self.retries += 1
                 self._backoff(attempt, None)
                 attempt += 1
+                cycle_tried = 0
                 continue
             try:
                 decoded = json.loads(data) if data else {}
@@ -323,9 +407,8 @@ class GatewayClient:
             return decoded
 
     def close(self) -> None:
-        if self._conn is not None:
-            self._conn.close()
-            self._conn = None
+        for index in list(self._conns):
+            self._close_endpoint(index)
 
     def __enter__(self) -> "GatewayClient":
         return self

@@ -30,6 +30,18 @@ succeeded request counts as succeeded, never as a failure.  Workers run
 their clients with ``retry_backpressure=True`` by default: 429s are flow
 control, not failures (pass ``retry_backpressure=False`` to measure raw
 rejection rates instead).
+
+Staleness accounting (for replicated topologies — :mod:`repro.replica`):
+every read response carries the registry epoch it executed at, and each
+worker's client tracks the newest epoch its *own* writes were acked at
+(:attr:`~repro.gateway.client.GatewayClient.last_write_epoch`).  The gap
+``last_write_epoch - observed_epoch`` is that read's staleness in epochs;
+the report aggregates it (``stale_reads`` / ``staleness_max`` /
+``staleness_mean``).  ``min_epoch=True`` turns the measurement into an
+enforcement: reads send their worker's last write epoch as the
+``X-Min-Epoch`` floor (read-your-writes), and any response below the
+floor counts in ``min_epoch_violations`` — which a replicated gateway
+must keep at zero.
 """
 
 from __future__ import annotations
@@ -102,6 +114,17 @@ class LoadReport:
     #: per-op-kind outcome counts:
     #: ``{kind: {succeeded, rejected, errors, retried}}``
     op_counts: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: whether reads enforced a read-your-writes X-Min-Epoch floor
+    min_epoch_mode: bool = False
+    #: successful reads whose observed epoch trailed the worker's last
+    #: acked write epoch (staleness in epochs > 0)
+    stale_reads: int = 0
+    #: the largest and mean epoch gap observed across successful reads
+    staleness_max: int = 0
+    staleness_mean: float = 0.0
+    #: reads answered below their requested X-Min-Epoch floor — a
+    #: replicated gateway must keep this at zero
+    min_epoch_violations: int = 0
 
     @property
     def requests_per_sec(self) -> float:
@@ -135,6 +158,11 @@ class LoadReport:
                 kind: dict(outcome)
                 for kind, outcome in sorted(self.op_counts.items())
             },
+            "min_epoch_mode": self.min_epoch_mode,
+            "stale_reads": self.stale_reads,
+            "staleness_max": self.staleness_max,
+            "staleness_mean": self.staleness_mean,
+            "min_epoch_violations": self.min_epoch_violations,
         }
 
 
@@ -205,20 +233,33 @@ def plan_workload(
     return ops
 
 
-def _execute(client: GatewayClient, op: Operation, deadline_ms) -> None:
+#: op kinds whose responses carry an observable read epoch
+_READ_KINDS = ("score", "top_k", "link")
+
+
+def _execute(
+    client: GatewayClient, op: Operation, deadline_ms, min_epoch=None
+) -> dict:
     if op.kind == "score":
-        client.score_pairs(list(op.payload[0]), deadline_ms=deadline_ms)
+        return client.score_pairs(
+            list(op.payload[0]), deadline_ms=deadline_ms, min_epoch=min_epoch
+        )
     elif op.kind == "top_k":
-        client.top_k(*op.payload, deadline_ms=deadline_ms)
+        platform_a, platform_b, top = op.payload
+        return client.top_k(
+            platform_a, platform_b, top,
+            deadline_ms=deadline_ms, min_epoch=min_epoch,
+        )
     elif op.kind == "link":
         platform, account_id, top = op.payload
-        client.link_account(
-            platform, account_id, top=top, deadline_ms=deadline_ms
+        return client.link_account(
+            platform, account_id, top=top,
+            deadline_ms=deadline_ms, min_epoch=min_epoch,
         )
     elif op.kind == "churn":
         (ref,) = op.payload
         client.remove_account(ref)
-        client.ingest([ref], score=False)
+        return client.ingest([ref], score=False)
     else:
         raise ValueError(f"unknown operation kind {op.kind!r}")
 
@@ -234,6 +275,8 @@ def run_load(
     deadline_ms: float | None = None,
     timeout: float = 30.0,
     retry_backpressure: bool = True,
+    min_epoch: bool = False,
+    read_endpoints=(),
 ) -> LoadReport:
     """Replay ``ops`` against a gateway and measure the outcome.
 
@@ -246,6 +289,11 @@ def run_load(
     With ``retry_backpressure`` (the default) workers back off and retry
     429s — ``rejected`` then counts only retry-exhausted backpressure,
     and the retries show up in ``retried`` / ``op_counts``.
+
+    ``min_epoch=True`` makes every read enforce read-your-writes: it
+    sends the worker's own last acked write epoch as the ``X-Min-Epoch``
+    floor (see the module docstring).  ``read_endpoints`` hands each
+    worker's client extra follower addresses for GET failover.
     """
     if mode not in ("closed", "open"):
         raise ValueError(f"mode must be 'closed' or 'open', got {mode!r}")
@@ -259,7 +307,9 @@ def run_load(
     cursor = {"next": 0}
     cursor_lock = threading.Lock()
     counts_lock = threading.Lock()
-    counts = {"succeeded": 0, "rejected": 0, "errors": 0, "retried": 0}
+    counts = {"succeeded": 0, "rejected": 0, "errors": 0, "retried": 0,
+              "stale_reads": 0, "staleness_max": 0, "staleness_sum": 0,
+              "observed_reads": 0, "min_epoch_violations": 0}
     op_counts: dict[str, dict[str, int]] = {}
     thread_recorders: list[tuple[LatencyRecorder, dict]] = []
     start_at = time.monotonic() + 0.05  # let every worker reach the line
@@ -271,6 +321,7 @@ def run_load(
         with GatewayClient(
             host, port, timeout=timeout,
             retry_backpressure=retry_backpressure,
+            read_endpoints=read_endpoints,
         ) as client:
             while True:
                 with cursor_lock:
@@ -289,8 +340,14 @@ def run_load(
                     issued = time.monotonic()
                 outcome = "succeeded"
                 retries_before = client.retries
+                floor = None
+                if min_epoch and op.kind in _READ_KINDS:
+                    floor = client.last_write_epoch or None
+                response: dict = {}
                 try:
-                    _execute(client, op, deadline_ms)
+                    response = _execute(
+                        client, op, deadline_ms, min_epoch=floor
+                    )
                 except GatewayError as error:
                     outcome = (
                         "rejected" if error.is_backpressure else "errors"
@@ -299,9 +356,26 @@ def run_load(
                     outcome = "errors"
                 elapsed = time.monotonic() - issued
                 retried = client.retries - retries_before
+                staleness = None
+                if (
+                    outcome == "succeeded"
+                    and op.kind in _READ_KINDS
+                    and isinstance(response.get("epoch"), int)
+                ):
+                    observed = response["epoch"]
+                    staleness = max(0, client.last_write_epoch - observed)
                 with counts_lock:
                     counts[outcome] += 1
                     counts["retried"] += retried
+                    if staleness is not None:
+                        counts["observed_reads"] += 1
+                        counts["staleness_sum"] += staleness
+                        if staleness > 0:
+                            counts["stale_reads"] += 1
+                        if staleness > counts["staleness_max"]:
+                            counts["staleness_max"] = staleness
+                        if floor is not None and response["epoch"] < floor:
+                            counts["min_epoch_violations"] += 1
                     kind_counts = op_counts.setdefault(
                         op.kind,
                         {"succeeded": 0, "rejected": 0, "errors": 0,
@@ -350,15 +424,31 @@ def run_load(
         per_op=merged_per_op,
         retried=counts["retried"],
         op_counts=op_counts,
+        min_epoch_mode=min_epoch,
+        stale_reads=counts["stale_reads"],
+        staleness_max=counts["staleness_max"],
+        staleness_mean=(
+            counts["staleness_sum"] / counts["observed_reads"]
+            if counts["observed_reads"] else 0.0
+        ),
+        min_epoch_violations=counts["min_epoch_violations"],
     )
 
 
-def loadgen_table(reports: list[LoadReport], labels: list[str]) -> list[list]:
-    """Rows for tabular reporting, one per labelled run."""
+def loadgen_table(
+    reports: list[LoadReport], labels: list[str], *, staleness: bool = False
+) -> list[list]:
+    """Rows for tabular reporting, one per labelled run.
+
+    ``staleness=True`` appends a ``max_stale`` column (the largest
+    read-epoch gap — see the module docstring); callers writing
+    benchmark tables opt in so existing committed baselines keep their
+    shape.
+    """
     rows = []
     for label, report in zip(labels, reports):
         summary = report.latency.summary()
-        rows.append([
+        row = [
             label,
             report.requests,
             report.succeeded,
@@ -368,5 +458,8 @@ def loadgen_table(reports: list[LoadReport], labels: list[str]) -> list[list]:
             report.requests_per_sec,
             summary["p50_ms"],
             summary["p99_ms"],
-        ])
+        ]
+        if staleness:
+            row.append(report.staleness_max)
+        rows.append(row)
     return rows

@@ -20,7 +20,19 @@ method     path                action
 ``GET``    ``/candidates``     platform pairs + sample pairs (loadgen seed)
 ``GET``    ``/stats``          service counters + gateway metrics
 ``GET``    ``/healthz``        liveness + registry epoch
+``GET``    ``/replicas``       replication topology: per-follower epoch + lag
 =========  ==================  =================================================
+
+Replication (:mod:`repro.replica`): a gateway serving a
+:class:`~repro.replica.FollowerService` runs a background follow loop
+(tail the primary's WAL off-fence, apply under the write fence) and
+rejects mutations with 409.  A primary configured with ``read_replicas``
+routes a share of its reads to follower gateways through a
+:class:`~repro.replica.ReplicaRouter`; the ``X-Min-Epoch`` request
+header sets a freshness floor — the router skips followers not known to
+have reached it, a follower waits briefly then answers 412, and a read
+that executed at ``epoch >= min_epoch`` can never observe older state
+because the registry epoch is monotone and checked inside the fence.
 
 The gateway serves a :class:`~repro.shard.ShardedLinkageService` unchanged
 (it duck-types the service interface).  Sharded deployments differ in
@@ -82,6 +94,7 @@ __all__ = ["GatewayConfig", "GatewayThread", "LinkageGateway"]
 
 _MAX_BODY_BYTES = 8 * 1024 * 1024
 _DEADLINE_HEADER = "x-deadline-ms"
+_MIN_EPOCH_HEADER = "x-min-epoch"
 
 
 @dataclass(frozen=True)
@@ -103,6 +116,16 @@ class GatewayConfig:
     #: caches and counters are lock-protected for exactly this)
     executor_threads: int = 2
     shutdown_grace_seconds: float = 10.0
+    #: replication (see :mod:`repro.replica`): follower gateway addresses
+    #: eligible to serve this gateway's reads ("host:port" strings)
+    read_replicas: tuple = ()
+    #: how often a follower gateway polls the primary's WAL
+    replica_poll_ms: float = 25.0
+    #: how long a follower read with an X-Min-Epoch floor waits for
+    #: replication to catch up before answering 412
+    min_epoch_wait_ms: float = 1000.0
+    #: how long a dead follower sits out before a half-open retry
+    replica_retry_dead_seconds: float = 2.0
 
 
 class LinkageGateway:
@@ -134,6 +157,19 @@ class LinkageGateway:
         #: True once /swap replaced the caller's service with one the
         #: gateway loaded itself — stop() then owns its full teardown
         self._service_swapped = False
+        self._router = None
+        self._replica_unavailable = ()  # exception class, set with router
+        if self.config.read_replicas:
+            # lazy import: repro.replica imports the gateway client
+            from repro.replica.router import ReplicaRouter, ReplicaUnavailable
+
+            self._router = ReplicaRouter(
+                self.config.read_replicas,
+                retry_dead_seconds=self.config.replica_retry_dead_seconds,
+            )
+            self._replica_unavailable = ReplicaUnavailable
+        self._follow_task: asyncio.Task | None = None
+        self._follow_errors = 0
         self._inflight_conns: set[asyncio.Task] = set()
         self._conn_writers: set[asyncio.StreamWriter] = set()
         #: writers whose connection currently has a request mid-handler —
@@ -151,6 +187,7 @@ class LinkageGateway:
             ("GET", "/candidates"): self._handle_candidates,
             ("GET", "/stats"): self._handle_stats,
             ("GET", "/healthz"): self._handle_healthz,
+            ("GET", "/replicas"): self._handle_replicas,
         }
 
     # ------------------------------------------------------------------
@@ -169,12 +206,21 @@ class LinkageGateway:
         )
         self.port = self._server.sockets[0].getsockname()[1]
         self._started_at = time.monotonic()
+        if getattr(self.service, "is_follower", False):
+            self._follow_task = asyncio.ensure_future(self._follow_loop())
 
     async def stop(self) -> None:
         """Graceful shutdown: stop accepting, drain, release the executor."""
         if self._server is None:
             return
         self._draining = True
+        if self._follow_task is not None:
+            self._follow_task.cancel()
+            try:
+                await self._follow_task
+            except asyncio.CancelledError:
+                pass
+            self._follow_task = None
         self._server.close()
         await self._server.wait_closed()
         await self._batcher.drain()
@@ -198,6 +244,8 @@ class LinkageGateway:
             else self.service.close_wal
         )
         await asyncio.get_running_loop().run_in_executor(None, release)
+        if self._router is not None:
+            self._router.close()
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
@@ -221,16 +269,26 @@ class LinkageGateway:
             )
         return results, epoch
 
-    async def _read_call(self, ticket, fn, *args):
+    async def _read_call(self, ticket, fn, *args, min_epoch=None):
         """One non-batched reader call (top_k / link_account).
 
         The deadline re-check happens after the fence is acquired: a read
         that waited out its deadline behind an ingest writer is abandoned
-        with 503 instead of burning scoring cycles.
+        with 503 instead of burning scoring cycles.  A ``min_epoch``
+        freshness floor is enforced *inside* the fence — the epoch is
+        monotone, so a response computed at ``epoch >= min_epoch`` can
+        never be staler than requested — after an off-fence grace wait
+        on followers (:meth:`_await_min_epoch`).
         """
+        await self._await_min_epoch(min_epoch)
         async with self._fence.read():
             self._admission.check_deadline(ticket)
             epoch = self.service.registry_epoch
+            if min_epoch is not None and epoch < min_epoch:
+                raise _Stale(
+                    f"serving epoch {epoch} is older than the requested "
+                    f"floor {min_epoch}"
+                )
             result = await self._run_scoring(fn, *args)
         return result, epoch
 
@@ -240,6 +298,73 @@ class LinkageGateway:
             result = await self._run_scoring(fn, *args)
             epoch = self.service.registry_epoch
         return result, epoch
+
+    # ------------------------------------------------------------------
+    # replication (see repro.replica)
+    # ------------------------------------------------------------------
+    async def _follow_loop(self) -> None:
+        """Follower gateways: tail the primary's WAL and apply deltas.
+
+        ``poll`` (one incremental tail read) runs off-fence; only the
+        apply holds the write fence, so reads see the epoch and the
+        scores advance atomically — exactly like a local write.
+        """
+        poll_seconds = max(self.config.replica_poll_ms, 1.0) / 1000.0
+        while True:
+            try:
+                pending = await self._run_scoring(self.service.poll)
+                if pending:
+                    async with self._fence.write():
+                        await self._run_scoring(self.service.apply_pending)
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                # transient races (primary mid-rotation, artifact being
+                # rewritten) heal on the next tick; count, don't crash
+                self._follow_errors += 1
+            await asyncio.sleep(poll_seconds)
+
+    async def _await_min_epoch(self, min_epoch: int | None) -> None:
+        """On a follower, give replication a moment to reach the floor.
+
+        Waits *without* holding the read fence (the apply path needs the
+        write fence to advance the epoch).  The fenced check in
+        :meth:`_read_call` remains the authority; this only converts
+        would-be 412s into slightly delayed fresh answers.
+        """
+        if min_epoch is None or not getattr(self.service, "is_follower",
+                                            False):
+            return
+        deadline = (
+            time.monotonic() + self.config.min_epoch_wait_ms / 1000.0
+        )
+        while self.service.registry_epoch < min_epoch:
+            if time.monotonic() >= deadline:
+                return
+            await asyncio.sleep(
+                min(0.005, self.config.replica_poll_ms / 1000.0)
+            )
+
+    async def _forward_read(self, op: str, kwargs: dict,
+                            min_epoch: int | None):
+        """Offer one read to the replica router; None means serve locally.
+
+        Any follower-side failure (dead endpoint, stale for the floor,
+        load shedding) falls back to the local service, so a dying
+        follower costs latency, never correctness or availability.
+        """
+        router = self._router
+        if router is None or self._draining:
+            return None
+        endpoint = router.pick(min_epoch)
+        if endpoint is None:
+            return None
+        try:
+            return await asyncio.get_running_loop().run_in_executor(
+                router.executor, router.call, endpoint, op, kwargs
+            )
+        except self._replica_unavailable:
+            return None
 
     def _shard_marker(self, payload: dict) -> dict:
         """Annotate a response with the downed-shard list, when degraded."""
@@ -261,21 +386,37 @@ class LinkageGateway:
         ):
             raise _BadRequest(f"batch_size must be a positive int, got "
                               f"{batch_size!r}")
-        if batch_size is None:
+        min_epoch = _opt_int_query(query, "min_epoch")
+        forwarded = await self._forward_read(
+            "score_pairs",
+            {"pairs": pairs, "batch_size": batch_size,
+             "min_epoch": min_epoch},
+            min_epoch,
+        )
+        if forwarded is not None:
+            return 200, forwarded
+        if batch_size is None and min_epoch is not None:
+            # a freshness floor cannot ride a coalesced dispatch (the
+            # flush snapshots one epoch for the whole group); run alone —
+            # chunking is identical, so the scores are the same bytes
+            scores, epoch = await self._read_call(
+                ticket,
+                lambda: self.service.score_pairs(pairs),
+                min_epoch=min_epoch,
+            )
+        elif batch_size is None:
             scores, epoch = await self._batcher.submit(
                 pairs, guard=lambda: self._admission.check_deadline(ticket)
             )
         else:
             # a custom batch size changes the chunk composition, so it can
             # never share a coalesced dispatch; run it alone
-            async with self._fence.read():
-                self._admission.check_deadline(ticket)
-                epoch = self.service.registry_epoch
-                scores = await self._run_scoring(
-                    lambda: self.service.score_pairs(
-                        pairs, batch_size=batch_size
-                    )
-                )
+            scores, epoch = await self._read_call(
+                ticket,
+                lambda: self.service.score_pairs(pairs,
+                                                 batch_size=batch_size),
+                min_epoch=min_epoch,
+            )
         return 200, self._shard_marker({
             # NaN marks a pair whose owner shard is down; JSON says null
             "scores": [None if s != s else float(s) for s in scores],
@@ -292,11 +433,21 @@ class LinkageGateway:
         # path never populates the service's exact score cache
         exact = _bool_query(query, "exact", True)
         budget = _opt_int_query(query, "budget")
+        min_epoch = _opt_int_query(query, "min_epoch")
+        forwarded = await self._forward_read(
+            "top_k",
+            {"platform_a": platform_a, "platform_b": platform_b, "k": k,
+             "exact": exact, "budget": budget, "min_epoch": min_epoch},
+            min_epoch,
+        )
+        if forwarded is not None:
+            return 200, forwarded
         links, epoch = await self._read_call(
             ticket,
             lambda: self.service.top_k(
                 platform_a, platform_b, k, exact=exact, budget=budget
             ),
+            min_epoch=min_epoch,
         )
         return 200, self._shard_marker(
             {"links": [_link_json(link) for link in links], "epoch": epoch}
@@ -315,18 +466,40 @@ class LinkageGateway:
         budget = body.get("budget")
         if budget is not None and not isinstance(budget, int):
             raise _BadRequest(f"budget must be an int, got {budget!r}")
+        min_epoch = _opt_int_query(query, "min_epoch")
+        forwarded = await self._forward_read(
+            "link_account",
+            {"platform": platform, "account_id": account_id,
+             "other_platform": other, "top": top, "exact": exact,
+             "budget": budget, "min_epoch": min_epoch},
+            min_epoch,
+        )
+        if forwarded is not None:
+            return 200, forwarded
         links, epoch = await self._read_call(
             ticket,
             lambda: self.service.link_account(
                 platform, account_id, other_platform=other, top=top,
                 exact=exact, budget=budget,
             ),
+            min_epoch=min_epoch,
         )
         return 200, self._shard_marker(
             {"links": [_link_json(link) for link in links], "epoch": epoch}
         )
 
+    def _reject_follower_write(self) -> None:
+        # before any parsing side effects: the non-sharded ingest path
+        # mutates service.world ahead of add_accounts, so a follower must
+        # refuse up front, not rely on the service raising mid-mutation
+        if getattr(self.service, "is_follower", False):
+            raise _Conflict(
+                "this gateway serves a read-only follower replica; send "
+                "writes to the primary"
+            )
+
     async def _handle_ingest(self, body, query, ticket):
+        self._reject_follower_write()
         refs = [_parse_ref(ref) for ref in _require(body, "refs")]
         score = body.get("score", True)
         raw_accounts = body.get("accounts", [])
@@ -375,6 +548,7 @@ class LinkageGateway:
         }
 
     async def _handle_remove_account(self, body, query, ticket):
+        self._reject_follower_write()
         ref = _parse_ref(_require(body, "ref"))
         removed, epoch = await self._write_call(
             lambda: self.service.remove_account(ref)
@@ -406,6 +580,7 @@ class LinkageGateway:
         the write fence, so the unavailability window is one fence
         acquisition plus the tail replay, not the whole delta.
         """
+        self._reject_follower_write()
         if getattr(self.service, "is_sharded", False):
             raise _Conflict(
                 "sharded deployments do not support /swap; plan against "
@@ -523,26 +698,64 @@ class LinkageGateway:
         # gateway-side snapshots are loop-owned state and stay here.
         service = self.service  # one resolution: a swap must not mix services
         service_stats = await self._run_scoring(service.stats)
-        return 200, self._shard_marker({
+        gateway_stats = {
+            "uptime_seconds": (
+                time.monotonic() - self._started_at
+                if self._started_at is not None else 0.0
+            ),
+            "draining": self._draining,
+            "batcher": self._batcher.snapshot(),
+            "admission": self._admission.snapshot(),
+        }
+        if self._router is not None:
+            gateway_stats["replica_router"] = self._router.snapshot()
+        if getattr(service, "is_follower", False):
+            gateway_stats["follow_errors"] = self._follow_errors
+        payload = self._shard_marker({
             "service": service_stats.as_dict(),
-            "gateway": {
-                "uptime_seconds": (
-                    time.monotonic() - self._started_at
-                    if self._started_at is not None else 0.0
-                ),
-                "draining": self._draining,
-                "batcher": self._batcher.snapshot(),
-                "admission": self._admission.snapshot(),
-            },
+            "gateway": gateway_stats,
             "epoch": service.registry_epoch,
         })
+        if getattr(service, "is_follower", False):
+            payload["replica"] = await self._run_scoring(
+                lambda: service.status(poll=False)
+            )
+        return 200, payload
+
+    async def _handle_replicas(self, body, query, ticket):
+        """Replication topology status.
+
+        On a primary with a router: one row per configured follower
+        (probed concurrently — a SIGKILLed follower reports
+        ``alive: False`` with its last known epoch rather than hanging
+        the endpoint) plus router counters.  On a follower: its own
+        tailer status (epoch, lag in records and seconds, cursor, pid).
+        """
+        payload: dict = {"epoch": self.service.registry_epoch,
+                         "replicas": []}
+        if getattr(self.service, "is_follower", False):
+            payload["replica"] = await self._run_scoring(
+                self.service.status
+            )
+        if self._router is not None:
+            payload["replicas"] = await asyncio.get_running_loop(
+            ).run_in_executor(self._router.executor, self._router.status)
+            payload["router"] = self._router.snapshot()
+        return 200, payload
 
     async def _handle_healthz(self, body, query, ticket):
         status = "draining" if self._draining else "ok"
-        return (503 if self._draining else 200), {
+        payload: dict = {
             "status": status,
             "epoch": self.service.registry_epoch,
         }
+        if getattr(self.service, "is_follower", False):
+            # poll=False: report the frontier the follow loop already
+            # knows without racing it for a tail read
+            payload["replica"] = await self._run_scoring(
+                lambda: self.service.status(poll=False)
+            )
+        return (503 if self._draining else 200), payload
 
     # ------------------------------------------------------------------
     # HTTP plumbing
@@ -638,6 +851,22 @@ class LinkageGateway:
                     keep_alive,
                 )
                 return keep_alive
+        if _MIN_EPOCH_HEADER in headers:
+            # surface the freshness floor to handlers through the query
+            # dict (same string-typed channel either way); the header
+            # wins over a query parameter
+            if not headers[_MIN_EPOCH_HEADER].lstrip("-").isdigit():
+                await _write_response(
+                    writer, 400,
+                    _error_json(
+                        "bad_min_epoch",
+                        f"{_MIN_EPOCH_HEADER} must be an integer",
+                    ),
+                    keep_alive,
+                )
+                return keep_alive
+            query = dict(query)
+            query["min_epoch"] = headers[_MIN_EPOCH_HEADER]
         try:
             ticket = self._admission.admit(endpoint, deadline_ms)
         except GatewayRejected as rejected:
@@ -666,6 +895,10 @@ class LinkageGateway:
             status, payload = 400, _error_json("bad_request", str(bad))
         except _Conflict as conflict:
             status, payload = 409, _error_json("conflict", str(conflict))
+        except _Stale as stale:
+            # the client's min_epoch floor: a replicated client retries
+            # against the primary, which is never stale
+            status, payload = 412, _error_json("stale_replica", str(stale))
         except ShardUnavailableError as down:
             # the write's owner shard is down: recoverable via
             # /shards/restart, so tell the client to come back
@@ -702,6 +935,10 @@ class _BadRequest(Exception):
 
 class _Conflict(Exception):
     """A swap that cannot proceed right now -> HTTP 409."""
+
+
+class _Stale(Exception):
+    """A read's X-Min-Epoch floor cannot be met here -> HTTP 412."""
 
 
 class _MalformedRequest(Exception):
@@ -830,7 +1067,8 @@ async def _write_response(
     writer, status, payload, keep_alive, *, retry_after=None
 ):
     reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
-               409: "Conflict", 429: "Too Many Requests",
+               409: "Conflict", 412: "Precondition Failed",
+               429: "Too Many Requests",
                500: "Internal Server Error", 503: "Service Unavailable"}
     data = json.dumps(payload).encode("utf-8")
     head = [

@@ -1,0 +1,40 @@
+"""Follower replicas over the ingest WAL: horizontal read scale-out.
+
+The serving tier's read traffic (``top_k`` / ``link_account`` /
+``score_pairs``) dwarfs its writes, yet durability (:mod:`repro.wal`)
+and data sharding (:mod:`repro.shard`) still funnel every read through
+the one process that owns the registry.  This package adds the
+replication half of the WAL work (ROADMAP: "Follower replicas over the
+ingest WAL"):
+
+* :class:`WalTailer` — incrementally follows a primary's WAL directory
+  through a durable ``(segment, offset)`` cursor
+  (:mod:`repro.wal.tail`), tolerating in-progress tails and rotation
+  races, and resuming from its cursor file after a restart;
+* :class:`FollowerService` — bootstraps from the primary's artifact (or
+  its own checkpoint), replays the effective logged mutations through
+  the same machinery as crash recovery, and exposes the read surface of
+  :class:`~repro.serving.LinkageService` with responses **bit-identical
+  to the primary at the same registry epoch** (writes raise
+  :class:`ReplicaReadOnlyError`);
+* :class:`ReplicaRouter` — the primary gateway's read router: spreads
+  read traffic across follower endpoints (primary included in the
+  rotation), honors ``X-Min-Epoch`` freshness floors by skipping
+  lagging followers, half-opens dead ones, and feeds the ``/replicas``
+  status endpoint.
+
+Run a follower with ``repro replica --artifact A --wal DIR`` (or
+``repro serve --replica-of DIR``), and point the primary at it with
+``repro serve --read-replicas host:port,...``.
+"""
+
+from repro.replica.follower import FollowerService, ReplicaReadOnlyError
+from repro.replica.router import ReplicaRouter
+from repro.replica.tailer import WalTailer
+
+__all__ = [
+    "FollowerService",
+    "ReplicaReadOnlyError",
+    "ReplicaRouter",
+    "WalTailer",
+]

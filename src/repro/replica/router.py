@@ -1,0 +1,291 @@
+"""Freshness-aware read routing across follower replicas.
+
+:class:`ReplicaRouter` lives inside the *primary's* gateway.  Each
+eligible read (``GET /top_k``, ``POST /score_pairs``,
+``POST /link_account``) asks :meth:`pick` for a backend: a round-robin
+rotation over the configured follower endpoints **plus one local slot**
+(``None``), so a primary with two followers answers ~1/3 of reads
+itself and forwards the rest.  Forwarded calls reuse pooled
+:class:`~repro.gateway.client.GatewayClient` connections on a thread
+pool; the gateway awaits them without blocking its event loop.
+
+Freshness: the router remembers each follower's newest observed
+registry epoch (monotone, updated from every forwarded response and
+``/replicas`` probe) and :meth:`pick` skips followers not yet known to
+have reached the request's ``min_epoch`` floor — such reads fall
+through to the primary, which is never stale.
+
+Failure: a connection-level error marks the endpoint dead and the read
+is re-answered locally (the caller retries local on
+:class:`ReplicaUnavailable`), so a SIGKILLed follower costs zero failed
+client requests.  Dead endpoints re-enter the rotation after
+``retry_dead_seconds`` (half-open: one probe forward re-marks or
+revives them).  A follower answering 412 (stale for the requested
+floor) is *not* dead — the read just falls back locally; the epoch
+estimate corrects on the next observation.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.gateway.client import GatewayClient, GatewayError, parse_endpoint
+
+__all__ = ["ReplicaRouter", "ReplicaUnavailable"]
+
+# read operations the router may forward, mapped to client methods
+_FORWARDABLE = ("top_k", "score_pairs", "link_account")
+
+
+class ReplicaUnavailable(RuntimeError):
+    """The chosen follower could not answer; re-answer locally."""
+
+
+class _Endpoint:
+    """Per-follower connection pool, health, and freshness state."""
+
+    def __init__(self, host: str, port: int, timeout: float):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.alive = True
+        self.dead_since: float | None = None
+        self.known_epoch = -1  # newest registry epoch observed
+        self.forwards = 0
+        self.errors = 0
+        self.stale_skips = 0
+        self._pool: queue.SimpleQueue = queue.SimpleQueue()
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def acquire(self) -> GatewayClient:
+        try:
+            return self._pool.get_nowait()
+        except queue.Empty:
+            # forwarded calls never retry: a dead follower should fail
+            # fast so the read can fall back to the primary
+            return GatewayClient(
+                self.host, self.port, timeout=self.timeout, max_attempts=1
+            )
+
+    def release(self, client: GatewayClient) -> None:
+        self._pool.put(client)
+
+    def observe_epoch(self, epoch) -> None:
+        if isinstance(epoch, int) and epoch > self.known_epoch:
+            self.known_epoch = epoch
+
+    def mark_dead(self) -> None:
+        self.alive = False
+        self.dead_since = time.monotonic()
+        self.errors += 1
+        while True:
+            try:
+                self._pool.get_nowait().close()
+            except queue.Empty:
+                break
+
+    def mark_alive(self) -> None:
+        self.alive = True
+        self.dead_since = None
+
+    def drain(self) -> None:
+        while True:
+            try:
+                self._pool.get_nowait().close()
+            except queue.Empty:
+                break
+
+
+class ReplicaRouter:
+    """Round-robin read router over follower endpoints + the primary.
+
+    Parameters
+    ----------
+    endpoints:
+        Follower addresses — ``"host:port"`` strings or ``(host, port)``
+        tuples.
+    timeout:
+        Socket timeout for forwarded calls and status probes.
+    retry_dead_seconds:
+        How long a dead endpoint sits out before one half-open forward
+        probes it again.
+    """
+
+    def __init__(
+        self,
+        endpoints,
+        *,
+        timeout: float = 10.0,
+        retry_dead_seconds: float = 2.0,
+    ):
+        self._endpoints: list[_Endpoint] = []
+        for spec in endpoints:
+            host, port = (
+                parse_endpoint(spec) if isinstance(spec, str)
+                else (spec[0], int(spec[1]))
+            )
+            self._endpoints.append(_Endpoint(host, port, timeout))
+        if not self._endpoints:
+            raise ValueError("a replica router needs at least one endpoint")
+        self.retry_dead_seconds = retry_dead_seconds
+        self.local_reads = 0
+        self._lock = threading.Lock()
+        self._rotation = 0
+        self.executor = ThreadPoolExecutor(
+            max_workers=max(8, 4 * len(self._endpoints)),
+            thread_name_prefix="replica-router",
+        )
+
+    # ------------------------------------------------------------------
+    def pick(self, min_epoch: int | None = None) -> _Endpoint | None:
+        """Choose a backend for one read; ``None`` means answer locally.
+
+        The rotation has ``len(endpoints) + 1`` slots — every follower
+        plus the primary — so local capacity stays in the read pool.
+        Followers are eligible when alive (or due a half-open probe) and,
+        given a ``min_epoch`` floor, known to have reached it.
+        """
+        with self._lock:
+            slots = len(self._endpoints) + 1
+            for _ in range(slots):
+                slot = self._rotation % slots
+                self._rotation += 1
+                if slot == len(self._endpoints):
+                    self.local_reads += 1
+                    return None
+                endpoint = self._endpoints[slot]
+                if not endpoint.alive:
+                    if (
+                        endpoint.dead_since is None
+                        or time.monotonic() - endpoint.dead_since
+                        < self.retry_dead_seconds
+                    ):
+                        continue
+                    # half-open: let this one forward probe it
+                elif (
+                    min_epoch is not None
+                    and endpoint.known_epoch < min_epoch
+                ):
+                    endpoint.stale_skips += 1
+                    continue
+                return endpoint
+            self.local_reads += 1
+            return None
+
+    def call(self, endpoint: _Endpoint, op: str, kwargs: dict) -> dict:
+        """Forward one read to a follower (runs on the router executor).
+
+        Raises :class:`ReplicaUnavailable` when the follower cannot
+        serve it (connection failure → marked dead; 412 → stale for the
+        requested floor); the caller then answers locally.
+        """
+        if op not in _FORWARDABLE:
+            raise ValueError(f"operation {op!r} is not forwardable")
+        client = endpoint.acquire()
+        try:
+            response = getattr(client, op)(**kwargs)
+        except GatewayError as error:
+            endpoint.release(client)
+            if error.status == 412:
+                # honest lag, not death: local read satisfies the floor
+                endpoint.stale_skips += 1
+                raise ReplicaUnavailable(
+                    f"{endpoint.address} stale: {error}"
+                ) from error
+            if error.status in (429, 503):
+                raise ReplicaUnavailable(
+                    f"{endpoint.address} shedding load: {error}"
+                ) from error
+            raise  # 4xx the primary would also produce: surface as-is
+        except Exception as error:
+            client.close()
+            endpoint.mark_dead()
+            raise ReplicaUnavailable(
+                f"{endpoint.address} unreachable: {error}"
+            ) from error
+        endpoint.mark_alive()
+        endpoint.forwards += 1
+        endpoint.observe_epoch(response.get("epoch"))
+        endpoint.release(client)
+        return response
+
+    # ------------------------------------------------------------------
+    def status(self) -> list[dict]:
+        """Probe every follower's ``/healthz`` concurrently; merge state.
+
+        Dead/unreachable followers still get a row (``alive: False``)
+        so ``/replicas`` stays honest about a killed process.
+        """
+
+        def probe(endpoint: _Endpoint) -> dict:
+            row = {
+                "endpoint": endpoint.address,
+                "alive": False,
+                "epoch": None,
+                "lag_records": None,
+                "lag_seconds": None,
+                "pid": None,
+                "known_epoch": endpoint.known_epoch,
+                "forwards": endpoint.forwards,
+                "errors": endpoint.errors,
+                "stale_skips": endpoint.stale_skips,
+            }
+            client = endpoint.acquire()
+            try:
+                health = client.healthz()
+            except Exception:
+                client.close()
+                endpoint.mark_dead()
+                return row
+            endpoint.mark_alive()
+            endpoint.release(client)
+            replica = health.get("replica") or {}
+            epoch = health.get("epoch")
+            endpoint.observe_epoch(epoch)
+            row.update(
+                alive=True,
+                epoch=epoch,
+                lag_records=replica.get("lag_records"),
+                lag_seconds=replica.get("lag_seconds"),
+                pid=replica.get("pid", health.get("pid")),
+                known_epoch=endpoint.known_epoch,
+            )
+            return row
+
+        futures = [
+            self.executor.submit(probe, endpoint)
+            for endpoint in self._endpoints
+        ]
+        return [future.result() for future in futures]
+
+    def snapshot(self) -> dict:
+        """Router counters without touching the network."""
+        return {
+            "local_reads": self.local_reads,
+            "endpoints": [
+                {
+                    "endpoint": endpoint.address,
+                    "alive": endpoint.alive,
+                    "known_epoch": endpoint.known_epoch,
+                    "forwards": endpoint.forwards,
+                    "errors": endpoint.errors,
+                    "stale_skips": endpoint.stale_skips,
+                }
+                for endpoint in self._endpoints
+            ],
+        }
+
+    @property
+    def endpoints(self) -> list[_Endpoint]:
+        return list(self._endpoints)
+
+    def close(self) -> None:
+        self.executor.shutdown(wait=False, cancel_futures=True)
+        for endpoint in self._endpoints:
+            endpoint.drain()

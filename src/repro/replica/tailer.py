@@ -1,0 +1,119 @@
+"""Following a live WAL directory through a durable cursor.
+
+:class:`WalTailer` is the thin stateful wrapper a follower replica (or
+any incremental consumer) keeps around :func:`repro.wal.tail.tail_read`:
+it remembers the in-memory read frontier between polls, loads the
+persisted frontier back from its cursor file on construction, and
+separates *reading* (``poll`` — advance the in-memory cursor) from
+*committing* (``commit`` — fsync the cursor to disk once the records it
+covers are durably applied).  Keeping those separate is the whole
+correctness story of replica restart: the cursor file must never run
+ahead of the applied state, or a restarted follower would silently skip
+records.
+
+The tailer is **not** thread-safe; callers serialize access
+(:class:`~repro.replica.follower.FollowerService` holds its own lock
+around every poll/apply/commit).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.wal.log import WalRecord
+from repro.wal.tail import WalCursor, load_cursor, save_cursor, tail_read
+
+__all__ = ["WalTailer"]
+
+
+class WalTailer:
+    """Incrementally read a (possibly live) WAL directory.
+
+    Parameters
+    ----------
+    wal_dir:
+        The primary's log directory (``{index:08d}.wal`` segments).  It
+        may be empty, or not exist yet — polls return nothing until the
+        writer creates it.
+    cursor_path:
+        Where to persist the read frontier.  ``None`` disables
+        persistence (``commit`` becomes a no-op) — fine for one-shot
+        consumers, wrong for a restartable follower.
+    resume:
+        When True (the default) and the cursor file exists, start from
+        it; :attr:`resumed` records whether that happened.  When False
+        the tailer starts from the log's beginning regardless (the
+        cursor file is only overwritten on the next ``commit``).
+    """
+
+    def __init__(self, wal_dir, cursor_path=None, *, resume: bool = True):
+        self.wal_dir = Path(wal_dir)
+        self.cursor_path = Path(cursor_path) if cursor_path else None
+        self._cursor = WalCursor()
+        self._committed = WalCursor()
+        self._resumed = False
+        self._last_torn = False
+        if resume and self.cursor_path is not None:
+            persisted = load_cursor(self.cursor_path)
+            if persisted is not None:
+                self._cursor = persisted
+                self._committed = persisted
+                self._resumed = True
+
+    # ------------------------------------------------------------------
+    @property
+    def cursor(self) -> WalCursor:
+        """The in-memory read frontier (advanced by :meth:`poll`)."""
+        return self._cursor
+
+    @property
+    def committed(self) -> WalCursor:
+        """The durably persisted frontier (advanced by :meth:`commit`)."""
+        return self._committed
+
+    @property
+    def resumed(self) -> bool:
+        """True when construction restored a persisted cursor."""
+        return self._resumed
+
+    @property
+    def last_torn(self) -> bool:
+        """Whether the latest poll stopped at an incomplete tail."""
+        return self._last_torn
+
+    # ------------------------------------------------------------------
+    def poll(self) -> tuple[WalRecord, ...]:
+        """Read records appended since the last poll; advance the cursor.
+
+        Returns an empty tuple when caught up (or when the log directory
+        does not exist yet).  A torn/in-flight tail is not an error: the
+        cursor parks before it and the next poll retries
+        (:attr:`last_torn` reports the condition).
+        """
+        if not self.wal_dir.is_dir():
+            self._last_torn = False
+            return ()
+        batch = tail_read(self.wal_dir, self._cursor)
+        self._cursor = batch.cursor
+        self._last_torn = batch.torn
+        return batch.records
+
+    def commit(self, cursor: WalCursor | None = None) -> None:
+        """Durably persist the read frontier (or an explicit ``cursor``).
+
+        Call only after the records up to that frontier have been
+        applied; a committed cursor is where a restarted tailer resumes.
+        """
+        target = cursor if cursor is not None else self._cursor
+        if self.cursor_path is not None:
+            save_cursor(target, self.cursor_path)
+        self._committed = target
+
+    def seek(self, cursor: WalCursor) -> None:
+        """Reposition the in-memory frontier (e.g. to a checkpoint's).
+
+        Does not touch the cursor file — pair with :meth:`commit` when
+        the new position is also the durable truth.
+        """
+        self._cursor = cursor
+        self._last_torn = False

@@ -45,6 +45,7 @@ fails loudly rather than serving pre-mutation scores.
 from __future__ import annotations
 
 import threading
+import time
 from collections import Counter, OrderedDict
 from dataclasses import dataclass, field
 
@@ -596,7 +597,8 @@ class LinkageService:
         if op == "ingest":
             payloads = tuple(capture_payload(self.world, ref) for ref in refs)
         record = WalRecord(
-            op=op, epoch=self.registry_epoch + 1, refs=refs, payloads=payloads
+            op=op, epoch=self.registry_epoch + 1, refs=refs,
+            payloads=payloads, ts=time.time(),
         )
         self._wal.append(record)
         return record
@@ -614,7 +616,8 @@ class LinkageService:
 
         try:
             self._wal.append(
-                WalRecord(op="abort", epoch=record.epoch, refs=record.refs)
+                WalRecord(op="abort", epoch=record.epoch, refs=record.refs,
+                          ts=time.time())
             )
         except Exception:
             pass

@@ -12,10 +12,19 @@ from repro.wal.faults import FaultInjected, arm, arm_from_env, reset, trip
 from repro.wal.log import (
     FSYNC_POLICIES,
     RecoveredLog,
+    SegmentInfo,
     WalError,
     WalRecord,
     WriteAheadLog,
     read_wal,
+    segment_stats,
+)
+from repro.wal.tail import (
+    TailBatch,
+    WalCursor,
+    load_cursor,
+    save_cursor,
+    tail_read,
 )
 from repro.wal.payload import (
     AccountPayload,
@@ -39,6 +48,9 @@ __all__ = [
     "RecoveredLog",
     "RecoveryError",
     "RecoveryResult",
+    "SegmentInfo",
+    "TailBatch",
+    "WalCursor",
     "WalError",
     "WalRecord",
     "WriteAheadLog",
@@ -46,6 +58,7 @@ __all__ = [
     "arm",
     "arm_from_env",
     "capture_payload",
+    "load_cursor",
     "payload_from_json",
     "payload_to_json",
     "read_wal",
@@ -53,5 +66,7 @@ __all__ = [
     "replay_records",
     "replay_wal_delta",
     "reset",
-    "trip",
+    "save_cursor",
+    "segment_stats",
+    "tail_read",
 ]

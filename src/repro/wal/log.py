@@ -42,10 +42,12 @@ from repro.wal import faults
 __all__ = [
     "FSYNC_POLICIES",
     "RecoveredLog",
+    "SegmentInfo",
     "WalError",
     "WalRecord",
     "WriteAheadLog",
     "read_wal",
+    "segment_stats",
 ]
 
 FSYNC_POLICIES = ("always", "batch", "never")
@@ -73,12 +75,18 @@ class WalRecord:
     preceding record of the same epoch: the service appends it when the
     apply step failed after the write-ahead append, so replay must skip
     the mutation exactly like the live service did.
+
+    ``ts`` is the wall-clock append time (``time.time()``); replay
+    ignores it, but follower replicas subtract it from *now* to report
+    replication lag in seconds.  Records logged before the field existed
+    decode with ``ts=None``.
     """
 
     op: str
     epoch: int
     refs: tuple
     payloads: tuple | None = None
+    ts: float | None = None
 
     def to_bytes(self) -> bytes:
         return pickle.dumps(
@@ -87,6 +95,7 @@ class WalRecord:
                 "epoch": self.epoch,
                 "refs": tuple(tuple(ref) for ref in self.refs),
                 "payloads": self.payloads,
+                "ts": self.ts,
             },
             protocol=pickle.HIGHEST_PROTOCOL,
         )
@@ -99,6 +108,7 @@ class WalRecord:
             epoch=raw["epoch"],
             refs=raw["refs"],
             payloads=raw["payloads"],
+            ts=raw.get("ts"),
         )
 
 
@@ -133,32 +143,53 @@ def _segment_paths(directory: Path) -> list[Path]:
     return sorted(directory.glob("[0-9]" * 8 + ".wal"))
 
 
-def _scan_segment(path: Path) -> tuple[list[WalRecord], int, bool]:
-    """Parse one segment: (records, end of the valid prefix, ended clean)."""
-    data = path.read_bytes()
+def _decode_frame(data: bytes, offset: int):
+    """Decode one frame at ``offset``: ``(record, end_offset)``.
+
+    Returns ``None`` when the bytes there are short, fail their CRC, or
+    will not unpickle — the longest-valid-prefix stopping condition
+    shared by :func:`read_wal` and the tail reader (an in-flight append
+    looks exactly like a torn tail until its last byte lands).
+    """
+    frame_end = offset + _FRAME.size
+    if frame_end > len(data):
+        return None
+    length, crc = _FRAME.unpack_from(data, offset)
+    payload_end = frame_end + length
+    if payload_end > len(data):
+        return None
+    payload = data[frame_end:payload_end]
+    if zlib.crc32(payload) != crc:
+        return None
+    try:
+        return WalRecord.from_bytes(payload), payload_end
+    except Exception:
+        return None
+
+
+def _check_header(data: bytes, path: Path) -> bool:
+    """Whether ``data`` starts with a complete, supported segment header."""
     if len(data) < len(_HEADER) or data[: len(_MAGIC)] != _MAGIC:
-        return [], 0, False
+        return False
     version = struct.unpack("<I", data[len(_MAGIC): len(_HEADER)])[0]
     if version != _VERSION:
         raise WalError(f"{path}: unsupported WAL format version {version}")
+    return True
+
+
+def _scan_segment(path: Path) -> tuple[list[WalRecord], int, bool]:
+    """Parse one segment: (records, end of the valid prefix, ended clean)."""
+    data = path.read_bytes()
+    if not _check_header(data, path):
+        return [], 0, False
     records: list[WalRecord] = []
     offset = len(_HEADER)
     while offset < len(data):
-        frame_end = offset + _FRAME.size
-        if frame_end > len(data):
+        decoded = _decode_frame(data, offset)
+        if decoded is None:
             return records, offset, False
-        length, crc = _FRAME.unpack_from(data, offset)
-        payload_end = frame_end + length
-        if payload_end > len(data):
-            return records, offset, False
-        payload = data[frame_end:payload_end]
-        if zlib.crc32(payload) != crc:
-            return records, offset, False
-        try:
-            records.append(WalRecord.from_bytes(payload))
-        except Exception:
-            return records, offset, False
-        offset = payload_end
+        record, offset = decoded
+        records.append(record)
     return records, offset, True
 
 
@@ -188,6 +219,46 @@ def read_wal(path) -> RecoveredLog:
         truncated=truncated,
         segments=len(segments),
     )
+
+
+@dataclass(frozen=True)
+class SegmentInfo:
+    """One segment's shape, as ``repro wal info`` reports it.
+
+    ``valid_bytes`` is where the valid prefix ends; ``size_bytes`` the
+    file size — they differ exactly when the segment has a torn tail
+    (``clean`` False).  Epochs are of the segment's first/last valid
+    record, 0 when it holds none.
+    """
+
+    index: int
+    path: Path
+    records: int
+    valid_bytes: int
+    size_bytes: int
+    first_epoch: int
+    last_epoch: int
+    clean: bool
+
+
+def segment_stats(path) -> list[SegmentInfo]:
+    """Per-segment inspection of a log directory (tolerant, read-only)."""
+    directory = Path(path)
+    segments = _segment_paths(directory) if directory.is_dir() else []
+    infos: list[SegmentInfo] = []
+    for segment in segments:
+        records, valid_end, clean = _scan_segment(segment)
+        infos.append(SegmentInfo(
+            index=int(segment.stem),
+            path=segment,
+            records=len(records),
+            valid_bytes=valid_end,
+            size_bytes=segment.stat().st_size,
+            first_epoch=records[0].epoch if records else 0,
+            last_epoch=records[-1].epoch if records else 0,
+            clean=clean,
+        ))
+    return infos
 
 
 class WriteAheadLog:

@@ -22,6 +22,12 @@ Three scenarios prove the durability contract the WAL exists for:
   requests), writes to the dead owner must 503, and after
   ``POST /shards/restart`` the rejoined shard must be bit-identical to
   a never-crashed sharded deployment that applied the same mutations.
+* **follower replica SIGKILL** — a primary gateway spreading reads
+  over a real ``repro replica`` subprocess tailing its WAL; the
+  follower is killed ``-9`` mid-tail under mixed load.  Zero failed
+  reads (the router falls back locally), ``/replicas`` reports the
+  death honestly, and a respawned follower resumes from its persisted
+  cursor/checkpoint and converges bit-identically to the primary.
 
 Set ``CHAOS_ARTIFACT_DIR`` to keep the WALs and summaries the scenarios
 produce (CI uploads them as build artifacts).
@@ -608,3 +614,155 @@ class TestShardWorkerKill:
             twin.close()
             router.close()
         _export_artifacts("shardkill", tmp_path / "no-wal", summary)
+
+
+# ----------------------------------------------------------------------
+# scenario 5: SIGKILL a follower replica mid-tail under mixed load
+# ----------------------------------------------------------------------
+def _spawn_follower(artifact, wal_dir, state_dir, port: int = 0):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "replica",
+            "--artifact", str(artifact), "--wal", str(wal_dir),
+            "--state", str(state_dir), "--checkpoint-every", "2",
+            "--poll-ms", "10", "--host", "127.0.0.1", "--port", str(port),
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+
+class TestFollowerReplicaKill:
+    def test_sigkill_follower_mid_tail_resumes_bit_identical(
+        self, fitted_blob, tmp_path
+    ):
+        _, artifact, _, held, payloads = fitted_blob
+        raws = [payload_to_json(p) for p in payloads]
+        key = tuple(PLATFORM_PAIRS[0])
+        wal_dir = tmp_path / "wal"
+        state_dir = tmp_path / "follower-state"
+        primary = _clone_service(fitted_blob, wal=WriteAheadLog(wal_dir))
+
+        follower = _spawn_follower(artifact, wal_dir, state_dir)
+        try:
+            follower_port = _wait_for_port(follower)
+            with GatewayThread(
+                primary,
+                GatewayConfig(
+                    max_wait_ms=1.0,
+                    read_replicas=(f"127.0.0.1:{follower_port}",),
+                    replica_retry_dead_seconds=0.5,
+                ),
+            ) as gateway, GatewayClient(
+                gateway.host, gateway.port, timeout=120
+            ) as client:
+                catalog = client.candidates(limit=200)
+
+                # two logged arrivals; the follower must tail them in
+                for ref, raw in zip(held[:2], raws[:2]):
+                    client.ingest([ref], accounts=[raw], score=False)
+
+                def follower_row(want_epoch, timeout=60.0):
+                    deadline = time.monotonic() + timeout
+                    while time.monotonic() < deadline:
+                        row = client.replicas()["replicas"][0]
+                        if row["alive"] and row["epoch"] == want_epoch:
+                            return row
+                        time.sleep(0.05)
+                    raise TimeoutError(
+                        f"follower never reached epoch {want_epoch}"
+                    )
+
+                row = follower_row(2)
+                assert row["lag_records"] == 0
+
+                # ---- mixed read storm; SIGKILL the follower mid-tail
+                ops = plan_workload(
+                    catalog,
+                    mix=WorkloadMix(
+                        score_pairs=0.7, top_k=0.2, link_account=0.1,
+                        churn=0.0,
+                    ),
+                    num_requests=200,
+                    pairs_per_request=2,
+                    seed=23,
+                )
+                report_box: dict = {}
+
+                def drive():
+                    report_box["report"] = run_load(
+                        gateway.host, gateway.port, ops,
+                        mode="closed", concurrency=4,
+                    )
+
+                loader = threading.Thread(target=drive)
+                loader.start()
+                time.sleep(0.15)
+                follower.kill()
+                assert follower.wait(timeout=60) == -9
+                loader.join(timeout=600)
+                assert not loader.is_alive()
+                report = report_box["report"]
+                assert report.requests == len(ops)
+                assert report.failed == 0, (
+                    f"follower kill dropped reads: {report.op_counts}"
+                )
+
+                # ---- /replicas is honest about the corpse
+                row = client.replicas()["replicas"][0]
+                assert row["alive"] is False
+                assert row["known_epoch"] == 2
+
+                # the primary keeps absorbing writes while the follower
+                # is down — the respawn has records to catch up on
+                for ref, raw in zip(held[2:], raws[2:]):
+                    client.ingest([ref], accounts=[raw], score=False)
+                assert client.healthz()["epoch"] == len(held)
+
+                # ---- respawn on the same port: resume, don't re-bootstrap
+                follower = _spawn_follower(
+                    artifact, wal_dir, state_dir, port=follower_port
+                )
+                assert _wait_for_port(follower) == follower_port
+                row = follower_row(len(held))
+                assert row["lag_records"] == 0
+
+                # ---- converged follower answers bit-identically
+                probe = [
+                    (tuple(pair[0]), tuple(pair[1]))
+                    for pair in catalog["pairs"][:8]
+                ]
+                with GatewayClient(
+                    "127.0.0.1", follower_port, timeout=120
+                ) as direct:
+                    status = direct.replicas()["replica"]
+                    assert status["resumed"], "follower re-bootstrapped"
+                    assert status["epoch"] == len(held)
+                    assert direct.score_pairs(probe)["scores"] == (
+                        client.score_pairs(probe)["scores"]
+                    )
+                    assert direct.top_k(*key, k=10)["links"] == (
+                        client.top_k(*key, k=10)["links"]
+                    )
+                    # read-your-writes floor holds on the follower too
+                    floored = direct.top_k(
+                        *key, k=10, min_epoch=len(held)
+                    )
+                    assert floored["epoch"] >= len(held)
+                summary = {
+                    "scenario": "follower-replica-sigkill",
+                    "requests": report.requests,
+                    "failed": report.failed,
+                    "retried": report.retried,
+                    "epoch_after_resume": len(held),
+                    "resumed": bool(status["resumed"]),
+                }
+        finally:
+            if follower.poll() is None:
+                follower.kill()
+                follower.wait(timeout=60)
+        _export_artifacts("followerkill", wal_dir, summary)
